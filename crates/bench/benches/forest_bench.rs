@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the downstream-task substrate: Random
+//! Forest fit/predict and the full cross-validated evaluation `A_T(F, y)`
+//! that dominates AFE runtime (the Table I phenomenon at micro scale).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use learners::{feature_matrix, Evaluator, ForestConfig, RandomForestClassifier};
+use tabular::{SynthSpec, Task};
+
+fn frame(n: usize, m: usize) -> tabular::DataFrame {
+    SynthSpec::new(format!("bench-{n}x{m}"), n, m, Task::Classification)
+        .with_seed(1)
+        .generate()
+        .unwrap()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rf_fit");
+    group.sample_size(10);
+    for (n, m) in [(200usize, 8usize), (500, 8), (500, 32)] {
+        let f = frame(n, m);
+        let x = feature_matrix(&f);
+        let y = f.label().classes().unwrap().to_vec();
+        group.bench_function(BenchmarkId::from_parameter(format!("{n}x{m}")), |b| {
+            b.iter(|| {
+                let mut rf = RandomForestClassifier::new(ForestConfig::fast());
+                rf.fit(black_box(&x), black_box(&y), 2).unwrap();
+                rf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let f = frame(500, 8);
+    let x = feature_matrix(&f);
+    let y = f.label().classes().unwrap().to_vec();
+    let mut rf = RandomForestClassifier::new(ForestConfig::fast());
+    rf.fit(&x, &y, 2).unwrap();
+    c.bench_function("rf_predict_500x8", |b| {
+        b.iter(|| rf.predict(black_box(&x)).unwrap())
+    });
+}
+
+fn bench_cv_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cv_evaluate");
+    group.sample_size(10);
+    for n in [200usize, 500] {
+        let f = frame(n, 8);
+        let mut ev = Evaluator {
+            folds: 5,
+            ..Evaluator::default()
+        };
+        ev.forest.n_trees = 10;
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| ev.evaluate(black_box(&f)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict, bench_cv_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the sample compressor's hot path:
+//! signature computation per hash family and per signature dimension.
+//! Supports the paper's Q6 discussion (why CCWS is the default) with
+//! throughput numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minhash::{HashFamily, SampleCompressor, WeightedMinHasher};
+
+fn column(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i as f64) * 0.37).sin() * 4.0 + 5.0).collect()
+}
+
+fn bench_families(c: &mut Criterion) {
+    let values = column(1000);
+    let weights = SampleCompressor::to_weights(&values);
+    let mut group = c.benchmark_group("signature_by_family_d48_n1000");
+    for family in HashFamily::ALL {
+        let hasher = WeightedMinHasher::new(family, 48, 7).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
+            b.iter(|| hasher.signature(black_box(&weights)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimensions(c: &mut Criterion) {
+    let values = column(1000);
+    let weights = SampleCompressor::to_weights(&values);
+    let mut group = c.benchmark_group("ccws_signature_by_d_n1000");
+    for d in [16usize, 32, 48, 64, 96] {
+        let hasher = WeightedMinHasher::new(HashFamily::Ccws, d, 7).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(d), |b| {
+            b.iter(|| hasher.signature(black_box(&weights)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccws_compress_by_rows_d48");
+    for n in [100usize, 1000, 10_000] {
+        let values = column(n);
+        let compressor = SampleCompressor::new(HashFamily::Ccws, 48, 7).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| compressor.compress_normalized(black_box(&values)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_families, bench_dimensions, bench_sample_sizes);
+criterion_main!(benches);

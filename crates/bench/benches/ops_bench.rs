@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the feature-generation path: operator
+//! application, full candidate generation, and FPE gate inference — the
+//! cheap side of the Table I time budget.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use eafe::{GeneratedFeature, Operator};
+use tabular::Column;
+
+fn column(n: usize, phase: f64) -> Column {
+    Column::new(
+        "f",
+        (0..n).map(|i| ((i as f64) * phase).sin() * 3.0).collect(),
+    )
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let a = column(1000, 0.37);
+    let b = column(1000, 0.11);
+    let mut group = c.benchmark_group("operator_apply_n1000");
+    for op in Operator::ALL {
+        group.bench_function(BenchmarkId::from_parameter(op.symbol()), |bch| {
+            bch.iter(|| op.apply(black_box(&a.values), black_box(&b.values)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let a = column(1000, 0.37);
+    let b = column(1000, 0.11);
+    c.bench_function("generated_feature_full_n1000", |bch| {
+        bch.iter(|| {
+            let g = GeneratedFeature::generate(
+                Operator::Divide,
+                black_box(&a),
+                1,
+                black_box(&b),
+                2,
+            );
+            black_box(g.is_degenerate());
+            g
+        })
+    });
+}
+
+fn bench_degeneracy_check(c: &mut Criterion) {
+    let a = column(10_000, 0.37);
+    let g = GeneratedFeature::generate(Operator::Log, &a, 0, &a, 0);
+    c.bench_function("is_degenerate_n10000", |bch| {
+        bch.iter(|| black_box(&g).is_degenerate())
+    });
+}
+
+criterion_group!(benches, bench_operators, bench_generate, bench_degeneracy_check);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **Ablation (extra)** — the paper's λ-return (Eqs. 9–10) vs the textbook
+//! rewards-to-go policy-gradient return, holding everything else (FPE gate,
+//! two-stage training) fixed. DESIGN.md §4 calls this design choice out.
+//!
+//! Regenerate: `cargo run -p bench --release --bin ablation_lambda`
+
+use bench::{fmt_score, print_header, CommonArgs, TextTable};
+use eafe::Engine;
+use minhash::HashFamily;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    lambda_score: f64,
+    rewards_to_go_score: f64,
+    lambda_secs: f64,
+    rewards_to_go_secs: f64,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    print_header("Ablation: lambda-returns vs rewards-to-go", &args);
+    let fpe = args.fpe_model(HashFamily::Ccws, 48);
+
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "score (lambda)",
+        "score (rtg)",
+        "secs (lambda)",
+        "secs (rtg)",
+    ]);
+    let mut rows = Vec::new();
+    for info in args.dataset_infos() {
+        eprintln!("running {} ...", info.name);
+        let frame = args.load(&info);
+        let lambda = Engine::e_afe(args.config(), fpe.clone())
+            .run(&frame)
+            .expect("E-AFE lambda");
+        let mut rtg_engine = Engine::e_afe(args.config(), fpe.clone());
+        rtg_engine.use_lambda_returns = false;
+        rtg_engine.method_name = "E-AFE(rtg)".into();
+        let rtg = rtg_engine.run(&frame).expect("E-AFE rtg");
+        table.row(vec![
+            info.name.to_string(),
+            fmt_score(lambda.best_score),
+            fmt_score(rtg.best_score),
+            format!("{:.1}", lambda.total_secs),
+            format!("{:.1}", rtg.total_secs),
+        ]);
+        rows.push(Row {
+            dataset: info.name.to_string(),
+            lambda_score: lambda.best_score,
+            rewards_to_go_score: rtg.best_score,
+            lambda_secs: lambda.total_secs,
+            rewards_to_go_secs: rtg.total_secs,
+        });
+    }
+    table.print();
+    args.write_json("ablation_lambda.json", &rows);
+
+    let mean = |f: fn(&Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "\nmean score lambda {:.4} vs rewards-to-go {:.4}",
+        mean(|r| r.lambda_score),
+        mean(|r| r.rewards_to_go_score)
+    );
+}

@@ -1,0 +1,70 @@
+//! **Ablation (extra)** — the stage-1 replay buffer: E-AFE with the paper's
+//! replay capacity vs a capacity of 1 (effectively disabling the bridge
+//! between stage 1 and stage 2). DESIGN.md §4 calls this design choice out;
+//! the paper motivates the buffer but never isolates it.
+//!
+//! Regenerate: `cargo run -p bench --release --bin ablation_replay`
+
+use bench::{fmt_score, print_header, CommonArgs, TextTable};
+use eafe::Engine;
+use minhash::HashFamily;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    with_replay_score: f64,
+    without_replay_score: f64,
+    with_replay_evals: usize,
+    without_replay_evals: usize,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    print_header("Ablation: stage-1 replay buffer on/off", &args);
+    let fpe = args.fpe_model(HashFamily::Ccws, 48);
+
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "score (replay)",
+        "score (no replay)",
+        "evals (replay)",
+        "evals (no replay)",
+    ]);
+    let mut rows = Vec::new();
+    for info in args.dataset_infos() {
+        eprintln!("running {} ...", info.name);
+        let frame = args.load(&info);
+        let with = Engine::e_afe(args.config(), fpe.clone())
+            .run(&frame)
+            .expect("E-AFE with replay");
+        let mut cfg = args.config();
+        cfg.replay_capacity = 1;
+        let without = Engine::e_afe(cfg, fpe.clone())
+            .run(&frame)
+            .expect("E-AFE without replay");
+        table.row(vec![
+            info.name.to_string(),
+            fmt_score(with.best_score),
+            fmt_score(without.best_score),
+            with.downstream_evals.to_string(),
+            without.downstream_evals.to_string(),
+        ]);
+        rows.push(Row {
+            dataset: info.name.to_string(),
+            with_replay_score: with.best_score,
+            without_replay_score: without.best_score,
+            with_replay_evals: with.downstream_evals,
+            without_replay_evals: without.downstream_evals,
+        });
+    }
+    table.print();
+    args.write_json("ablation_replay.json", &rows);
+
+    let mean = |f: fn(&Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "\nmean score with replay {:.4} vs without {:.4}",
+        mean(|r| r.with_replay_score),
+        mean(|r| r.without_replay_score)
+    );
+}

@@ -1,0 +1,97 @@
+//! **Figure 9** — scalability: running-time and performance improvement of
+//! E-AFE over NFS as the sample count and the feature count grow. The
+//! paper's claim: the improvements grow with dataset size.
+//!
+//! Regenerate: `cargo run -p bench --release --bin fig9`
+
+use bench::{print_header, CommonArgs, TextTable};
+use eafe::Engine;
+use minhash::HashFamily;
+use serde::Serialize;
+use tabular::{SynthSpec, Task};
+
+#[derive(Serialize)]
+struct Point {
+    axis: String,
+    n_samples: usize,
+    n_features: usize,
+    nfs_secs: f64,
+    eafe_secs: f64,
+    speedup: f64,
+    nfs_score: f64,
+    eafe_score: f64,
+    improvement: f64,
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    print_header("Figure 9: scalability in samples and features", &args);
+    let cfg = args.config();
+    let fpe = args.fpe_model(HashFamily::Ccws, 48);
+
+    let mut points = Vec::new();
+    let mut run_pair = |axis: &str, n: usize, m: usize| {
+        let frame = SynthSpec::new(format!("scale-{n}x{m}"), n, m, Task::Classification)
+            .with_seed(args.seed)
+            .generate()
+            .expect("synthetic frame");
+        let nfs = Engine::nfs(cfg.clone()).run(&frame).expect("NFS");
+        let eafe = Engine::e_afe(cfg.clone(), fpe.clone())
+            .run(&frame)
+            .expect("E-AFE");
+        points.push(Point {
+            axis: axis.to_string(),
+            n_samples: n,
+            n_features: m,
+            nfs_secs: nfs.total_secs,
+            eafe_secs: eafe.total_secs,
+            speedup: nfs.total_secs / eafe.total_secs.max(1e-9),
+            nfs_score: nfs.best_score,
+            eafe_score: eafe.best_score,
+            improvement: eafe.best_score - nfs.best_score,
+        });
+    };
+
+    // Sample-count sweep at fixed width.
+    for &n in &[250usize, 500, 1000, 2000] {
+        eprintln!("samples sweep: n = {n}");
+        run_pair("samples", n, 8);
+    }
+    // Feature-count sweep at fixed height.
+    for &m in &[4usize, 8, 16, 32] {
+        eprintln!("features sweep: m = {m}");
+        run_pair("features", 500, m);
+    }
+
+    for axis in ["samples", "features"] {
+        println!("--- sweep over {axis} ---");
+        let mut table = TextTable::new(vec![
+            "n x m",
+            "NFS secs",
+            "E-AFE secs",
+            "speedup",
+            "NFS score",
+            "E-AFE score",
+            "delta",
+        ]);
+        for p in points.iter().filter(|p| p.axis == axis) {
+            table.row(vec![
+                format!("{}x{}", p.n_samples, p.n_features),
+                format!("{:.1}", p.nfs_secs),
+                format!("{:.1}", p.eafe_secs),
+                format!("{:.2}x", p.speedup),
+                format!("{:.3}", p.nfs_score),
+                format!("{:.3}", p.eafe_score),
+                format!("{:+.3}", p.improvement),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    args.write_json("fig9.json", &points);
+    println!(
+        "paper shape: the time advantage (speedup) should grow with dataset \
+         size — bigger datasets make each avoided downstream evaluation \
+         more expensive."
+    );
+}

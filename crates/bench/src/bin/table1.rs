@@ -1,0 +1,68 @@
+//! **Table I** — time breakdown of one NFS epoch on the four motivation
+//! datasets: feature-generation time is a fraction of a percent of the
+//! total, downstream evaluation dominates (~90% in the paper).
+//!
+//! Regenerate: `cargo run -p bench --release --bin table1 [--scale 0.1]`
+
+use bench::{fmt_secs, print_header, CommonArgs, TextTable};
+use eafe::Engine;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    shape: String,
+    new_features: usize,
+    generation_secs: f64,
+    eval_secs: f64,
+    total_secs: f64,
+    eval_fraction: f64,
+}
+
+fn main() {
+    let mut args = CommonArgs::parse();
+    // Table I is a single NFS epoch.
+    args.epochs1 = 0;
+    args.epochs2 = 1;
+    print_header("Table I: one NFS epoch time breakdown", &args);
+
+    let mut table = TextTable::new(vec![
+        "Dataset",
+        "Instances\\Features",
+        "New Features",
+        "Generation Time",
+        "Eval. New Features Time",
+        "Total Time",
+        "Eval %",
+    ]);
+    let mut rows = Vec::new();
+    for info in args.dataset_infos() {
+        let frame = args.load(&info);
+        let mut cfg = args.config();
+        cfg.stage1_epochs = 0;
+        cfg.stage2_epochs = 1;
+        cfg.steps_per_epoch = args.steps.max(3);
+        let result = Engine::nfs(cfg).run(&frame).expect("NFS run");
+        let row = Row {
+            dataset: info.name.to_string(),
+            shape: frame.shape_str(),
+            new_features: result.generated_features,
+            generation_secs: result.generation_secs,
+            eval_secs: result.eval_secs,
+            total_secs: result.total_secs,
+            eval_fraction: result.eval_time_fraction(),
+        };
+        table.row(vec![
+            row.dataset.clone(),
+            row.shape.clone(),
+            row.new_features.to_string(),
+            fmt_secs(row.generation_secs),
+            fmt_secs(row.eval_secs),
+            fmt_secs(row.total_secs),
+            format!("{:.1}%", row.eval_fraction * 100.0),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    args.write_json("table1.json", &rows);
+}

@@ -1,0 +1,10 @@
+//! Baseline methods compared against E-AFE in the paper's Table III:
+//! `AutoFS_R` (RL feature selection over a random pool) and the
+//! deep-learning baselines (`RTDL_N`, `FE|DL`, `DL|FE`). `NFS`, `E-AFE_D`
+//! and `E-AFE_R` share E-AFE's unified [`crate::engine::Engine`].
+
+pub mod autofs;
+pub mod rtdl;
+
+pub use autofs::{random_feature_pool, run_autofs_r, run_autofs_r_full};
+pub use rtdl::{run_dl_fe, run_fe_dl, run_rtdl_n, top_k, DlBaselineConfig};

@@ -1,0 +1,89 @@
+//! Error type for the `eafe` crate, aggregating substrate errors.
+
+use std::fmt;
+
+/// Errors produced by the E-AFE engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EafeError {
+    /// Propagated data-frame error.
+    Tabular(tabular::TabularError),
+    /// Propagated learner error.
+    Learn(learners::LearnError),
+    /// Propagated hashing error.
+    MinHash(minhash::MinHashError),
+    /// Propagated RL error.
+    Rl(rl::RlError),
+    /// A configuration value was outside its valid domain.
+    InvalidConfig(String),
+    /// The FPE model is required but has not been trained/loaded.
+    FpeNotTrained,
+    /// Serialisation failure (FPE persistence, reports).
+    Serde(String),
+}
+
+impl fmt::Display for EafeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EafeError::Tabular(e) => write!(f, "tabular: {e}"),
+            EafeError::Learn(e) => write!(f, "learners: {e}"),
+            EafeError::MinHash(e) => write!(f, "minhash: {e}"),
+            EafeError::Rl(e) => write!(f, "rl: {e}"),
+            EafeError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            EafeError::FpeNotTrained => write!(f, "FPE model has not been trained"),
+            EafeError::Serde(msg) => write!(f, "serialisation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EafeError {}
+
+impl From<tabular::TabularError> for EafeError {
+    fn from(e: tabular::TabularError) -> Self {
+        EafeError::Tabular(e)
+    }
+}
+
+impl From<learners::LearnError> for EafeError {
+    fn from(e: learners::LearnError) -> Self {
+        EafeError::Learn(e)
+    }
+}
+
+impl From<minhash::MinHashError> for EafeError {
+    fn from(e: minhash::MinHashError) -> Self {
+        EafeError::MinHash(e)
+    }
+}
+
+impl From<rl::RlError> for EafeError {
+    fn from(e: rl::RlError) -> Self {
+        EafeError::Rl(e)
+    }
+}
+
+impl From<serde_json::Error> for EafeError {
+    fn from(e: serde_json::Error) -> Self {
+        EafeError::Serde(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, EafeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EafeError = tabular::TabularError::Empty("x".into()).into();
+        assert!(e.to_string().contains("tabular"));
+        let e: EafeError = learners::LearnError::NotFitted("RF").into();
+        assert!(e.to_string().contains("RF"));
+        let e: EafeError = minhash::MinHashError::EmptyInput.into();
+        assert!(e.to_string().contains("minhash"));
+        let e: EafeError = rl::RlError::InvalidParam("p".into()).into();
+        assert!(e.to_string().contains("rl"));
+        assert!(EafeError::FpeNotTrained.to_string().contains("FPE"));
+    }
+}

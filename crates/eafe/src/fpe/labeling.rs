@@ -1,0 +1,178 @@
+//! Feature-Validness labelling (paper Eq. 3, Algorithm 1 lines 3–16).
+//!
+//! For every public dataset `Dⁱ` the downstream task first scores the full
+//! feature set (`A₀ⁱ`), then each residual dataset `D_jⁱ = Dⁱ − F_jⁱ`
+//! obtained by leaving feature `j` out (`A_jⁱ`). Feature `j` is labelled
+//! **effective** (1) when removing it costs more than `thre`:
+//! `A₀ⁱ − A_jⁱ > thre` (Algorithm 1 line 9; Eq. 3's `sgn(A₀ − A_j + thre)`
+//! has the threshold's sign flipped relative to the algorithm — we follow
+//! the algorithm, which matches the text "thre is the threshold of score
+//! gain ... larger than 0, so that better features can be found").
+//!
+//! Each labelled feature is represented by its MinHash-compressed,
+//! z-scored sample vector so one classifier serves all datasets.
+
+use crate::error::Result;
+use learners::Evaluator;
+use minhash::SampleCompressor;
+use serde::{Deserialize, Serialize};
+use tabular::DataFrame;
+
+/// One labelled training example for the FPE binary classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledFeature {
+    /// Fixed-size compressed representation (`d` values).
+    pub compressed: Vec<f64>,
+    /// 1 = effective, 0 = ineffective.
+    pub label: usize,
+    /// The raw score gain `A₀ − A_j` that produced the label (kept for the
+    /// paper's Figure 6 threshold study).
+    pub score_gain: f64,
+}
+
+/// Label every feature of one dataset by leave-one-feature-out evaluation.
+///
+/// Datasets with a single feature yield no labels (the residual set would
+/// be empty).
+pub fn label_dataset(
+    frame: &DataFrame,
+    evaluator: &Evaluator,
+    thre: f64,
+    compressor: &SampleCompressor,
+) -> Result<Vec<LabeledFeature>> {
+    if frame.n_cols() < 2 {
+        return Ok(Vec::new());
+    }
+    let a0 = evaluator.evaluate(frame)?;
+    let mut out = Vec::with_capacity(frame.n_cols());
+    for j in 0..frame.n_cols() {
+        let residual = frame.drop_column(j)?;
+        let aj = evaluator.evaluate(&residual)?;
+        let gain = a0 - aj;
+        let label = usize::from(gain > thre);
+        let compressed = compressor.compress_normalized(&frame.column(j)?.values)?;
+        out.push(LabeledFeature {
+            compressed,
+            label,
+            score_gain: gain,
+        });
+    }
+    Ok(out)
+}
+
+/// Label a corpus of public datasets (Algorithm 1's outer loop).
+pub fn label_corpus(
+    corpus: &[DataFrame],
+    evaluator: &Evaluator,
+    thre: f64,
+    compressor: &SampleCompressor,
+) -> Result<Vec<LabeledFeature>> {
+    let mut all = Vec::new();
+    for frame in corpus {
+        all.extend(label_dataset(frame, evaluator, thre, compressor)?);
+    }
+    Ok(all)
+}
+
+/// Score gains only (no compression) — used by the Figure 6 `thre` study,
+/// which examines how the threshold splits the gain distribution.
+pub fn score_gains_for_dataset(frame: &DataFrame, evaluator: &Evaluator) -> Result<Vec<f64>> {
+    if frame.n_cols() < 2 {
+        return Ok(Vec::new());
+    }
+    let a0 = evaluator.evaluate(frame)?;
+    let mut gains = Vec::with_capacity(frame.n_cols());
+    for j in 0..frame.n_cols() {
+        let aj = evaluator.evaluate(&frame.drop_column(j)?)?;
+        gains.push(a0 - aj);
+    }
+    Ok(gains)
+}
+
+/// Relabel cached gains at a different threshold — lets the Figure 6 and
+/// Figure 8 sweeps reuse the expensive leave-one-out evaluations.
+pub fn relabel(gains: &[f64], thre: f64) -> Vec<usize> {
+    gains.iter().map(|&g| usize::from(g > thre)).collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit per-field tweaks read clearer in tests
+mod tests {
+    use super::*;
+    use learners::Evaluator;
+    use minhash::HashFamily;
+    use tabular::{SynthSpec, Task};
+
+    fn small_evaluator() -> Evaluator {
+        let mut e = Evaluator::default();
+        e.folds = 3;
+        e.forest.n_trees = 8;
+        e.forest.tree.max_depth = 6;
+        e
+    }
+
+    fn compressor() -> SampleCompressor {
+        SampleCompressor::new(HashFamily::Ccws, 16, 1).unwrap()
+    }
+
+    #[test]
+    fn labels_have_compressed_representation() {
+        let frame = SynthSpec::new("lab", 120, 6, Task::Classification)
+            .with_seed(3)
+            .generate()
+            .unwrap();
+        let labels = label_dataset(&frame, &small_evaluator(), 0.01, &compressor()).unwrap();
+        assert_eq!(labels.len(), 6);
+        for l in &labels {
+            assert_eq!(l.compressed.len(), 16);
+            assert!(l.label <= 1);
+            assert!(l.score_gain.is_finite());
+        }
+    }
+
+    #[test]
+    fn single_feature_dataset_yields_no_labels() {
+        let frame = SynthSpec::new("one", 60, 1, Task::Regression)
+            .generate()
+            .unwrap();
+        let labels = label_dataset(&frame, &small_evaluator(), 0.01, &compressor()).unwrap();
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn corpus_concatenates_datasets() {
+        let corpus = vec![
+            SynthSpec::new("c1", 80, 4, Task::Classification)
+                .generate()
+                .unwrap(),
+            SynthSpec::new("c2", 80, 3, Task::Regression).generate().unwrap(),
+        ];
+        let labels = label_corpus(&corpus, &small_evaluator(), 0.01, &compressor()).unwrap();
+        assert_eq!(labels.len(), 7);
+    }
+
+    #[test]
+    fn higher_threshold_never_increases_positives() {
+        let gains = vec![-0.05, 0.005, 0.02, 0.08, 0.0];
+        let lo: usize = relabel(&gains, 0.0).iter().sum();
+        let hi: usize = relabel(&gains, 0.05).iter().sum();
+        assert!(hi <= lo);
+        assert_eq!(relabel(&gains, 0.0), vec![0, 1, 1, 1, 0]);
+        assert_eq!(relabel(&gains, 0.05), vec![0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn gains_match_labels() {
+        let frame = SynthSpec::new("gain", 100, 5, Task::Classification)
+            .with_seed(9)
+            .generate()
+            .unwrap();
+        let ev = small_evaluator();
+        let gains = score_gains_for_dataset(&frame, &ev).unwrap();
+        let labels = label_dataset(&frame, &ev, 0.01, &compressor()).unwrap();
+        for (g, l) in gains.iter().zip(&labels) {
+            assert!((g - l.score_gain).abs() < 1e-12);
+            assert_eq!(usize::from(*g > 0.01), l.label);
+        }
+    }
+}

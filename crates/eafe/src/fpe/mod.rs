@@ -1,0 +1,14 @@
+//! The Feature Pre-Evaluation (FPE) model (paper §III-B, Algorithm 1):
+//! sample compression with weighted MinHash + a pre-trained binary
+//! feature-effectiveness classifier, plus the hyper-parameter search over
+//! hash families and signature dimensions.
+
+pub mod labeling;
+pub mod model;
+pub mod repr;
+pub mod search;
+
+pub use labeling::{label_corpus, label_dataset, relabel, score_gains_for_dataset, LabeledFeature};
+pub use model::{FpeMetrics, FpeModel};
+pub use repr::{meta_features, quantile_sketch, FeatureRepr, META_FEATURE_DIM};
+pub use search::{search, CandidateOutcome, FpeSearchResult, FpeSearchSpace, RawLabels};

@@ -1,0 +1,69 @@
+//! # eafe
+//!
+//! A from-scratch Rust implementation of **E-AFE** — *Toward Efficient
+//! Automated Feature Engineering* (ICDE 2023): reinforcement-learning-based
+//! automated feature engineering accelerated by a MinHash-compressed
+//! Feature Pre-Evaluation (FPE) model and a two-stage policy-training
+//! strategy.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use eafe::{bootstrap_fpe, EafeConfig, Engine, FpeSearchSpace};
+//! use tabular::{SynthSpec, Task};
+//!
+//! // 1. A target dataset (here: synthetic; see `tabular::registry` for the
+//! //    paper's 36 datasets).
+//! let frame = SynthSpec::new("demo", 150, 5, Task::Classification)
+//!     .generate()
+//!     .unwrap();
+//!
+//! // 2. Pre-train the FPE model on a public corpus (done once, reusable).
+//! let cfg = EafeConfig::fast();
+//! let space = FpeSearchSpace {
+//!     families: vec![minhash::HashFamily::Ccws],
+//!     dims: vec![16],
+//!     thre: 0.0,
+//!     seed: 1,
+//! };
+//! let fpe = bootstrap_fpe(3, 1, &space, &cfg.evaluator, 7).unwrap();
+//!
+//! // 3. Run E-AFE.
+//! let result = Engine::e_afe(cfg, fpe).run(&frame).unwrap();
+//! assert!(result.best_score >= result.base_score);
+//! ```
+//!
+//! ## Module map
+//!
+//! - [`ops`] — the 9 transformation operators (paper §II, "Action");
+//! - [`fpe`] — sample compression + feature pre-selection (Algorithm 1);
+//! - [`reward`] — the stage-1 surrogate reward (Eqs. 7–8);
+//! - [`state`] — feature subgroups and the RL state;
+//! - [`engine`] — the unified E-AFE / E-AFE_D / E-AFE_R / NFS loop
+//!   (Algorithm 2);
+//! - [`baselines`] — AutoFS_R and the deep-learning baselines;
+//! - [`pipeline`] — pre-selection, FPE bootstrapping, Table V re-evaluation;
+//! - [`report`] — instrumented results (timers, counters, learning curves).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod fpe;
+pub mod ops;
+pub mod pipeline;
+pub mod report;
+pub mod reward;
+pub mod state;
+
+pub use config::EafeConfig;
+pub use engine::{Engine, Gate};
+pub use error::{EafeError, Result};
+pub use fpe::{FpeMetrics, FpeModel, FpeSearchSpace, RawLabels};
+pub use ops::{GeneratedFeature, Operator};
+pub use pipeline::{bootstrap_fpe, preselect_features, reevaluate};
+pub use report::{EpochPoint, EvalCounter, PhaseTimer, RunResult};
+pub use reward::SurrogateReward;
+pub use state::{EngineState, FeatureSubgroup};

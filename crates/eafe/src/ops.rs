@@ -1,0 +1,329 @@
+//! The feature-transformation operator set (paper §II, "Action"):
+//! four unary operators — logarithm, min-max normalisation, square root,
+//! reciprocal — and five binary operators — addition, subtraction,
+//! multiplication, division, and modulo.
+//!
+//! Every transformation is in the form `OPERATOR(feature₁, feature₂)`; for
+//! unary operators both operands are the same feature. Operators are made
+//! total (log of negatives, division by ~0, …) by the standard guards used
+//! in the AFE literature, so generated columns are always finite.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tabular::Column;
+
+/// Guard threshold below which a divisor is treated as zero.
+const DIV_EPS: f64 = 1e-9;
+
+/// A feature-transformation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operator {
+    /// `ln(|x| + 1)` — safe logarithm.
+    Log,
+    /// `(x − min) / (max − min)` — min-max normalisation.
+    MinMaxNorm,
+    /// `√|x|` — safe square root.
+    Sqrt,
+    /// `1 / x`, 0 where `|x|` is tiny — safe reciprocal.
+    Reciprocal,
+    /// `a + b`.
+    Add,
+    /// `a − b`.
+    Subtract,
+    /// `a × b`.
+    Multiply,
+    /// `a / b`, 0 where `|b|` is tiny.
+    Divide,
+    /// `a mod b` (euclidean-ish remainder), 0 where `|b|` is tiny.
+    Modulo,
+}
+
+impl Operator {
+    /// All nine operators: the action space of each E-AFE agent.
+    pub const ALL: [Operator; 9] = [
+        Operator::Log,
+        Operator::MinMaxNorm,
+        Operator::Sqrt,
+        Operator::Reciprocal,
+        Operator::Add,
+        Operator::Subtract,
+        Operator::Multiply,
+        Operator::Divide,
+        Operator::Modulo,
+    ];
+
+    /// The four unary operators.
+    pub const UNARY: [Operator; 4] = [
+        Operator::Log,
+        Operator::MinMaxNorm,
+        Operator::Sqrt,
+        Operator::Reciprocal,
+    ];
+
+    /// The five binary operators.
+    pub const BINARY: [Operator; 5] = [
+        Operator::Add,
+        Operator::Subtract,
+        Operator::Multiply,
+        Operator::Divide,
+        Operator::Modulo,
+    ];
+
+    /// Operator by action index (the RL policy's discrete action space).
+    pub fn from_action(action: usize) -> Operator {
+        Self::ALL[action % Self::ALL.len()]
+    }
+
+    /// True for the single-operand operators.
+    pub fn is_unary(self) -> bool {
+        matches!(
+            self,
+            Operator::Log | Operator::MinMaxNorm | Operator::Sqrt | Operator::Reciprocal
+        )
+    }
+
+    /// Display symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Operator::Log => "log",
+            Operator::MinMaxNorm => "norm",
+            Operator::Sqrt => "sqrt",
+            Operator::Reciprocal => "recip",
+            Operator::Add => "+",
+            Operator::Subtract => "-",
+            Operator::Multiply => "*",
+            Operator::Divide => "/",
+            Operator::Modulo => "%",
+        }
+    }
+
+    /// Apply a unary operator to a slice of values.
+    fn apply_unary(self, a: &[f64]) -> Vec<f64> {
+        match self {
+            Operator::Log => a.iter().map(|&x| (x.abs() + 1.0).ln()).collect(),
+            Operator::Sqrt => a.iter().map(|&x| x.abs().sqrt()).collect(),
+            Operator::Reciprocal => a
+                .iter()
+                .map(|&x| if x.abs() < DIV_EPS { 0.0 } else { 1.0 / x })
+                .collect(),
+            Operator::MinMaxNorm => {
+                let lo = a.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let span = hi - lo;
+                if !span.is_finite() || span < DIV_EPS {
+                    return vec![0.0; a.len()];
+                }
+                a.iter().map(|&x| (x - lo) / span).collect()
+            }
+            _ => unreachable!("binary operator applied as unary"),
+        }
+    }
+
+    /// Apply a binary operator element-wise.
+    fn apply_binary(self, a: &[f64], b: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Operator::Add => a.iter().zip(b).map(|(x, y)| x + y).collect(),
+            Operator::Subtract => a.iter().zip(b).map(|(x, y)| x - y).collect(),
+            Operator::Multiply => a.iter().zip(b).map(|(x, y)| x * y).collect(),
+            Operator::Divide => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| if y.abs() < DIV_EPS { 0.0 } else { x / y })
+                .collect(),
+            Operator::Modulo => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    let m = y.abs();
+                    if m < DIV_EPS {
+                        0.0
+                    } else {
+                        x - m * (x / m).floor()
+                    }
+                })
+                .collect(),
+            _ => unreachable!("unary operator applied as binary"),
+        }
+    }
+
+    /// Apply the operator: binary operators use both operands, unary
+    /// operators only the first (paper: "in this case, feature₁ and
+    /// feature₂ are the same feature"). Non-finite outputs are clamped to 0.
+    pub fn apply(self, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = if self.is_unary() {
+            self.apply_unary(a)
+        } else {
+            self.apply_binary(a, b)
+        };
+        for v in &mut out {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A generated feature: its values, a human-readable expression, and its
+/// transformation order (composition depth; original features are order 0,
+/// the paper caps order at 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedFeature {
+    /// The feature column (name = expression string).
+    pub column: Column,
+    /// Composition depth.
+    pub order: usize,
+    /// The operator that produced it.
+    pub operator: Operator,
+}
+
+impl GeneratedFeature {
+    /// Apply `op` to two parent features, producing a child of order
+    /// `max(parent orders) + 1` with an expression-string name.
+    pub fn generate(
+        op: Operator,
+        a: &Column,
+        a_order: usize,
+        b: &Column,
+        b_order: usize,
+    ) -> GeneratedFeature {
+        let values = op.apply(&a.values, &b.values);
+        let (name, order) = if op.is_unary() {
+            (format!("{}({})", op.symbol(), a.name), a_order + 1)
+        } else {
+            (
+                format!("({}{}{})", a.name, op.symbol(), b.name),
+                a_order.max(b_order) + 1,
+            )
+        };
+        GeneratedFeature {
+            column: Column::new(name, values),
+            order,
+            operator: op,
+        }
+    }
+
+    /// True when the feature is degenerate: constant or non-finite, hence
+    /// useless for any downstream model.
+    pub fn is_degenerate(&self) -> bool {
+        !self.column.is_finite() || self.column.is_constant(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(name: &str, v: &[f64]) -> Column {
+        Column::new(name, v.to_vec())
+    }
+
+    #[test]
+    fn action_space_has_nine_operators() {
+        assert_eq!(Operator::ALL.len(), 9);
+        assert_eq!(Operator::UNARY.len(), 4);
+        assert_eq!(Operator::BINARY.len(), 5);
+        assert!(Operator::UNARY.iter().all(|o| o.is_unary()));
+        assert!(Operator::BINARY.iter().all(|o| !o.is_unary()));
+        assert_eq!(Operator::from_action(0), Operator::Log);
+        assert_eq!(Operator::from_action(9), Operator::Log); // wraps
+    }
+
+    #[test]
+    fn log_is_safe_for_negatives() {
+        let out = Operator::Log.apply(&[-1.0, 0.0, std::f64::consts::E - 1.0], &[]);
+        assert!((out[0] - 2.0f64.ln()).abs() < 1e-12);
+        assert_eq!(out[1], 0.0);
+        assert!((out[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_normalises_to_unit_interval() {
+        let out = Operator::MinMaxNorm.apply(&[2.0, 4.0, 6.0], &[]);
+        assert_eq!(out, vec![0.0, 0.5, 1.0]);
+        // Constant column normalises to zeros, not NaN.
+        let konst = Operator::MinMaxNorm.apply(&[5.0, 5.0], &[]);
+        assert_eq!(konst, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sqrt_handles_negatives() {
+        let out = Operator::Sqrt.apply(&[-4.0, 9.0], &[]);
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn reciprocal_guards_zero() {
+        let out = Operator::Reciprocal.apply(&[2.0, 0.0, -0.5], &[]);
+        assert_eq!(out, vec![0.5, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn binary_arithmetic() {
+        let a = [6.0, 8.0];
+        let b = [3.0, 2.0];
+        assert_eq!(Operator::Add.apply(&a, &b), vec![9.0, 10.0]);
+        assert_eq!(Operator::Subtract.apply(&a, &b), vec![3.0, 6.0]);
+        assert_eq!(Operator::Multiply.apply(&a, &b), vec![18.0, 16.0]);
+        assert_eq!(Operator::Divide.apply(&a, &b), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn divide_guards_zero_divisor() {
+        assert_eq!(Operator::Divide.apply(&[5.0], &[0.0]), vec![0.0]);
+        assert_eq!(Operator::Divide.apply(&[5.0], &[1e-12]), vec![0.0]);
+    }
+
+    #[test]
+    fn modulo_matches_euclidean_remainder() {
+        let out = Operator::Modulo.apply(&[7.0, -7.0, 7.5], &[3.0, 3.0, 0.0]);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[1], 2.0); // floored remainder is non-negative
+        assert_eq!(out[2], 0.0); // zero divisor guard
+    }
+
+    #[test]
+    fn outputs_are_always_finite() {
+        let a = [f64::MAX, -f64::MAX];
+        let out = Operator::Multiply.apply(&a, &a); // overflows to ±Inf
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn generate_tracks_order_and_name() {
+        let a = col("f0", &[1.0, 2.0]);
+        let b = col("f1", &[3.0, 4.0]);
+        let g = GeneratedFeature::generate(Operator::Add, &a, 0, &b, 2);
+        assert_eq!(g.order, 3);
+        assert_eq!(g.column.name, "(f0+f1)");
+        assert_eq!(g.column.values, vec![4.0, 6.0]);
+
+        let u = GeneratedFeature::generate(Operator::Log, &a, 1, &a, 1);
+        assert_eq!(u.order, 2);
+        assert_eq!(u.column.name, "log(f0)");
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        let a = col("f0", &[1.0, 1.0]);
+        let g = GeneratedFeature::generate(Operator::MinMaxNorm, &a, 0, &a, 0);
+        assert!(g.is_degenerate()); // constant → all zeros
+        let b = col("f1", &[1.0, 2.0]);
+        let h = GeneratedFeature::generate(Operator::Sqrt, &b, 0, &b, 0);
+        assert!(!h.is_degenerate());
+    }
+
+    #[test]
+    fn subtract_same_feature_is_degenerate() {
+        let a = col("f0", &[1.5, 2.5, 3.5]);
+        let g = GeneratedFeature::generate(Operator::Subtract, &a, 0, &a, 0);
+        assert!(g.is_degenerate());
+    }
+}

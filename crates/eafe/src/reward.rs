@@ -1,0 +1,114 @@
+//! Stage-1 surrogate reward (paper Eqs. 7–8).
+//!
+//! During quick initialisation the downstream task is never run; instead
+//! the FPE classifier's output probability is mapped onto a pseudo-score
+//! around the original dataset's score `A^O`:
+//!
+//! ```text
+//! A_t^h = A^O + (0.5 − p)/0.5 · (ΔA_max − thre),  p ∈ [0, 0.5)
+//! A_t^h = A^O + (0.5 − p)/0.5 · (thre − ΔA_min),  p ∈ [0.5, 1]
+//! ```
+//!
+//! In Eq. (8) as printed, `p → 0` yields the maximal pseudo-score — i.e.
+//! the equation's `p` is the probability of the *ineffective* class. Our
+//! [`crate::fpe::FpeModel::score_feature`] returns the probability of the
+//! **effective** class (the more natural orientation), so this module
+//! applies Eq. (8) to `1 − p_effective`. The net behaviour matches the
+//! paper: confidently-good features score near `A^O + ΔA_max − thre`,
+//! confidently-bad ones near `A^O + ΔA_min − thre`.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Eq. 8 mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateReward {
+    /// `A^O`: downstream score of the original dataset.
+    pub base_score: f64,
+    /// `ΔA_max`: maximum plausible score gain of a single feature.
+    pub delta_max: f64,
+    /// `ΔA_min`: minimum (most negative) plausible score gain.
+    pub delta_min: f64,
+    /// The FPE label threshold `thre`.
+    pub thre: f64,
+}
+
+impl SurrogateReward {
+    /// Sensible defaults when per-dataset gain bounds are unknown: the FPE
+    /// labelling's empirical gains rarely exceed ±0.1 on the paper's metric
+    /// scales.
+    pub fn new(base_score: f64, thre: f64) -> Self {
+        Self {
+            base_score,
+            delta_max: 0.1,
+            delta_min: -0.1,
+            thre,
+        }
+    }
+
+    /// Eq. (8) pseudo-score for a feature whose *effective-class*
+    /// probability is `p_effective`.
+    pub fn pseudo_score(&self, p_effective: f64) -> f64 {
+        let p = (1.0 - p_effective).clamp(0.0, 1.0); // Eq. 8's ineffective-class p
+        let scale = (0.5 - p) / 0.5;
+        if p < 0.5 {
+            self.base_score + scale * (self.delta_max - self.thre)
+        } else {
+            self.base_score + scale * (self.thre - self.delta_min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sr() -> SurrogateReward {
+        SurrogateReward {
+            base_score: 0.8,
+            delta_max: 0.1,
+            delta_min: -0.1,
+            thre: 0.01,
+        }
+    }
+
+    #[test]
+    fn confident_good_feature_scores_above_base() {
+        let s = sr();
+        // p_effective = 1 → Eq. 8 p = 0 → A^O + (ΔA_max − thre).
+        assert!((s.pseudo_score(1.0) - (0.8 + 0.09)).abs() < 1e-12);
+        assert!(s.pseudo_score(0.9) > s.base_score);
+    }
+
+    #[test]
+    fn confident_bad_feature_scores_below_base() {
+        let s = sr();
+        // p_effective = 0 → Eq. 8 p = 1 → A^O − (thre − ΔA_min).
+        assert!((s.pseudo_score(0.0) - (0.8 - 0.11)).abs() < 1e-12);
+        assert!(s.pseudo_score(0.1) < s.base_score);
+    }
+
+    #[test]
+    fn boundary_is_continuous_at_half() {
+        let s = sr();
+        let below = s.pseudo_score(0.5 + 1e-9);
+        let above = s.pseudo_score(0.5 - 1e-9);
+        assert!((below - above).abs() < 1e-6);
+        assert!((s.pseudo_score(0.5) - s.base_score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_effectiveness() {
+        let s = sr();
+        let ps: Vec<f64> = (0..=10).map(|i| s.pseudo_score(i as f64 / 10.0)).collect();
+        for w in ps.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "not monotone: {ps:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_probability_is_clamped() {
+        let s = sr();
+        assert_eq!(s.pseudo_score(2.0), s.pseudo_score(1.0));
+        assert_eq!(s.pseudo_score(-1.0), s.pseudo_score(0.0));
+    }
+}

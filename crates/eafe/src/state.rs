@@ -1,0 +1,248 @@
+//! RL state: feature subgroups and the engine state (paper §II).
+//!
+//! Each original feature owns a **subgroup** — itself plus every accepted
+//! generated feature derived within that subgroup. The state `s` is the set
+//! of selected features across subgroups; it expands as qualified features
+//! are accepted. Agents act on their own subgroup by sampling two member
+//! features (with replacement) and applying the chosen operator.
+
+use crate::error::Result;
+use crate::ops::GeneratedFeature;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tabular::{Column, DataFrame};
+
+/// One agent's feature subgroup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSubgroup {
+    /// Index of the original feature in the base frame.
+    pub origin_idx: usize,
+    /// The original feature (order 0).
+    pub original: Column,
+    /// Accepted generated features, in acceptance order.
+    pub generated: Vec<GeneratedFeature>,
+}
+
+impl FeatureSubgroup {
+    /// New subgroup around one original feature.
+    pub fn new(origin_idx: usize, original: Column) -> Self {
+        Self {
+            origin_idx,
+            original,
+            generated: Vec::new(),
+        }
+    }
+
+    /// Total members (original + generated).
+    pub fn len(&self) -> usize {
+        1 + self.generated.len()
+    }
+
+    /// Never empty: always contains the original feature.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Member column and its order by subgroup-local index
+    /// (0 = the original feature).
+    pub fn member(&self, idx: usize) -> (&Column, usize) {
+        if idx == 0 {
+            (&self.original, 0)
+        } else {
+            let g = &self.generated[idx - 1];
+            (&g.column, g.order)
+        }
+    }
+
+    /// Sample a member index uniformly (with replacement across calls) —
+    /// the paper's transition step samples two features this way.
+    pub fn sample_member(&self, rng: &mut impl Rng) -> usize {
+        rng.gen_range(0..self.len())
+    }
+
+    /// Mean transformation order across members.
+    pub fn mean_order(&self) -> f64 {
+        let total: usize = self.generated.iter().map(|g| g.order).sum();
+        total as f64 / self.len() as f64
+    }
+
+    /// Accept a generated feature into the subgroup.
+    pub fn accept(&mut self, feature: GeneratedFeature) {
+        self.generated.push(feature);
+    }
+}
+
+/// The full engine state: one subgroup per original feature plus the
+/// current downstream score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineState {
+    /// Per-agent subgroups.
+    pub subgroups: Vec<FeatureSubgroup>,
+    /// Most recent downstream score of the selected feature set.
+    pub current_score: f64,
+    /// Reward obtained by the most recent accepted action (for embeddings).
+    pub last_reward: f64,
+}
+
+impl EngineState {
+    /// Initial state: every original feature seeds its own subgroup.
+    pub fn new(frame: &DataFrame, base_score: f64) -> Self {
+        let subgroups = frame
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| FeatureSubgroup::new(i, c.clone()))
+            .collect();
+        Self {
+            subgroups,
+            current_score: base_score,
+            last_reward: 0.0,
+        }
+    }
+
+    /// Number of agents (original features).
+    pub fn n_agents(&self) -> usize {
+        self.subgroups.len()
+    }
+
+    /// Total generated features accepted across subgroups.
+    pub fn n_generated(&self) -> usize {
+        self.subgroups.iter().map(|s| s.generated.len()).sum()
+    }
+
+    /// Build the selected-feature frame: all original columns plus every
+    /// accepted generated column, sharing the base frame's label.
+    pub fn selected_frame(&self, base: &DataFrame) -> Result<DataFrame> {
+        let extra: Vec<Column> = self
+            .subgroups
+            .iter()
+            .flat_map(|s| s.generated.iter().map(|g| g.column.clone()))
+            .collect();
+        Ok(base.with_extra_columns(&extra)?)
+    }
+
+    /// Names of all selected generated features.
+    pub fn selected_names(&self) -> Vec<String> {
+        self.subgroups
+            .iter()
+            .flat_map(|s| s.generated.iter().map(|g| g.column.name.clone()))
+            .collect()
+    }
+
+    /// The fixed-size state embedding fed to agent `j`'s RNN policy.
+    /// Eight cheap, bounded summary statistics of the current state.
+    pub fn embedding(
+        &self,
+        agent: usize,
+        step: usize,
+        steps_per_epoch: usize,
+        epoch_frac: f64,
+        max_order: usize,
+    ) -> Vec<f64> {
+        let sub = &self.subgroups[agent];
+        vec![
+            1.0, // bias
+            (sub.len() as f64).ln() / 4.0,
+            (self.last_reward * 10.0).clamp(-1.0, 1.0),
+            self.current_score.clamp(-1.0, 1.0),
+            sub.mean_order() / max_order.max(1) as f64,
+            (step as f64 + 0.5) / steps_per_epoch.max(1) as f64,
+            epoch_frac.clamp(0.0, 1.0),
+            (agent as f64 + 0.5) / self.n_agents().max(1) as f64,
+        ]
+    }
+
+    /// Dimension of [`EngineState::embedding`]'s output.
+    pub const EMBEDDING_DIM: usize = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{GeneratedFeature, Operator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{DataFrame, Label, SynthSpec, Task};
+
+    fn base() -> DataFrame {
+        DataFrame::new(
+            "s",
+            vec![
+                Column::new("f0", vec![1.0, 2.0, 3.0]),
+                Column::new("f1", vec![4.0, 5.0, 6.0]),
+            ],
+            Label::Class {
+                y: vec![0, 1, 0],
+                n_classes: 2,
+            },
+        )
+        .unwrap()
+    }
+
+    fn gen_feature(state: &EngineState) -> GeneratedFeature {
+        let (a, ao) = state.subgroups[0].member(0);
+        GeneratedFeature::generate(Operator::Sqrt, a, ao, a, ao)
+    }
+
+    #[test]
+    fn initial_state_mirrors_frame() {
+        let f = base();
+        let s = EngineState::new(&f, 0.7);
+        assert_eq!(s.n_agents(), 2);
+        assert_eq!(s.n_generated(), 0);
+        assert_eq!(s.current_score, 0.7);
+        assert_eq!(s.subgroups[0].len(), 1);
+        assert_eq!(s.subgroups[0].member(0).1, 0); // order 0
+    }
+
+    #[test]
+    fn accept_expands_state_and_frame() {
+        let f = base();
+        let mut s = EngineState::new(&f, 0.5);
+        let g = gen_feature(&s);
+        s.subgroups[0].accept(g);
+        assert_eq!(s.n_generated(), 1);
+        assert_eq!(s.subgroups[0].len(), 2);
+        let sel = s.selected_frame(&f).unwrap();
+        assert_eq!(sel.n_cols(), 3);
+        assert_eq!(sel.columns()[2].name, "sqrt(f0)");
+        assert_eq!(s.selected_names(), vec!["sqrt(f0)".to_string()]);
+    }
+
+    #[test]
+    fn member_indexing_and_orders() {
+        let f = base();
+        let mut s = EngineState::new(&f, 0.5);
+        let g = gen_feature(&s);
+        s.subgroups[0].accept(g);
+        let (col, order) = s.subgroups[0].member(1);
+        assert_eq!(col.name, "sqrt(f0)");
+        assert_eq!(order, 1);
+        assert!((s.subgroups[0].mean_order() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_stays_in_range() {
+        let f = SynthSpec::new("x", 30, 3, Task::Classification)
+            .generate()
+            .unwrap();
+        let s = EngineState::new(&f, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let idx = s.subgroups[2].sample_member(&mut rng);
+            assert!(idx < s.subgroups[2].len());
+        }
+    }
+
+    #[test]
+    fn embedding_is_fixed_size_and_bounded() {
+        let f = base();
+        let mut s = EngineState::new(&f, 0.8);
+        s.last_reward = 5.0; // deliberately out of range → clamped
+        let e = s.embedding(1, 2, 4, 0.5, 5);
+        assert_eq!(e.len(), EngineState::EMBEDDING_DIM);
+        assert!(e.iter().all(|v| v.is_finite() && v.abs() <= 2.0), "{e:?}");
+        assert_eq!(e[0], 1.0);
+        assert_eq!(e[2], 1.0); // clamped reward
+    }
+}

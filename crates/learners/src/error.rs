@@ -1,0 +1,80 @@
+//! Error types for the `learners` crate.
+
+use std::fmt;
+use tabular::TabularError;
+
+/// Errors produced by model fitting and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnError {
+    /// Training data was empty or otherwise unusable.
+    EmptyTrainingSet(String),
+    /// Feature dimensionality at predict time differs from fit time.
+    DimensionMismatch {
+        /// Feature count the model was fitted with.
+        fitted: usize,
+        /// Feature count supplied at prediction time.
+        got: usize,
+    },
+    /// The model has not been fitted yet.
+    NotFitted(&'static str),
+    /// A hyper-parameter was outside its valid domain.
+    InvalidParam(String),
+    /// Numerical failure (e.g. Cholesky of a non-PD kernel matrix).
+    Numerical(String),
+    /// Propagated data-frame error.
+    Tabular(TabularError),
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::EmptyTrainingSet(what) => write!(f, "empty training set: {what}"),
+            LearnError::DimensionMismatch { fitted, got } => {
+                write!(f, "dimension mismatch: fitted with {fitted} features, got {got}")
+            }
+            LearnError::NotFitted(model) => write!(f, "{model} has not been fitted"),
+            LearnError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),
+            LearnError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            LearnError::Tabular(e) => write!(f, "tabular error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LearnError::Tabular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TabularError> for LearnError {
+    fn from(e: TabularError) -> Self {
+        LearnError::Tabular(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, LearnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LearnError::DimensionMismatch { fitted: 3, got: 5 }
+            .to_string()
+            .contains("3"));
+        assert!(LearnError::NotFitted("RandomForest")
+            .to_string()
+            .contains("RandomForest"));
+    }
+
+    #[test]
+    fn tabular_error_propagates() {
+        let e: LearnError = TabularError::Empty("x".into()).into();
+        assert!(matches!(e, LearnError::Tabular(_)));
+    }
+}

@@ -1,0 +1,456 @@
+//! Random Forests — the downstream evaluation task the paper uses for both
+//! AFE training ("we utilize Random Forest as the model for downstream
+//! tasks") and for the RF-importance feature pre-selection step.
+//!
+//! Trees are trained on bootstrap resamples with √N feature subsampling and
+//! fitted in parallel with crossbeam scoped threads.
+
+use crate::error::{LearnError, Result};
+use crate::tree::{argmax, DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration; `max_features = None` here means "use √N".
+    pub tree: TreeConfig,
+    /// Bootstrap resampling on/off.
+    pub bootstrap: bool,
+    /// Master seed; per-tree seeds derive from it.
+    pub seed: u64,
+    /// Number of worker threads; `0` means use available parallelism.
+    pub n_threads: usize,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 20,
+            tree: TreeConfig {
+                max_depth: 10,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                max_features: None,
+                seed: 0,
+            },
+            bootstrap: true,
+            seed: 0,
+            n_threads: 0,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// A smaller, faster configuration for inner-loop feature evaluation.
+    pub fn fast() -> Self {
+        Self {
+            n_trees: 10,
+            tree: TreeConfig {
+                max_depth: 8,
+                ..TreeConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    fn threads(&self) -> usize {
+        if self.n_threads > 0 {
+            self.n_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    fn sqrt_features(&self, n_features: usize) -> usize {
+        ((n_features as f64).sqrt().round() as usize).clamp(1, n_features)
+    }
+}
+
+/// Draw bootstrap row indices or the identity when bootstrap is disabled.
+fn sample_rows(n_rows: usize, bootstrap: bool, rng: &mut StdRng) -> Vec<usize> {
+    if bootstrap {
+        (0..n_rows).map(|_| rng.gen_range(0..n_rows)).collect()
+    } else {
+        (0..n_rows).collect()
+    }
+}
+
+/// Gather a column-major sub-matrix for the given rows.
+fn gather(x: &[Vec<f64>], rows: &[usize]) -> Vec<Vec<f64>> {
+    x.iter()
+        .map(|col| rows.iter().map(|&r| col[r]).collect())
+        .collect()
+}
+
+/// Run `jobs` closures across `threads` workers, collecting results in order.
+fn parallel_map<T: Send>(
+    threads: usize,
+    jobs: Vec<Box<dyn FnOnce() -> Result<T> + Send + '_>>,
+) -> Result<Vec<T>> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let n = jobs.len();
+    let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+    let job_iter = parking_lot::Mutex::new(jobs.into_iter().enumerate());
+    let slots_mx = parking_lot::Mutex::new(&mut slots);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let next = job_iter.lock().next();
+                match next {
+                    Some((i, job)) => {
+                        let out = job();
+                        slots_mx.lock()[i] = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .map_err(|_| LearnError::Numerical("worker thread panicked".into()))?;
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job slot filled"))
+        .collect()
+}
+
+/// Random forest classifier (majority vote over per-tree class frequencies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestClassifier {
+    /// Hyper-parameters used at fit time.
+    pub config: ForestConfig,
+    trees: Vec<DecisionTreeClassifier>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RandomForestClassifier {
+    /// New unfitted forest.
+    pub fn new(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+        }
+    }
+
+    /// Fit on column-major features and class labels.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Result<()> {
+        if x.is_empty() || y.is_empty() {
+            return Err(LearnError::EmptyTrainingSet("random forest".into()));
+        }
+        let n_rows = y.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut tree_cfg = self.config.tree;
+        if tree_cfg.max_features.is_none() {
+            tree_cfg.max_features = Some(self.config.sqrt_features(x.len()));
+        }
+        let draws: Vec<(u64, Vec<usize>)> = (0..self.config.n_trees)
+            .map(|_| {
+                (
+                    rng.gen::<u64>(),
+                    sample_rows(n_rows, self.config.bootstrap, &mut rng),
+                )
+            })
+            .collect();
+        let jobs: Vec<Box<dyn FnOnce() -> Result<DecisionTreeClassifier> + Send>> = draws
+            .into_iter()
+            .map(|(seed, rows)| {
+                let cfg = TreeConfig { seed, ..tree_cfg };
+                let xb = gather(x, &rows);
+                let yb: Vec<usize> = rows.iter().map(|&r| y[r]).collect();
+                Box::new(move || {
+                    let mut t = DecisionTreeClassifier::new(cfg);
+                    t.fit(&xb, &yb, n_classes)?;
+                    Ok(t)
+                }) as Box<dyn FnOnce() -> Result<DecisionTreeClassifier> + Send>
+            })
+            .collect();
+        self.trees = parallel_map(self.config.threads(), jobs)?;
+        self.n_classes = n_classes;
+        self.n_features = x.len();
+        Ok(())
+    }
+
+    /// Averaged class probabilities across trees.
+    pub fn predict_proba(&self, x: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        if self.trees.is_empty() {
+            return Err(LearnError::NotFitted("RandomForestClassifier"));
+        }
+        let n_rows = x.first().map_or(0, |c| c.len());
+        let mut acc = vec![vec![0.0; self.n_classes]; n_rows];
+        for tree in &self.trees {
+            for (row, p) in tree.predict_proba(x)?.into_iter().enumerate() {
+                for (a, v) in acc[row].iter_mut().zip(p) {
+                    *a += v;
+                }
+            }
+        }
+        let k = self.trees.len() as f64;
+        for row in &mut acc {
+            for v in row.iter_mut() {
+                *v /= k;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Majority-vote class predictions.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| argmax(&p))
+            .collect())
+    }
+
+    /// Mean decrease-in-impurity feature importances, normalised to sum to 1.
+    pub fn feature_importances(&self) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(LearnError::NotFitted("RandomForestClassifier"));
+        }
+        mean_importances(self.trees.iter().map(|t| {
+            t.tree()
+                .expect("fitted forest holds fitted trees")
+                .feature_importances()
+        }))
+    }
+}
+
+/// Random forest regressor (mean over per-tree predictions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestRegressor {
+    /// Hyper-parameters used at fit time.
+    pub config: ForestConfig,
+    trees: Vec<DecisionTreeRegressor>,
+    n_features: usize,
+}
+
+impl RandomForestRegressor {
+    /// New unfitted forest.
+    pub fn new(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+            n_features: 0,
+        }
+    }
+
+    /// Fit on column-major features and real targets.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        if x.is_empty() || y.is_empty() {
+            return Err(LearnError::EmptyTrainingSet("random forest".into()));
+        }
+        let n_rows = y.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut tree_cfg = self.config.tree;
+        if tree_cfg.max_features.is_none() {
+            // Regression forests conventionally use N/3 features.
+            tree_cfg.max_features = Some((x.len() / 3).clamp(1, x.len()));
+        }
+        let draws: Vec<(u64, Vec<usize>)> = (0..self.config.n_trees)
+            .map(|_| {
+                (
+                    rng.gen::<u64>(),
+                    sample_rows(n_rows, self.config.bootstrap, &mut rng),
+                )
+            })
+            .collect();
+        let jobs: Vec<Box<dyn FnOnce() -> Result<DecisionTreeRegressor> + Send>> = draws
+            .into_iter()
+            .map(|(seed, rows)| {
+                let cfg = TreeConfig { seed, ..tree_cfg };
+                let xb = gather(x, &rows);
+                let yb: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
+                Box::new(move || {
+                    let mut t = DecisionTreeRegressor::new(cfg);
+                    t.fit(&xb, &yb)?;
+                    Ok(t)
+                }) as Box<dyn FnOnce() -> Result<DecisionTreeRegressor> + Send>
+            })
+            .collect();
+        self.trees = parallel_map(self.config.threads(), jobs)?;
+        self.n_features = x.len();
+        Ok(())
+    }
+
+    /// Mean prediction across trees.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(LearnError::NotFitted("RandomForestRegressor"));
+        }
+        let n_rows = x.first().map_or(0, |c| c.len());
+        let mut acc = vec![0.0; n_rows];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict(x)?) {
+                *a += p;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= k;
+        }
+        Ok(acc)
+    }
+
+    /// Mean decrease-in-impurity feature importances, normalised to sum to 1.
+    pub fn feature_importances(&self) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(LearnError::NotFitted("RandomForestRegressor"));
+        }
+        mean_importances(self.trees.iter().map(|t| {
+            t.tree()
+                .expect("fitted forest holds fitted trees")
+                .feature_importances()
+        }))
+    }
+}
+
+fn mean_importances(per_tree: impl Iterator<Item = Vec<f64>>) -> Result<Vec<f64>> {
+    let mut acc: Vec<f64> = Vec::new();
+    let mut k = 0usize;
+    for imp in per_tree {
+        if acc.is_empty() {
+            acc = vec![0.0; imp.len()];
+        }
+        for (a, v) in acc.iter_mut().zip(imp) {
+            *a += v;
+        }
+        k += 1;
+    }
+    let total: f64 = acc.iter().sum();
+    if total > 0.0 {
+        for a in &mut acc {
+            *a /= total;
+        }
+    }
+    let _ = k;
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, one_minus_rae};
+    use rand::Rng;
+
+    fn nonlinear_classification(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut noise = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let av: f64 = rng.gen_range(-2.0..2.0);
+            let bv: f64 = rng.gen_range(-2.0..2.0);
+            a.push(av);
+            b.push(bv);
+            noise.push(rng.gen_range(-1.0..1.0));
+            y.push(usize::from(av * bv > 0.0));
+        }
+        (vec![a, b, noise], y)
+    }
+
+    #[test]
+    fn classifier_beats_chance_on_product_rule() {
+        let (x, y) = nonlinear_classification(400, 1);
+        let mut f = RandomForestClassifier::new(ForestConfig::default());
+        f.fit(&x, &y, 2).unwrap();
+        let acc = accuracy(&y, &f.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.9, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn classifier_generalizes() {
+        let (xtr, ytr) = nonlinear_classification(600, 2);
+        let (xte, yte) = nonlinear_classification(200, 3);
+        let mut f = RandomForestClassifier::new(ForestConfig::default());
+        f.fit(&xtr, &ytr, 2).unwrap();
+        let acc = accuracy(&yte, &f.predict(&xte).unwrap()).unwrap();
+        assert!(acc > 0.8, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = nonlinear_classification(200, 4);
+        let mut f1 = RandomForestClassifier::new(ForestConfig::default());
+        let mut f2 = RandomForestClassifier::new(ForestConfig::default());
+        f1.fit(&x, &y, 2).unwrap();
+        f2.fit(&x, &y, 2).unwrap();
+        assert_eq!(f1.predict(&x).unwrap(), f2.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn importances_favour_signal_features() {
+        let (x, y) = nonlinear_classification(400, 5);
+        let mut f = RandomForestClassifier::new(ForestConfig::default());
+        f.fit(&x, &y, 2).unwrap();
+        let imp = f.feature_importances().unwrap();
+        assert_eq!(imp.len(), 3);
+        // Noise column (index 2) should matter least.
+        assert!(imp[2] < imp[0] && imp[2] < imp[1], "importances {imp:?}");
+    }
+
+    #[test]
+    fn regressor_fits_smooth_function() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let xs: Vec<f64> = (0..300).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let y: Vec<f64> = xs.iter().map(|v| v * v + 0.1 * v).collect();
+        let x = vec![xs];
+        let mut f = RandomForestRegressor::new(ForestConfig::default());
+        f.fit(&x, &y).unwrap();
+        let score = one_minus_rae(&y, &f.predict(&x).unwrap()).unwrap();
+        assert!(score > 0.9, "1-rae {score}");
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let (x, y) = nonlinear_classification(100, 7);
+        let mut f = RandomForestClassifier::new(ForestConfig::fast());
+        f.fit(&x, &y, 2).unwrap();
+        for p in f.predict_proba(&x).unwrap() {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let f = RandomForestClassifier::new(ForestConfig::default());
+        assert!(f.predict(&[vec![1.0]]).is_err());
+        let r = RandomForestRegressor::new(ForestConfig::default());
+        assert!(r.predict(&[vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let (x, y) = nonlinear_classification(150, 8);
+        let mut seq = RandomForestClassifier::new(ForestConfig {
+            n_threads: 1,
+            ..ForestConfig::default()
+        });
+        let mut par = RandomForestClassifier::new(ForestConfig {
+            n_threads: 4,
+            ..ForestConfig::default()
+        });
+        seq.fit(&x, &y, 2).unwrap();
+        par.fit(&x, &y, 2).unwrap();
+        assert_eq!(seq.predict(&x).unwrap(), par.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn no_bootstrap_mode_trains() {
+        let (x, y) = nonlinear_classification(100, 9);
+        let mut f = RandomForestClassifier::new(ForestConfig {
+            bootstrap: false,
+            ..ForestConfig::default()
+        });
+        f.fit(&x, &y, 2).unwrap();
+        assert_eq!(f.predict(&x).unwrap().len(), y.len());
+    }
+}

@@ -1,0 +1,227 @@
+//! Gaussian Process regressor with an RBF kernel — the "GP" downstream task
+//! used for regression datasets in the paper's Table V.
+//!
+//! Exact GP inference is O(n³); training rows are capped (subsampled
+//! deterministically) so wide experiment sweeps stay tractable. The cap is a
+//! documented substitution (DESIGN.md §2): the paper's scikit-learn GP has
+//! the same cubic wall and its Table V datasets are small.
+
+use crate::error::{LearnError, Result};
+use crate::linalg::{sq_dist, SquareMatrix};
+use crate::preprocess::{to_row_major, Standardizer};
+use serde::{Deserialize, Serialize};
+
+/// GP hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpConfig {
+    /// RBF length scale (applied after z-score standardisation).
+    pub length_scale: f64,
+    /// Observation noise added to the kernel diagonal.
+    pub noise: f64,
+    /// Maximum training rows; larger training sets are strided down.
+    pub max_train_rows: usize,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        Self {
+            length_scale: 1.0,
+            noise: 1e-2,
+            max_train_rows: 400,
+        }
+    }
+}
+
+/// Exact GP regressor (RBF kernel, zero prior mean over standardised
+/// targets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianProcess {
+    /// Hyper-parameters used at fit time.
+    pub config: GpConfig,
+    scaler: Option<Standardizer>,
+    train_rows: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl GaussianProcess {
+    /// New unfitted model.
+    pub fn new(config: GpConfig) -> Self {
+        Self {
+            config,
+            scaler: None,
+            train_rows: Vec::new(),
+            alpha: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let ls2 = self.config.length_scale * self.config.length_scale;
+        (-sq_dist(a, b) / (2.0 * ls2)).exp()
+    }
+
+    /// Fit on column-major features and real targets.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        if x.is_empty() || y.is_empty() {
+            return Err(LearnError::EmptyTrainingSet("gaussian process".into()));
+        }
+        if self.config.length_scale <= 0.0 || self.config.noise < 0.0 {
+            return Err(LearnError::InvalidParam(
+                "length_scale must be > 0 and noise >= 0".into(),
+            ));
+        }
+        for col in x {
+            if col.len() != y.len() {
+                return Err(LearnError::InvalidParam(
+                    "feature/label length mismatch".into(),
+                ));
+            }
+        }
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let mut rows = to_row_major(&xs);
+        let mut targets = y.to_vec();
+
+        // Deterministic stride subsample if over the row cap.
+        let cap = self.config.max_train_rows.max(2);
+        if rows.len() > cap {
+            let stride = rows.len() as f64 / cap as f64;
+            let picked: Vec<usize> = (0..cap).map(|i| (i as f64 * stride) as usize).collect();
+            rows = picked.iter().map(|&i| rows[i].clone()).collect();
+            targets = picked.iter().map(|&i| targets[i]).collect();
+        }
+
+        let n = rows.len();
+        self.y_mean = targets.iter().sum::<f64>() / n as f64;
+        let var =
+            targets.iter().map(|t| (t - self.y_mean).powi(2)).sum::<f64>() / n as f64;
+        self.y_std = var.sqrt().max(1e-12);
+        let yz: Vec<f64> = targets.iter().map(|t| (t - self.y_mean) / self.y_std).collect();
+
+        let mut k = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.kernel(&rows[i], &rows[j]);
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+        }
+        k.add_diagonal(self.config.noise.max(1e-10));
+        let l = k.cholesky().map_err(|e| {
+            LearnError::Numerical(format!("GP kernel factorisation failed: {e}"))
+        })?;
+        self.alpha = l.cholesky_solve(&yz)?;
+        self.train_rows = rows;
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    /// Posterior mean prediction.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let scaler = self
+            .scaler
+            .as_ref()
+            .ok_or(LearnError::NotFitted("GaussianProcess"))?;
+        if x.len() != scaler.n_features() {
+            return Err(LearnError::DimensionMismatch {
+                fitted: scaler.n_features(),
+                got: x.len(),
+            });
+        }
+        let xs = scaler.transform(x);
+        let rows = to_row_major(&xs);
+        Ok(rows
+            .iter()
+            .map(|row| {
+                let kz: f64 = self
+                    .train_rows
+                    .iter()
+                    .zip(&self.alpha)
+                    .map(|(tr, a)| self.kernel(row, tr) * a)
+                    .sum();
+                kz * self.y_std + self.y_mean
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::one_minus_rae;
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let xs: Vec<f64> = (0..60).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = xs.iter().map(|v| (v).sin()).collect();
+        let mut gp = GaussianProcess::new(GpConfig::default());
+        gp.fit(std::slice::from_ref(&xs), &y).unwrap();
+        let preds = gp.predict(&[xs]).unwrap();
+        let score = one_minus_rae(&y, &preds).unwrap();
+        assert!(score > 0.95, "1-rae {score}");
+    }
+
+    #[test]
+    fn generalizes_between_training_points() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 / 5.0).collect();
+        let y: Vec<f64> = xs.iter().map(|v| v * v).collect();
+        let mut gp = GaussianProcess::new(GpConfig::default());
+        gp.fit(&[xs], &y).unwrap();
+        let test_x = vec![vec![1.1, 2.3, 3.7]];
+        let preds = gp.predict(&test_x).unwrap();
+        for (p, t) in preds.iter().zip([1.21, 5.29, 13.69]) {
+            assert!((p - t).abs() < 1.0, "pred {p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn row_cap_subsamples() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 100.0).collect();
+        let y: Vec<f64> = xs.iter().map(|v| 2.0 * v).collect();
+        let mut gp = GaussianProcess::new(GpConfig {
+            max_train_rows: 50,
+            ..Default::default()
+        });
+        gp.fit(std::slice::from_ref(&xs), &y).unwrap();
+        assert_eq!(gp.train_rows.len(), 50);
+        let score = one_minus_rae(&y, &gp.predict(&[xs]).unwrap()).unwrap();
+        assert!(score > 0.9, "1-rae {score}");
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y = vec![3.5; 20];
+        let mut gp = GaussianProcess::new(GpConfig::default());
+        gp.fit(std::slice::from_ref(&xs), &y).unwrap();
+        for p in gp.predict(&[xs]).unwrap() {
+            assert!((p - 3.5).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let mut gp = GaussianProcess::new(GpConfig::default());
+        assert!(gp.fit(&[], &[]).is_err());
+        assert!(gp
+            .fit(&[vec![1.0, 2.0]], &[1.0])
+            .is_err());
+        assert!(gp.predict(&[vec![1.0]]).is_err());
+        let bad = GpConfig {
+            length_scale: 0.0,
+            ..Default::default()
+        };
+        assert!(GaussianProcess::new(bad).fit(&[vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn duplicate_rows_survive_via_noise_jitter() {
+        let xs = vec![1.0, 1.0, 1.0, 2.0];
+        let y = vec![0.0, 0.0, 0.0, 1.0];
+        let mut gp = GaussianProcess::new(GpConfig::default());
+        gp.fit(&[xs], &y).unwrap(); // duplicated kernel rows need the jitter
+    }
+}

@@ -1,0 +1,43 @@
+//! # learners
+//!
+//! From-scratch machine-learning substrate for the E-AFE reproduction.
+//! Everything the paper's evaluation pipeline needs, with no external ML
+//! dependencies:
+//!
+//! - [`forest`] — Random Forests, the paper's downstream evaluation task;
+//! - [`tree`] — the underlying CART trees;
+//! - [`linear`] — logistic regression (the FPE binary classifier) and a
+//!   linear SVM (Table V);
+//! - [`nb`] — Gaussian Naive Bayes (Table V);
+//! - [`gp`] — Gaussian Process regression (Table V);
+//! - [`mlp`] — multi-layer perceptron (Table V);
+//! - [`resnet`] — RTDL-style tabular ResNet (the `RTDL_N` baseline);
+//! - [`metrics`] — F1, precision/recall, 1-RAE;
+//! - [`cv`] — the cross-validated downstream score `A_T(F, y)`.
+
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod error;
+pub mod forest;
+pub mod gp;
+pub mod linalg;
+pub mod linear;
+pub mod metrics;
+pub mod mlp;
+pub mod nb;
+pub mod nn;
+pub mod preprocess;
+pub mod resnet;
+pub mod tree;
+
+pub use cv::{feature_matrix, Evaluator, ModelKind};
+pub use error::{LearnError, Result};
+pub use forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+pub use gp::{GaussianProcess, GpConfig};
+pub use linear::{LinearConfig, LinearSvm, LogisticRegression};
+pub use metrics::{accuracy, f1_score, one_minus_rae};
+pub use mlp::{MlpClassifier, MlpConfig, MlpRegressor};
+pub use nb::GaussianNb;
+pub use resnet::{ResNetClassifier, ResNetConfig, ResNetRegressor};
+pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};

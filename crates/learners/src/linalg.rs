@@ -1,0 +1,220 @@
+//! Small dense linear-algebra helpers (row-major square matrices) backing
+//! the Gaussian-process regressor. Only what the GP needs: Cholesky
+//! factorisation and triangular solves.
+
+use crate::error::{LearnError, Result};
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// Zero matrix of side `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Build from a row-major data vector (must have length n²).
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != n * n {
+            return Err(LearnError::InvalidParam(format!(
+                "matrix data length {} != {n}²",
+                data.len()
+            )));
+        }
+        Ok(Self { n, data })
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// In-place add `v` to the diagonal (jitter / noise term).
+    pub fn add_diagonal(&mut self, v: f64) {
+        for i in 0..self.n {
+            self.data[i * self.n + i] += v;
+        }
+    }
+
+    /// Lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
+    /// Fails when the matrix is not (numerically) positive definite.
+    pub fn cholesky(&self) -> Result<SquareMatrix> {
+        let n = self.n;
+        let mut l = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LearnError::Numerical(format!(
+                            "cholesky failed: non-positive pivot {sum:.3e} at {i}"
+                        )));
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solve `L x = b` for lower-triangular `L` (forward substitution).
+    #[allow(clippy::needless_range_loop)] // triangular index math is clearer as loops
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.check_rhs(b)?;
+        let n = self.n;
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.get(i, k) * x[k];
+            }
+            let d = self.get(i, i);
+            if d.abs() < 1e-300 {
+                return Err(LearnError::Numerical("singular triangular solve".into()));
+            }
+            x[i] = sum / d;
+        }
+        Ok(x)
+    }
+
+    /// Solve `Lᵀ x = b` for lower-triangular `L` (backward substitution).
+    #[allow(clippy::needless_range_loop)] // triangular index math is clearer as loops
+    pub fn solve_lower_transpose(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.check_rhs(b)?;
+        let n = self.n;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in i + 1..n {
+                sum -= self.get(k, i) * x[k];
+            }
+            let d = self.get(i, i);
+            if d.abs() < 1e-300 {
+                return Err(LearnError::Numerical("singular triangular solve".into()));
+            }
+            x[i] = sum / d;
+        }
+        Ok(x)
+    }
+
+    /// Solve `A x = b` given that `self` is the Cholesky factor `L` of `A`.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_lower_transpose(&y)
+    }
+
+    fn check_rhs(&self, b: &[f64]) -> Result<()> {
+        if b.len() != self.n {
+            return Err(LearnError::InvalidParam(format!(
+                "rhs length {} != matrix side {}",
+                b.len(),
+                self.n
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4, 2], [2, 3]] → L = [[2, 0], [1, sqrt(2)]]
+        let a = SquareMatrix::from_vec(2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let l = a.cholesky().unwrap();
+        assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((l.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((l.get(1, 1) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution() {
+        let a = SquareMatrix::from_vec(3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0])
+            .unwrap();
+        let l = a.cholesky().unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        // b = A x
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| a.get(i, j) * x_true[j]).sum())
+            .collect();
+        let x = l.cholesky_solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = SquareMatrix::from_vec(2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    fn jitter_fixes_semidefinite() {
+        let mut a = SquareMatrix::from_vec(2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(a.cholesky().is_err());
+        a.add_diagonal(1e-6);
+        assert!(a.cholesky().is_ok());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(SquareMatrix::from_vec(2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let l = SquareMatrix::from_vec(2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert!(l.solve_lower(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn dot_and_sq_dist() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Multi-layer perceptron — the "MLP" downstream task of the paper's
+//! Table V. One hidden ReLU layer by default, trained with Adam on softmax
+//! cross-entropy (classification) or MSE (regression).
+
+use crate::error::{LearnError, Result};
+use crate::nn::{
+    collect_grads, collect_params, mse_loss, relu, relu_backward, scatter_params,
+    softmax_cross_entropy, Adam, Dense,
+};
+use crate::preprocess::{to_row_major, Standardizer};
+use crate::tree::argmax;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate (the paper uses 0.01).
+    pub lr: f64,
+    /// Mini-batch size (the paper uses 32).
+    pub batch_size: usize,
+    /// Init / shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            epochs: 40,
+            lr: 0.01,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct MlpNet {
+    l1: Dense,
+    l2: Dense,
+}
+
+impl MlpNet {
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let pre = self.l1.forward(x);
+        let h = relu(&pre);
+        let out = self.l2.forward(&h);
+        (pre, out)
+    }
+
+    fn backward(&mut self, x: &[f64], pre: &[f64], dout: &[f64]) {
+        let h = relu(pre);
+        let dh = self.l2.backward(&h, dout);
+        let dpre = relu_backward(pre, &dh);
+        let _ = self.l1.backward(x, &dpre);
+    }
+}
+
+/// Train the two-layer network with Adam; shared by both MLP heads.
+fn train_net(
+    net: &mut MlpNet,
+    rows: &[Vec<f64>],
+    cfg: &MlpConfig,
+    mut loss_grad: impl FnMut(&[f64], usize) -> (f64, Vec<f64>),
+) {
+    let n_params = net.l1.n_params() + net.l2.n_params();
+    let mut opt = Adam::new(n_params, cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            net.l1.zero_grad();
+            net.l2.zero_grad();
+            for &i in chunk {
+                let (pre, out) = net.forward(&rows[i]);
+                let (_, dout) = loss_grad(&out, i);
+                net.backward(&rows[i], &pre, &dout);
+            }
+            let scale = 1.0 / chunk.len() as f64;
+            let mut params = collect_params(&[&net.l1, &net.l2]);
+            let mut grads = collect_grads(&[&net.l1, &net.l2]);
+            grads.iter_mut().for_each(|g| *g *= scale);
+            opt.step(&mut params, &grads);
+            scatter_params(&mut [&mut net.l1, &mut net.l2], &params);
+        }
+    }
+}
+
+fn validate(x: &[Vec<f64>], n_labels: usize) -> Result<()> {
+    if x.is_empty() || n_labels == 0 {
+        return Err(LearnError::EmptyTrainingSet("mlp".into()));
+    }
+    for col in x {
+        if col.len() != n_labels {
+            return Err(LearnError::InvalidParam(
+                "feature/label length mismatch".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// MLP classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpClassifier {
+    /// Hyper-parameters used at fit time.
+    pub config: MlpConfig,
+    net: Option<MlpNet>,
+    scaler: Option<Standardizer>,
+    n_classes: usize,
+}
+
+impl MlpClassifier {
+    /// New unfitted classifier.
+    pub fn new(config: MlpConfig) -> Self {
+        Self {
+            config,
+            net: None,
+            scaler: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Fit on column-major features and class labels.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Result<()> {
+        validate(x, y.len())?;
+        if n_classes < 2 {
+            return Err(LearnError::InvalidParam("need at least 2 classes".into()));
+        }
+        let scaler = Standardizer::fit(x);
+        let rows = to_row_major(&scaler.transform(x));
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut net = MlpNet {
+            l1: Dense::new(x.len(), self.config.hidden, &mut rng),
+            l2: Dense::new(self.config.hidden, n_classes, &mut rng),
+        };
+        train_net(&mut net, &rows, &self.config, |out, i| {
+            softmax_cross_entropy(out, y[i])
+        });
+        self.net = Some(net);
+        self.scaler = Some(scaler);
+        self.n_classes = n_classes;
+        Ok(())
+    }
+
+    /// Class predictions.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
+        let (net, scaler) = match (&self.net, &self.scaler) {
+            (Some(n), Some(s)) => (n, s),
+            _ => return Err(LearnError::NotFitted("MlpClassifier")),
+        };
+        if x.len() != scaler.n_features() {
+            return Err(LearnError::DimensionMismatch {
+                fitted: scaler.n_features(),
+                got: x.len(),
+            });
+        }
+        let rows = to_row_major(&scaler.transform(x));
+        Ok(rows
+            .iter()
+            .map(|row| {
+                let (_, out) = net.forward(row);
+                argmax(&out)
+            })
+            .collect())
+    }
+}
+
+/// MLP regressor (single linear output, MSE loss, targets standardised).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpRegressor {
+    /// Hyper-parameters used at fit time.
+    pub config: MlpConfig,
+    net: Option<MlpNet>,
+    scaler: Option<Standardizer>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl MlpRegressor {
+    /// New unfitted regressor.
+    pub fn new(config: MlpConfig) -> Self {
+        Self {
+            config,
+            net: None,
+            scaler: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// Fit on column-major features and real targets.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        validate(x, y.len())?;
+        let scaler = Standardizer::fit(x);
+        let rows = to_row_major(&scaler.transform(x));
+        self.y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|t| (t - self.y_mean).powi(2)).sum::<f64>() / y.len() as f64;
+        self.y_std = var.sqrt().max(1e-12);
+        let yz: Vec<f64> = y.iter().map(|t| (t - self.y_mean) / self.y_std).collect();
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut net = MlpNet {
+            l1: Dense::new(x.len(), self.config.hidden, &mut rng),
+            l2: Dense::new(self.config.hidden, 1, &mut rng),
+        };
+        train_net(&mut net, &rows, &self.config, |out, i| {
+            let (l, g) = mse_loss(out[0], yz[i]);
+            (l, vec![g])
+        });
+        self.net = Some(net);
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    /// Target predictions.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let (net, scaler) = match (&self.net, &self.scaler) {
+            (Some(n), Some(s)) => (n, s),
+            _ => return Err(LearnError::NotFitted("MlpRegressor")),
+        };
+        if x.len() != scaler.n_features() {
+            return Err(LearnError::DimensionMismatch {
+                fitted: scaler.n_features(),
+                got: x.len(),
+            });
+        }
+        let rows = to_row_major(&scaler.transform(x));
+        Ok(rows
+            .iter()
+            .map(|row| {
+                let (_, out) = net.forward(row);
+                out[0] * self.y_std + self.y_mean
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, one_minus_rae};
+    use rand::Rng;
+
+    #[test]
+    fn classifier_learns_xor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..400 {
+            let av: f64 = rng.gen_range(-1.0..1.0);
+            let bv: f64 = rng.gen_range(-1.0..1.0);
+            a.push(av);
+            b.push(bv);
+            y.push(usize::from((av > 0.0) != (bv > 0.0)));
+        }
+        let x = vec![a, b];
+        let mut m = MlpClassifier::new(MlpConfig {
+            epochs: 120,
+            ..Default::default()
+        });
+        m.fit(&x, &y, 2).unwrap();
+        let acc = accuracy(&y, &m.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn regressor_fits_quadratic() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 - 100.0) / 25.0).collect();
+        let y: Vec<f64> = xs.iter().map(|v| v * v).collect();
+        let x = vec![xs];
+        let mut m = MlpRegressor::new(MlpConfig {
+            epochs: 200,
+            hidden: 24,
+            ..Default::default()
+        });
+        m.fit(&x, &y).unwrap();
+        let score = one_minus_rae(&y, &m.predict(&x).unwrap()).unwrap();
+        assert!(score > 0.85, "1-rae {score}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = vec![(0..50).map(|i| i as f64).collect::<Vec<_>>()];
+        let y: Vec<usize> = (0..50).map(|i| usize::from(i >= 25)).collect();
+        let mut a = MlpClassifier::new(MlpConfig::default());
+        let mut b = MlpClassifier::new(MlpConfig::default());
+        a.fit(&x, &y, 2).unwrap();
+        b.fit(&x, &y, 2).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let mut m = MlpClassifier::new(MlpConfig::default());
+        assert!(m.fit(&[], &[], 2).is_err());
+        assert!(m.predict(&[vec![1.0]]).is_err());
+        let mut r = MlpRegressor::new(MlpConfig::default());
+        assert!(r.fit(&[vec![1.0, 2.0]], &[1.0]).is_err());
+        assert!(r.predict(&[vec![1.0]]).is_err());
+    }
+}

@@ -1,0 +1,506 @@
+//! Tabular ResNet — the RTDL-style baseline (`RTDL_N` in the paper's
+//! Table III). A linear stem projects features to a hidden width, residual
+//! blocks `z ← z + W₂ relu(W₁ z)` refine the representation, and a linear
+//! head produces logits (classification) or a scalar (regression).
+//!
+//! Per the paper, `RTDL_N` trains the ResNet with a softmax head and then
+//! *re-heads* it with a Random Forest on the penultimate representation;
+//! [`ResNetClassifier::embed`] exposes that representation.
+
+use crate::error::{LearnError, Result};
+use crate::nn::{
+    collect_grads, collect_params, mse_loss, relu, relu_backward, scatter_params,
+    softmax_cross_entropy, Adam, Dense,
+};
+use crate::preprocess::{to_row_major, Standardizer};
+use crate::tree::argmax;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// ResNet hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResNetConfig {
+    /// Hidden representation width.
+    pub width: usize,
+    /// Number of residual blocks.
+    pub n_blocks: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Init / shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for ResNetConfig {
+    fn default() -> Self {
+        Self {
+            width: 32,
+            n_blocks: 2,
+            epochs: 40,
+            lr: 0.01,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Block {
+    w1: Dense,
+    w2: Dense,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ResNetCore {
+    stem: Dense,
+    blocks: Vec<Block>,
+    head: Dense,
+}
+
+/// Per-sample forward cache needed by backprop.
+struct Cache {
+    z_states: Vec<Vec<f64>>, // z after stem and after each block
+    pre1s: Vec<Vec<f64>>,    // W1 z pre-activations per block
+}
+
+impl ResNetCore {
+    fn new(n_in: usize, n_out: usize, cfg: &ResNetConfig, rng: &mut StdRng) -> Self {
+        let stem = Dense::new(n_in, cfg.width, rng);
+        let blocks = (0..cfg.n_blocks)
+            .map(|_| Block {
+                w1: Dense::new(cfg.width, cfg.width, rng),
+                w2: Dense::new(cfg.width, cfg.width, rng),
+            })
+            .collect();
+        let head = Dense::new(cfg.width, n_out, rng);
+        Self { stem, blocks, head }
+    }
+
+    fn forward(&self, x: &[f64]) -> (Cache, Vec<f64>) {
+        let mut z = self.stem.forward(x);
+        let mut z_states = vec![z.clone()];
+        let mut pre1s = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let pre1 = block.w1.forward(&z);
+            let h = relu(&pre1);
+            let delta = block.w2.forward(&h);
+            for (zi, di) in z.iter_mut().zip(&delta) {
+                *zi += di;
+            }
+            pre1s.push(pre1);
+            z_states.push(z.clone());
+        }
+        let out = self.head.forward(&z);
+        (Cache { z_states, pre1s }, out)
+    }
+
+    /// The penultimate representation (input to the head).
+    fn embed_one(&self, x: &[f64]) -> Vec<f64> {
+        let (cache, _) = self.forward(x);
+        cache
+            .z_states
+            .last()
+            .cloned()
+            .expect("forward always produces at least the stem state")
+    }
+
+    fn backward(&mut self, x: &[f64], cache: &Cache, dout: &[f64]) {
+        let z_final = cache.z_states.last().expect("nonempty states");
+        let mut dz = self.head.backward(z_final, dout);
+        for (b, block) in self.blocks.iter_mut().enumerate().rev() {
+            let z_in = &cache.z_states[b];
+            let pre1 = &cache.pre1s[b];
+            let h = relu(pre1);
+            // Residual: dz flows both straight through and via the branch.
+            let dh = block.w2.backward(&h, &dz);
+            let dpre1 = relu_backward(pre1, &dh);
+            let dz_branch = block.w1.backward(z_in, &dpre1);
+            for (d, db) in dz.iter_mut().zip(dz_branch) {
+                *d += db;
+            }
+        }
+        let _ = self.stem.backward(x, &dz);
+    }
+
+    fn layers(&self) -> Vec<&Dense> {
+        let mut layers = vec![&self.stem];
+        for b in &self.blocks {
+            layers.push(&b.w1);
+            layers.push(&b.w2);
+        }
+        layers.push(&self.head);
+        layers
+    }
+
+    fn layers_mut(&mut self) -> Vec<&mut Dense> {
+        let mut layers: Vec<&mut Dense> = vec![&mut self.stem];
+        for b in &mut self.blocks {
+            layers.push(&mut b.w1);
+            layers.push(&mut b.w2);
+        }
+        layers.push(&mut self.head);
+        layers
+    }
+
+    fn zero_grad(&mut self) {
+        for layer in self.layers_mut() {
+            layer.zero_grad();
+        }
+    }
+
+    fn n_params(&self) -> usize {
+        self.layers().iter().map(|l| l.n_params()).sum()
+    }
+}
+
+fn train_core(
+    core: &mut ResNetCore,
+    rows: &[Vec<f64>],
+    cfg: &ResNetConfig,
+    mut loss_grad: impl FnMut(&[f64], usize) -> (f64, Vec<f64>),
+) {
+    let mut opt = Adam::new(core.n_params(), cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A);
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            core.zero_grad();
+            for &i in chunk {
+                let (cache, out) = core.forward(&rows[i]);
+                let (_, dout) = loss_grad(&out, i);
+                core.backward(&rows[i], &cache, &dout);
+            }
+            let scale = 1.0 / chunk.len() as f64;
+            let mut params = collect_params(&core.layers());
+            let mut grads = collect_grads(&core.layers());
+            grads.iter_mut().for_each(|g| *g *= scale);
+            opt.step(&mut params, &grads);
+            let mut layers = core.layers_mut();
+            scatter_params(&mut layers, &params);
+        }
+    }
+}
+
+fn validate(x: &[Vec<f64>], n_labels: usize) -> Result<()> {
+    if x.is_empty() || n_labels == 0 {
+        return Err(LearnError::EmptyTrainingSet("resnet".into()));
+    }
+    for col in x {
+        if col.len() != n_labels {
+            return Err(LearnError::InvalidParam(
+                "feature/label length mismatch".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Tabular ResNet classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResNetClassifier {
+    /// Hyper-parameters used at fit time.
+    pub config: ResNetConfig,
+    core: Option<ResNetCore>,
+    scaler: Option<Standardizer>,
+    n_classes: usize,
+}
+
+impl ResNetClassifier {
+    /// New unfitted classifier.
+    pub fn new(config: ResNetConfig) -> Self {
+        Self {
+            config,
+            core: None,
+            scaler: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Fit with a softmax head.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Result<()> {
+        validate(x, y.len())?;
+        if n_classes < 2 {
+            return Err(LearnError::InvalidParam("need at least 2 classes".into()));
+        }
+        let scaler = Standardizer::fit(x);
+        let rows = to_row_major(&scaler.transform(x));
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut core = ResNetCore::new(x.len(), n_classes, &self.config, &mut rng);
+        train_core(&mut core, &rows, &self.config, |out, i| {
+            softmax_cross_entropy(out, y[i])
+        });
+        self.core = Some(core);
+        self.scaler = Some(scaler);
+        self.n_classes = n_classes;
+        Ok(())
+    }
+
+    fn parts(&self) -> Result<(&ResNetCore, &Standardizer)> {
+        match (&self.core, &self.scaler) {
+            (Some(c), Some(s)) => Ok((c, s)),
+            _ => Err(LearnError::NotFitted("ResNetClassifier")),
+        }
+    }
+
+    /// Softmax-head class predictions.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
+        let (core, scaler) = self.parts()?;
+        if x.len() != scaler.n_features() {
+            return Err(LearnError::DimensionMismatch {
+                fitted: scaler.n_features(),
+                got: x.len(),
+            });
+        }
+        let rows = to_row_major(&scaler.transform(x));
+        Ok(rows
+            .iter()
+            .map(|row| {
+                let (_, out) = core.forward(row);
+                argmax(&out)
+            })
+            .collect())
+    }
+
+    /// Penultimate representations, **column-major** (one column per hidden
+    /// unit) so they can be fed directly to the Random Forest for the
+    /// paper's `RTDL_N` re-heading.
+    pub fn embed(&self, x: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        let (core, scaler) = self.parts()?;
+        if x.len() != scaler.n_features() {
+            return Err(LearnError::DimensionMismatch {
+                fitted: scaler.n_features(),
+                got: x.len(),
+            });
+        }
+        let rows = to_row_major(&scaler.transform(x));
+        let width = self.config.width;
+        let mut cols = vec![Vec::with_capacity(rows.len()); width];
+        for row in &rows {
+            let z = core.embed_one(row);
+            for (c, v) in cols.iter_mut().zip(z) {
+                c.push(v);
+            }
+        }
+        Ok(cols)
+    }
+}
+
+/// Tabular ResNet regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResNetRegressor {
+    /// Hyper-parameters used at fit time.
+    pub config: ResNetConfig,
+    core: Option<ResNetCore>,
+    scaler: Option<Standardizer>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl ResNetRegressor {
+    /// New unfitted regressor.
+    pub fn new(config: ResNetConfig) -> Self {
+        Self {
+            config,
+            core: None,
+            scaler: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// Fit with an MSE head over standardised targets.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        validate(x, y.len())?;
+        let scaler = Standardizer::fit(x);
+        let rows = to_row_major(&scaler.transform(x));
+        self.y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|t| (t - self.y_mean).powi(2)).sum::<f64>() / y.len() as f64;
+        self.y_std = var.sqrt().max(1e-12);
+        let yz: Vec<f64> = y.iter().map(|t| (t - self.y_mean) / self.y_std).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut core = ResNetCore::new(x.len(), 1, &self.config, &mut rng);
+        train_core(&mut core, &rows, &self.config, |out, i| {
+            let (l, g) = mse_loss(out[0], yz[i]);
+            (l, vec![g])
+        });
+        self.core = Some(core);
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    /// Target predictions.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let (core, scaler) = match (&self.core, &self.scaler) {
+            (Some(c), Some(s)) => (c, s),
+            _ => return Err(LearnError::NotFitted("ResNetRegressor")),
+        };
+        if x.len() != scaler.n_features() {
+            return Err(LearnError::DimensionMismatch {
+                fitted: scaler.n_features(),
+                got: x.len(),
+            });
+        }
+        let rows = to_row_major(&scaler.transform(x));
+        Ok(rows
+            .iter()
+            .map(|row| {
+                let (_, out) = core.forward(row);
+                out[0] * self.y_std + self.y_mean
+            })
+            .collect())
+    }
+
+    /// Penultimate representations, column-major (see
+    /// [`ResNetClassifier::embed`]).
+    pub fn embed(&self, x: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        let (core, scaler) = match (&self.core, &self.scaler) {
+            (Some(c), Some(s)) => (c, s),
+            _ => return Err(LearnError::NotFitted("ResNetRegressor")),
+        };
+        if x.len() != scaler.n_features() {
+            return Err(LearnError::DimensionMismatch {
+                fitted: scaler.n_features(),
+                got: x.len(),
+            });
+        }
+        let rows = to_row_major(&scaler.transform(x));
+        let width = self.config.width;
+        let mut cols = vec![Vec::with_capacity(rows.len()); width];
+        for row in &rows {
+            let z = core.embed_one(row);
+            for (c, v) in cols.iter_mut().zip(z) {
+                c.push(v);
+            }
+        }
+        Ok(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, one_minus_rae};
+    use rand::Rng;
+
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let center = if c == 0 { -1.5 } else { 1.5 };
+            a.push(center + rng.gen_range(-1.0..1.0));
+            b.push(center + rng.gen_range(-1.0..1.0));
+            y.push(c);
+        }
+        (vec![a, b], y)
+    }
+
+    #[test]
+    fn classifier_separates_blobs() {
+        let (x, y) = blobs(200, 1);
+        let mut m = ResNetClassifier::new(ResNetConfig {
+            epochs: 30,
+            ..Default::default()
+        });
+        m.fit(&x, &y, 2).unwrap();
+        let acc = accuracy(&y, &m.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn embed_shape_is_column_major_width() {
+        let (x, y) = blobs(50, 2);
+        let cfg = ResNetConfig {
+            epochs: 3,
+            width: 16,
+            ..Default::default()
+        };
+        let mut m = ResNetClassifier::new(cfg);
+        m.fit(&x, &y, 2).unwrap();
+        let e = m.embed(&x).unwrap();
+        assert_eq!(e.len(), 16);
+        assert_eq!(e[0].len(), 50);
+    }
+
+    #[test]
+    fn regressor_fits_linear_function() {
+        let xs: Vec<f64> = (0..150).map(|i| i as f64 / 25.0).collect();
+        let y: Vec<f64> = xs.iter().map(|v| 3.0 * v - 1.0).collect();
+        let mut m = ResNetRegressor::new(ResNetConfig {
+            epochs: 60,
+            ..Default::default()
+        });
+        m.fit(std::slice::from_ref(&xs), &y).unwrap();
+        let score = one_minus_rae(&y, &m.predict(&[xs]).unwrap()).unwrap();
+        assert!(score > 0.9, "1-rae {score}");
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        // Numerically check dLoss/dparam through a residual block.
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = ResNetConfig {
+            width: 4,
+            n_blocks: 1,
+            ..Default::default()
+        };
+        let mut core = ResNetCore::new(3, 2, &cfg, &mut rng);
+        let x = [0.5, -1.0, 0.25];
+        let target = 1usize;
+        let loss_of = |core: &ResNetCore| {
+            let (_, out) = core.forward(&x);
+            softmax_cross_entropy(&out, target).0
+        };
+        core.zero_grad();
+        let (cache, out) = core.forward(&x);
+        let (_, dout) = softmax_cross_entropy(&out, target);
+        core.backward(&x, &cache, &dout);
+        let analytic = collect_grads(&core.layers());
+        let mut params = collect_params(&core.layers());
+        let eps = 1e-6;
+        // Spot-check a few parameters spread across layers.
+        for &idx in &[0usize, 5, params.len() / 2, params.len() - 1] {
+            let orig = params[idx];
+            params[idx] = orig + eps;
+            {
+                let mut layers = core.layers_mut();
+                scatter_params(&mut layers, &params);
+            }
+            let lp = loss_of(&core);
+            params[idx] = orig - eps;
+            {
+                let mut layers = core.layers_mut();
+                scatter_params(&mut layers, &params);
+            }
+            let lm = loss_of(&core);
+            params[idx] = orig;
+            {
+                let mut layers = core.layers_mut();
+                scatter_params(&mut layers, &params);
+            }
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-4,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let m = ResNetClassifier::new(ResNetConfig::default());
+        assert!(m.predict(&[vec![1.0]]).is_err());
+        assert!(m.embed(&[vec![1.0]]).is_err());
+        let mut m = ResNetClassifier::new(ResNetConfig::default());
+        assert!(m.fit(&[], &[], 2).is_err());
+    }
+}

@@ -1,0 +1,625 @@
+//! CART decision trees (classification via Gini impurity, regression via
+//! variance reduction) — the building block of the Random Forest downstream
+//! task used throughout the paper.
+//!
+//! Features are accessed column-major (`x[feature][row]`), matching
+//! `tabular::DataFrame`'s layout so forests can train without transposing.
+
+use crate::error::{LearnError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by classification and regression trees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples that must land in each child.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per split; `None` means all features.
+    /// Forests set this to √N for decorrelation.
+    pub max_features: Option<usize>,
+    /// Seed for the per-split feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 10,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+/// What the tree predicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Target {
+    /// Class counts at the leaf (argmax predicted, counts give probabilities).
+    ClassCounts(Vec<f64>),
+    /// Mean target at the leaf.
+    Mean(f64),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf(Target),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Label view the builder trains against.
+#[derive(Clone, Copy)]
+enum Labels<'a> {
+    Class { y: &'a [usize], n_classes: usize },
+    Reg(&'a [f64]),
+}
+
+/// A fitted CART tree. Construct through [`DecisionTreeClassifier`] or
+/// [`DecisionTreeRegressor`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Total impurity decrease attributed to each feature (unnormalised).
+    importances: Vec<f64>,
+}
+
+impl Tree {
+    /// Per-feature importance: impurity decrease normalised to sum to 1
+    /// (all zeros when the tree is a single leaf).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.n_features];
+        }
+        self.importances.iter().map(|v| v / total).collect()
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn leaf_for_row(&self, x: &[Vec<f64>], row: usize) -> &Target {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf(t) => return t,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature][row] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+struct Builder<'a> {
+    x: &'a [Vec<f64>],
+    labels: Labels<'a>,
+    cfg: TreeConfig,
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+    rng: StdRng,
+    n_total: usize,
+    feature_pool: Vec<usize>,
+}
+
+impl<'a> Builder<'a> {
+    fn build(x: &'a [Vec<f64>], labels: Labels<'a>, cfg: TreeConfig) -> Result<Tree> {
+        let n_rows = match labels {
+            Labels::Class { y, .. } => y.len(),
+            Labels::Reg(y) => y.len(),
+        };
+        if x.is_empty() || n_rows == 0 {
+            return Err(LearnError::EmptyTrainingSet("decision tree".into()));
+        }
+        for col in x {
+            if col.len() != n_rows {
+                return Err(LearnError::InvalidParam(format!(
+                    "feature column length {} != label length {n_rows}",
+                    col.len()
+                )));
+            }
+        }
+        let mut b = Builder {
+            x,
+            labels,
+            cfg,
+            nodes: Vec::new(),
+            importances: vec![0.0; x.len()],
+            rng: StdRng::seed_from_u64(cfg.seed),
+            n_total: n_rows,
+            feature_pool: (0..x.len()).collect(),
+        };
+        let rows: Vec<usize> = (0..n_rows).collect();
+        b.grow(&rows, 0);
+        Ok(Tree {
+            nodes: b.nodes,
+            n_features: x.len(),
+            importances: b.importances,
+        })
+    }
+
+    fn leaf_target(&self, rows: &[usize]) -> Target {
+        match self.labels {
+            Labels::Class { y, n_classes } => {
+                let mut counts = vec![0.0; n_classes];
+                for &r in rows {
+                    counts[y[r]] += 1.0;
+                }
+                Target::ClassCounts(counts)
+            }
+            Labels::Reg(y) => {
+                let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len().max(1) as f64;
+                Target::Mean(mean)
+            }
+        }
+    }
+
+    fn impurity(&self, rows: &[usize]) -> f64 {
+        match self.labels {
+            Labels::Class { y, n_classes } => {
+                let mut counts = vec![0usize; n_classes];
+                for &r in rows {
+                    counts[y[r]] += 1;
+                }
+                gini(&counts, rows.len())
+            }
+            Labels::Reg(y) => {
+                let n = rows.len() as f64;
+                let sum: f64 = rows.iter().map(|&r| y[r]).sum();
+                let sumsq: f64 = rows.iter().map(|&r| y[r] * y[r]).sum();
+                (sumsq / n - (sum / n) * (sum / n)).max(0.0)
+            }
+        }
+    }
+
+    /// Recursively grow the subtree for `rows`; returns the node index.
+    fn grow(&mut self, rows: &[usize], depth: usize) -> usize {
+        let node_impurity = self.impurity(rows);
+        let stop = depth >= self.cfg.max_depth
+            || rows.len() < self.cfg.min_samples_split
+            || node_impurity <= 1e-12;
+        if !stop {
+            if let Some((feature, threshold, gain)) = self.best_split(rows, node_impurity) {
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+                    .iter()
+                    .partition(|&&r| self.x[feature][r] <= threshold);
+                if left_rows.len() >= self.cfg.min_samples_leaf
+                    && right_rows.len() >= self.cfg.min_samples_leaf
+                {
+                    self.importances[feature] += gain * rows.len() as f64 / self.n_total as f64;
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node::Split {
+                        feature,
+                        threshold,
+                        left: usize::MAX,
+                        right: usize::MAX,
+                    });
+                    let left = self.grow(&left_rows, depth + 1);
+                    let right = self.grow(&right_rows, depth + 1);
+                    if let Node::Split {
+                        left: l, right: r, ..
+                    } = &mut self.nodes[idx]
+                    {
+                        *l = left;
+                        *r = right;
+                    }
+                    return idx;
+                }
+            }
+        }
+        let idx = self.nodes.len();
+        let target = self.leaf_target(rows);
+        self.nodes.push(Node::Leaf(target));
+        idx
+    }
+
+    /// Best (feature, threshold, impurity decrease) over a random feature
+    /// subset, or `None` if no valid split exists.
+    fn best_split(&mut self, rows: &[usize], node_impurity: f64) -> Option<(usize, f64, f64)> {
+        let k = self
+            .cfg
+            .max_features
+            .unwrap_or(self.x.len())
+            .clamp(1, self.x.len());
+        self.feature_pool.shuffle(&mut self.rng);
+        let candidates: Vec<usize> = self.feature_pool[..k].to_vec();
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut sortable: Vec<(f64, usize)> = Vec::with_capacity(rows.len());
+        for feature in candidates {
+            sortable.clear();
+            sortable.extend(rows.iter().map(|&r| (self.x[feature][r], r)));
+            sortable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if sortable[0].0 == sortable[sortable.len() - 1].0 {
+                continue; // constant within node
+            }
+            if let Some((threshold, child_impurity)) = self.scan_feature(&sortable) {
+                let gain = node_impurity - child_impurity;
+                if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Scan sorted (value, row) pairs, returning the boundary threshold with
+    /// minimum weighted child impurity.
+    fn scan_feature(&self, sorted: &[(f64, usize)]) -> Option<(f64, f64)> {
+        let n = sorted.len();
+        match self.labels {
+            Labels::Class { y, n_classes } => {
+                let mut left = vec![0usize; n_classes];
+                let mut right = vec![0usize; n_classes];
+                for &(_, r) in sorted {
+                    right[y[r]] += 1;
+                }
+                let mut best: Option<(f64, f64)> = None;
+                for i in 0..n - 1 {
+                    let c = y[sorted[i].1];
+                    left[c] += 1;
+                    right[c] -= 1;
+                    if sorted[i].0 == sorted[i + 1].0 {
+                        continue; // can't split between equal values
+                    }
+                    let nl = i + 1;
+                    let nr = n - nl;
+                    if nl < self.cfg.min_samples_leaf || nr < self.cfg.min_samples_leaf {
+                        continue;
+                    }
+                    let w = (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr)) / n as f64;
+                    if best.is_none_or(|(_, bw)| w < bw) {
+                        best = Some((midpoint(sorted[i].0, sorted[i + 1].0), w));
+                    }
+                }
+                best
+            }
+            Labels::Reg(y) => {
+                let total_sum: f64 = sorted.iter().map(|&(_, r)| y[r]).sum();
+                let total_sumsq: f64 = sorted.iter().map(|&(_, r)| y[r] * y[r]).sum();
+                let mut lsum = 0.0;
+                let mut lsumsq = 0.0;
+                let mut best: Option<(f64, f64)> = None;
+                for i in 0..n - 1 {
+                    let v = y[sorted[i].1];
+                    lsum += v;
+                    lsumsq += v * v;
+                    if sorted[i].0 == sorted[i + 1].0 {
+                        continue;
+                    }
+                    let nl = (i + 1) as f64;
+                    let nr = (n - i - 1) as f64;
+                    if (i + 1) < self.cfg.min_samples_leaf
+                        || (n - i - 1) < self.cfg.min_samples_leaf
+                    {
+                        continue;
+                    }
+                    let lvar = (lsumsq / nl - (lsum / nl) * (lsum / nl)).max(0.0);
+                    let rsum = total_sum - lsum;
+                    let rsumsq = total_sumsq - lsumsq;
+                    let rvar = (rsumsq / nr - (rsum / nr) * (rsum / nr)).max(0.0);
+                    let w = (nl * lvar + nr * rvar) / n as f64;
+                    if best.is_none_or(|(_, bw)| w < bw) {
+                        best = Some((midpoint(sorted[i].0, sorted[i + 1].0), w));
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+fn gini(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn midpoint(a: f64, b: f64) -> f64 {
+    a + (b - a) / 2.0
+}
+
+/// A CART classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTreeClassifier {
+    /// Hyper-parameters used at fit time.
+    pub config: TreeConfig,
+    tree: Option<Tree>,
+    n_classes: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// New unfitted classifier.
+    pub fn new(config: TreeConfig) -> Self {
+        Self {
+            config,
+            tree: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Fit on column-major features and class labels in `0..n_classes`.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Result<()> {
+        if n_classes == 0 {
+            return Err(LearnError::InvalidParam("n_classes must be > 0".into()));
+        }
+        self.tree = Some(Builder::build(
+            x,
+            Labels::Class { y, n_classes },
+            self.config,
+        )?);
+        self.n_classes = n_classes;
+        Ok(())
+    }
+
+    /// Predict class labels for column-major features.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| argmax(&p))
+            .collect())
+    }
+
+    /// Per-row class probability estimates (leaf class frequencies).
+    pub fn predict_proba(&self, x: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        let tree = self
+            .tree
+            .as_ref()
+            .ok_or(LearnError::NotFitted("DecisionTreeClassifier"))?;
+        check_predict_input(x, tree.n_features)?;
+        let n_rows = x.first().map_or(0, |c| c.len());
+        let mut out = Vec::with_capacity(n_rows);
+        for row in 0..n_rows {
+            match tree.leaf_for_row(x, row) {
+                Target::ClassCounts(counts) => {
+                    let total: f64 = counts.iter().sum::<f64>().max(1.0);
+                    out.push(counts.iter().map(|c| c / total).collect());
+                }
+                Target::Mean(_) => unreachable!("classifier tree has class leaves"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The fitted tree, if any.
+    pub fn tree(&self) -> Option<&Tree> {
+        self.tree.as_ref()
+    }
+}
+
+/// A CART regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTreeRegressor {
+    /// Hyper-parameters used at fit time.
+    pub config: TreeConfig,
+    tree: Option<Tree>,
+}
+
+impl DecisionTreeRegressor {
+    /// New unfitted regressor.
+    pub fn new(config: TreeConfig) -> Self {
+        Self { config, tree: None }
+    }
+
+    /// Fit on column-major features and real-valued targets.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        self.tree = Some(Builder::build(x, Labels::Reg(y), self.config)?);
+        Ok(())
+    }
+
+    /// Predict targets for column-major features.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let tree = self
+            .tree
+            .as_ref()
+            .ok_or(LearnError::NotFitted("DecisionTreeRegressor"))?;
+        check_predict_input(x, tree.n_features)?;
+        let n_rows = x.first().map_or(0, |c| c.len());
+        let mut out = Vec::with_capacity(n_rows);
+        for row in 0..n_rows {
+            match tree.leaf_for_row(x, row) {
+                Target::Mean(m) => out.push(*m),
+                Target::ClassCounts(_) => unreachable!("regressor tree has mean leaves"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The fitted tree, if any.
+    pub fn tree(&self) -> Option<&Tree> {
+        self.tree.as_ref()
+    }
+}
+
+fn check_predict_input(x: &[Vec<f64>], fitted: usize) -> Result<()> {
+    if x.len() != fitted {
+        return Err(LearnError::DimensionMismatch {
+            fitted,
+            got: x.len(),
+        });
+    }
+    Ok(())
+}
+
+pub(crate) fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-ish separable data: class = (a > 0) != (b > 0).
+    fn xor_data(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let av = if i % 2 == 0 { 1.0 } else { -1.0 } * (1.0 + (i % 5) as f64);
+            let bv = if (i / 2) % 2 == 0 { 1.0 } else { -1.0 } * (1.0 + (i % 7) as f64);
+            a.push(av);
+            b.push(bv);
+            y.push(usize::from((av > 0.0) != (bv > 0.0)));
+        }
+        (vec![a, b], y)
+    }
+
+    #[test]
+    fn classifier_learns_xor() {
+        let (x, y) = xor_data(64);
+        let mut t = DecisionTreeClassifier::new(TreeConfig::default());
+        t.fit(&x, &y, 2).unwrap();
+        assert_eq!(t.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let x = vec![vec![1.0, 2.0, 3.0]];
+        let y = vec![1, 1, 1];
+        let mut t = DecisionTreeClassifier::new(TreeConfig::default());
+        t.fit(&x, &y, 2).unwrap();
+        assert_eq!(t.tree().unwrap().n_nodes(), 1);
+        assert_eq!(t.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn depth_zero_predicts_majority() {
+        let (x, y) = xor_data(40);
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let mut t = DecisionTreeClassifier::new(cfg);
+        t.fit(&x, &y, 2).unwrap();
+        let preds = t.predict(&x).unwrap();
+        assert!(preds.iter().all(|&p| p == preds[0]));
+    }
+
+    #[test]
+    fn regressor_fits_step_function() {
+        let x = vec![(0..100).map(|i| i as f64).collect::<Vec<_>>()];
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let mut t = DecisionTreeRegressor::new(TreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        let preds = t.predict(&x).unwrap();
+        for (p, t) in preds.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn regressor_constant_target_single_leaf() {
+        let x = vec![vec![1.0, 2.0, 3.0, 4.0]];
+        let y = vec![7.0; 4];
+        let mut t = DecisionTreeRegressor::new(TreeConfig::default());
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.tree().unwrap().n_nodes(), 1);
+        assert_eq!(t.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let (x, y) = xor_data(16);
+        let cfg = TreeConfig {
+            min_samples_leaf: 20, // larger than half the data → no split legal
+            ..Default::default()
+        };
+        let mut t = DecisionTreeClassifier::new(cfg);
+        t.fit(&x, &y, 2).unwrap();
+        assert_eq!(t.tree().unwrap().n_nodes(), 1);
+    }
+
+    #[test]
+    fn importances_sum_to_one_when_split() {
+        let (x, y) = xor_data(64);
+        let mut t = DecisionTreeClassifier::new(TreeConfig::default());
+        t.fit(&x, &y, 2).unwrap();
+        let imp = t.tree().unwrap().feature_importances();
+        assert_eq!(imp.len(), 2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Both XOR features matter.
+        assert!(imp.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn errors_on_empty_and_mismatched_input() {
+        let mut t = DecisionTreeClassifier::new(TreeConfig::default());
+        assert!(t.fit(&[], &[], 2).is_err());
+        assert!(t
+            .fit(&[vec![1.0, 2.0]], &[0], 2)
+            .is_err());
+        assert!(t.predict(&[vec![1.0]]).is_err()); // not fitted
+        let (x, y) = xor_data(8);
+        t.fit(&x, &y, 2).unwrap();
+        assert!(t.predict(&[vec![1.0]]).is_err()); // wrong dimension
+    }
+
+    #[test]
+    fn probabilities_are_distributions() {
+        let (x, y) = xor_data(32);
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
+        let mut t = DecisionTreeClassifier::new(cfg);
+        t.fit(&x, &y, 2).unwrap();
+        for p in t.predict_proba(&x).unwrap() {
+            assert_eq!(p.len(), 2);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn ties_in_feature_values_are_respected() {
+        // Feature has duplicate values at the would-be boundary; the tree
+        // must not split between equal values.
+        let x = vec![vec![1.0, 1.0, 1.0, 2.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut t = DecisionTreeClassifier::new(TreeConfig::default());
+        t.fit(&x, &y, 2).unwrap();
+        let preds = t.predict(&x).unwrap();
+        // Rows with value 1.0 share a leaf → same prediction.
+        assert_eq!(preds[0], preds[1]);
+        assert_eq!(preds[1], preds[2]);
+        assert_eq!(preds[3], 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! The E-AFE **sample compressor**: project a feature column of arbitrary
+//! length `M` onto a fixed-size vector of `d` values.
+//!
+//! Following the paper (§III-B): "The basic idea of MinHash is to assign the
+//! target dimension hashing values, and select d instances with the minimum
+//! hashing values as the compressed results." Each of the `d` hash functions
+//! consistently selects one sample index; the compressed feature is the
+//! original column's value at those indices. Because selection is consistent
+//! (weighted MinHash), similar columns produce similar compressed vectors —
+//! the Eq. (2) constraint — and the output length is independent of `M`,
+//! which is what lets one pre-trained FPE classifier serve every dataset.
+
+use crate::error::{MinHashError, Result};
+use crate::families::{HashFamily, WeightedMinHasher};
+use serde::{Deserialize, Serialize};
+
+/// Compresses feature columns of arbitrary length into `d` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleCompressor {
+    hasher: WeightedMinHasher,
+}
+
+impl SampleCompressor {
+    /// New compressor with the given family, output dimension `d` (the
+    /// paper's default is 48 with CCWS) and seed.
+    pub fn new(family: HashFamily, d: usize, seed: u64) -> Result<Self> {
+        Ok(Self {
+            hasher: WeightedMinHasher::new(family, d, seed)?,
+        })
+    }
+
+    /// Output dimension `d`.
+    pub fn d(&self) -> usize {
+        self.hasher.d
+    }
+
+    /// The hash family in use.
+    pub fn family(&self) -> HashFamily {
+        self.hasher.family
+    }
+
+    /// Turn raw (possibly negative / non-finite) feature values into the
+    /// non-negative weights weighted MinHash requires: min-shift to zero,
+    /// scale to [0, 1] and add a small floor so every sample stays in the
+    /// support. Non-finite values get the floor weight.
+    pub fn to_weights(values: &[f64]) -> Vec<f64> {
+        const FLOOR: f64 = 1e-6;
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return vec![FLOOR; values.len()];
+        }
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+        values
+            .iter()
+            .map(|&v| {
+                if v.is_finite() {
+                    (v - lo) / span + FLOOR
+                } else {
+                    FLOOR
+                }
+            })
+            .collect()
+    }
+
+    /// Compress one feature column to exactly `d` values: the column's
+    /// values at the `d` consistently-sampled indices.
+    pub fn compress(&self, values: &[f64]) -> Result<Vec<f64>> {
+        if values.is_empty() {
+            return Err(MinHashError::EmptyInput);
+        }
+        let weights = Self::to_weights(values);
+        let sig = self.hasher.signature(&weights)?;
+        Ok(sig
+            .keys()
+            .map(|k| {
+                let v = values[k];
+                if v.is_finite() {
+                    v
+                } else {
+                    0.0
+                }
+            })
+            .collect())
+    }
+
+    /// Compress and then z-score normalise, producing the fixed-size input
+    /// representation the FPE binary classifier is trained on (so columns
+    /// with different raw scales are comparable across datasets).
+    pub fn compress_normalized(&self, values: &[f64]) -> Result<Vec<f64>> {
+        let mut out = self.compress(values)?;
+        let n = out.len() as f64;
+        let mean = out.iter().sum::<f64>() / n;
+        let var = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        if std > 1e-12 {
+            for v in &mut out {
+                *v = (*v - mean) / std;
+            }
+        } else {
+            out.fill(0.0);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compressor() -> SampleCompressor {
+        SampleCompressor::new(HashFamily::Ccws, 48, 0xE_AFE).unwrap()
+    }
+
+    #[test]
+    fn output_has_fixed_dimension_regardless_of_input_length() {
+        let c = compressor();
+        for n in [10usize, 100, 1000, 48, 7] {
+            let values: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 3.0 - 1.0).collect();
+            let out = c.compress(&values).unwrap();
+            assert_eq!(out.len(), 48, "input length {n}");
+        }
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let c = compressor();
+        let values: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).cos()).collect();
+        assert_eq!(c.compress(&values).unwrap(), c.compress(&values).unwrap());
+    }
+
+    #[test]
+    fn compressed_values_come_from_the_input() {
+        let c = compressor();
+        let values: Vec<f64> = (0..200).map(|i| i as f64 * 10.0).collect();
+        for v in c.compress(&values).unwrap() {
+            assert!(values.contains(&v), "{v} not in input");
+        }
+    }
+
+    #[test]
+    fn weights_are_positive_and_handle_negatives() {
+        let w = SampleCompressor::to_weights(&[-5.0, 0.0, 5.0, f64::NAN]);
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().all(|&x| x > 0.0));
+        assert!(w[2] > w[1] && w[1] > w[0]);
+    }
+
+    #[test]
+    fn constant_column_compresses_without_error() {
+        let c = compressor();
+        let out = c.compress(&vec![3.0; 100]).unwrap();
+        assert!(out.iter().all(|&v| v == 3.0));
+        let norm = c.compress_normalized(&vec![3.0; 100]).unwrap();
+        assert!(norm.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn normalized_output_is_zero_mean_unit_std() {
+        let c = compressor();
+        let values: Vec<f64> = (0..300).map(|i| (i as f64 * 1.7).sin() * 40.0 + 7.0).collect();
+        let out = c.compress_normalized(&values).unwrap();
+        let mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        let var: f64 = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / out.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similar_columns_compress_similarly() {
+        // Eq. (2): |sim(D¹,D²) − sim(D̃¹,D̃²)| < ε in spirit — a column and a
+        // lightly perturbed copy should share most selected indices.
+        let c = SampleCompressor::new(HashFamily::Ccws, 64, 1).unwrap();
+        let a: Vec<f64> = (0..400).map(|i| (i as f64 * 0.11).sin() + 2.0).collect();
+        let b: Vec<f64> = a.iter().map(|v| v * 1.01).collect();
+        let ca = c.compress(&a).unwrap();
+        let cb = c.compress(&b).unwrap();
+        let close = ca
+            .iter()
+            .zip(&cb)
+            .filter(|(x, y)| (**x - **y / 1.01).abs() < 1e-9)
+            .count();
+        assert!(close > 40, "only {close}/64 indices stable under perturbation");
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(compressor().compress(&[]).is_err());
+    }
+
+    #[test]
+    fn nonfinite_values_are_compressible() {
+        let c = compressor();
+        let mut values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        values[5] = f64::NAN;
+        values[50] = f64::INFINITY;
+        let out = c.compress(&values).unwrap();
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+}

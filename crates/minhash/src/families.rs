@@ -1,0 +1,331 @@
+//! The weighted-MinHash family: classic MinHash plus the four consistent
+//! weighted sampling (CWS) schemes compared in the paper's Table III —
+//! ICWS (Ioffe 2010), 0-bit CWS (Li 2015, the paper's `E-AFE^L`),
+//! PCWS (Wu et al. 2017, `E-AFE^P`) and CCWS (Wu et al. 2016, the paper's
+//! default, plain `E-AFE`).
+//!
+//! All schemes produce, per hash function, the index of one input dimension
+//! sampled consistently: the probability that two weighted sets pick the
+//! same (index, t) pair equals (approximately, for the newer variants) their
+//! generalised Jaccard similarity.
+
+use crate::error::{MinHashError, Result};
+use crate::rng::{beta21, gamma21, mix, uniform_open};
+use crate::signature::{SigElement, Signature};
+use serde::{Deserialize, Serialize};
+
+/// Which hashing scheme to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HashFamily {
+    /// Classic unweighted MinHash over the support (non-zero dimensions).
+    MinHash,
+    /// Improved consistent weighted sampling (Ioffe 2010).
+    Icws,
+    /// 0-bit CWS (Li 2015): ICWS keeping only the winning dimension.
+    ZeroBitCws,
+    /// Practical CWS (Wu et al. 2017): one gamma replaced by uniforms.
+    Pcws,
+    /// Canonical CWS (Wu et al. 2016): samples on raw weights, no log —
+    /// the paper's default family.
+    Ccws,
+}
+
+impl HashFamily {
+    /// All families, in the order the paper's Table III reports them.
+    pub const ALL: [HashFamily; 5] = [
+        HashFamily::MinHash,
+        HashFamily::Icws,
+        HashFamily::ZeroBitCws,
+        HashFamily::Pcws,
+        HashFamily::Ccws,
+    ];
+
+    /// Display name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            HashFamily::MinHash => "MinHash",
+            HashFamily::Icws => "ICWS",
+            HashFamily::ZeroBitCws => "0bit-CWS",
+            HashFamily::Pcws => "PCWS",
+            HashFamily::Ccws => "CCWS",
+        }
+    }
+
+    /// The E-AFE variant label used in Table III (`E-AFE^I` etc.).
+    pub fn variant_label(self) -> &'static str {
+        match self {
+            HashFamily::MinHash => "E-AFE^M",
+            HashFamily::Icws => "E-AFE^I",
+            HashFamily::ZeroBitCws => "E-AFE^L",
+            HashFamily::Pcws => "E-AFE^P",
+            HashFamily::Ccws => "E-AFE",
+        }
+    }
+}
+
+/// A seeded weighted-MinHash hasher producing `d`-element signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightedMinHasher {
+    /// Hashing scheme.
+    pub family: HashFamily,
+    /// Signature length (the paper's default output dimension is 48).
+    pub d: usize,
+    /// Seed shared by all hash functions (each hash mixes in its index).
+    pub seed: u64,
+}
+
+impl WeightedMinHasher {
+    /// Create a hasher; `d` must be non-zero.
+    pub fn new(family: HashFamily, d: usize, seed: u64) -> Result<Self> {
+        if d == 0 {
+            return Err(MinHashError::InvalidParam(
+                "signature dimension d must be > 0".into(),
+            ));
+        }
+        Ok(Self { family, d, seed })
+    }
+
+    /// Compute the signature of a non-negative weight vector. Weights that
+    /// are zero (or negative, which are clamped to zero) are outside the
+    /// weighted set's support and never win.
+    pub fn signature(&self, weights: &[f64]) -> Result<Signature> {
+        if weights.is_empty() {
+            return Err(MinHashError::EmptyInput);
+        }
+        let support: Vec<(usize, f64)> = weights
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &w)| (w > 0.0 && w.is_finite()).then_some((k, w)))
+            .collect();
+        if support.is_empty() {
+            return Err(MinHashError::InvalidParam(
+                "weight vector has empty support (all weights zero)".into(),
+            ));
+        }
+        let mut elements = Vec::with_capacity(self.d);
+        for i in 0..self.d as u64 {
+            elements.push(match self.family {
+                HashFamily::MinHash => self.minhash_element(i, &support),
+                HashFamily::Icws => self.icws_element(i, &support, true),
+                HashFamily::ZeroBitCws => self.icws_element(i, &support, false),
+                HashFamily::Pcws => self.pcws_element(i, &support),
+                HashFamily::Ccws => self.ccws_element(i, &support),
+            });
+        }
+        Ok(Signature::new(elements))
+    }
+
+    /// Classic MinHash: the support dimension with the minimum hash value.
+    fn minhash_element(&self, i: u64, support: &[(usize, f64)]) -> SigElement {
+        let (best_k, _) = support
+            .iter()
+            .map(|&(k, _)| (k, mix(self.seed, i, k as u64, 0)))
+            .min_by_key(|&(_, h)| h)
+            .expect("non-empty support");
+        SigElement {
+            key: best_k as u32,
+            t: 0,
+        }
+    }
+
+    /// ICWS (Ioffe 2010). For each support dimension k:
+    /// r, c ~ Gamma(2,1), β ~ U(0,1);
+    /// t = ⌊ln w / r + β⌋, y = exp(r(t − β)), a = c / (y·eʳ).
+    /// The minimum `a` wins; the signature element is (k*, t*).
+    /// With `keep_t = false` this degenerates to 0-bit CWS.
+    fn icws_element(&self, i: u64, support: &[(usize, f64)], keep_t: bool) -> SigElement {
+        let mut best = (0usize, 0i64, f64::INFINITY);
+        for &(k, w) in support {
+            let kk = k as u64;
+            let r = gamma21(self.seed, i, kk, 1);
+            let c = gamma21(self.seed, i, kk, 2);
+            let beta = uniform_open(self.seed, i, kk, 3);
+            let t = (w.ln() / r + beta).floor();
+            let y = (r * (t - beta)).exp();
+            let a = c / (y * r.exp());
+            if a < best.2 {
+                best = (k, t as i64, a);
+            }
+        }
+        SigElement {
+            key: best.0 as u32,
+            t: if keep_t { best.1 } else { 0 },
+        }
+    }
+
+    /// PCWS (Wu et al. 2017): ICWS with the second gamma replaced by a
+    /// uniform: a = −ln x / (y·eʳ), x ~ U(0,1).
+    fn pcws_element(&self, i: u64, support: &[(usize, f64)]) -> SigElement {
+        let mut best = (0usize, 0i64, f64::INFINITY);
+        for &(k, w) in support {
+            let kk = k as u64;
+            let r = gamma21(self.seed, i, kk, 1);
+            let x = uniform_open(self.seed, i, kk, 2);
+            let beta = uniform_open(self.seed, i, kk, 3);
+            let t = (w.ln() / r + beta).floor();
+            let y = (r * (t - beta)).exp();
+            let a = -(x.ln()) / (y * r.exp());
+            if a < best.2 {
+                best = (k, t as i64, a);
+            }
+        }
+        SigElement {
+            key: best.0 as u32,
+            t: best.1,
+        }
+    }
+
+    /// CCWS (Wu et al. 2016): samples on the raw weights instead of their
+    /// logarithms: r ~ Beta(2,1), c ~ Gamma(2,1), β ~ U(0,1);
+    /// t = ⌊w / r + β⌋, y = r(t − β), a = c / y (y > 0 given w > 0).
+    fn ccws_element(&self, i: u64, support: &[(usize, f64)]) -> SigElement {
+        let mut best = (0usize, 0i64, f64::INFINITY);
+        for &(k, w) in support {
+            let kk = k as u64;
+            let r = beta21(self.seed, i, kk, 1);
+            let c = gamma21(self.seed, i, kk, 2);
+            let beta = uniform_open(self.seed, i, kk, 3);
+            let t = (w / r + beta).floor();
+            let y = (r * (t - beta)).max(f64::MIN_POSITIVE);
+            let a = c / y;
+            if a < best.2 {
+                best = (k, t as i64, a);
+            }
+        }
+        SigElement {
+            key: best.0 as u32,
+            t: best.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::generalized_jaccard;
+
+    fn weights_a() -> Vec<f64> {
+        vec![1.0, 2.0, 0.0, 4.0, 0.5, 3.0, 0.0, 1.5]
+    }
+
+    fn weights_b() -> Vec<f64> {
+        vec![1.0, 2.0, 0.0, 4.0, 0.5, 0.0, 2.0, 1.5]
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(WeightedMinHasher::new(HashFamily::Ccws, 0, 1).is_err());
+        let h = WeightedMinHasher::new(HashFamily::Ccws, 8, 1).unwrap();
+        assert!(h.signature(&[]).is_err());
+        assert!(h.signature(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_seed_sensitive() {
+        for family in HashFamily::ALL {
+            let h1 = WeightedMinHasher::new(family, 32, 7).unwrap();
+            let h2 = WeightedMinHasher::new(family, 32, 8).unwrap();
+            let s1 = h1.signature(&weights_a()).unwrap();
+            let s2 = h1.signature(&weights_a()).unwrap();
+            let s3 = h2.signature(&weights_a()).unwrap();
+            assert_eq!(s1, s2, "{family:?} not deterministic");
+            assert_ne!(s1, s3, "{family:?} ignores seed");
+            assert_eq!(s1.len(), 32);
+        }
+    }
+
+    #[test]
+    fn identical_inputs_collide_fully() {
+        for family in HashFamily::ALL {
+            let h = WeightedMinHasher::new(family, 16, 3).unwrap();
+            let a = h.signature(&weights_a()).unwrap();
+            let b = h.signature(&weights_a()).unwrap();
+            assert_eq!(a.similarity(&b).unwrap(), 1.0, "{family:?}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_dimensions_never_win() {
+        for family in HashFamily::ALL {
+            let h = WeightedMinHasher::new(family, 64, 5).unwrap();
+            let sig = h.signature(&weights_a()).unwrap();
+            for key in sig.keys() {
+                assert!(weights_a()[key] > 0.0, "{family:?} picked zero-weight dim");
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_estimate_tracks_generalized_jaccard() {
+        // Eq. (2) of the paper: compressed similarity ≈ true similarity.
+        let truth = generalized_jaccard(&weights_a(), &weights_b()).unwrap();
+        for family in [HashFamily::Icws, HashFamily::Pcws, HashFamily::Ccws] {
+            let h = WeightedMinHasher::new(family, 2048, 11).unwrap();
+            let est = h
+                .signature(&weights_a())
+                .unwrap()
+                .similarity(&h.signature(&weights_b()).unwrap())
+                .unwrap();
+            assert!(
+                (est - truth).abs() < 0.1,
+                "{family:?}: est {est:.3} vs truth {truth:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn icws_estimate_is_unbiased_enough() {
+        // Sharper check for the theoretically exact family.
+        let truth = generalized_jaccard(&weights_a(), &weights_b()).unwrap();
+        let h = WeightedMinHasher::new(HashFamily::Icws, 8192, 13).unwrap();
+        let est = h
+            .signature(&weights_a())
+            .unwrap()
+            .similarity(&h.signature(&weights_b()).unwrap())
+            .unwrap();
+        assert!((est - truth).abs() < 0.05, "est {est:.3} vs truth {truth:.3}");
+    }
+
+    #[test]
+    fn zero_bit_collides_at_least_as_often_as_icws() {
+        // 0-bit CWS drops the t component, so collisions are a superset.
+        let hi = WeightedMinHasher::new(HashFamily::Icws, 512, 17).unwrap();
+        let hz = WeightedMinHasher::new(HashFamily::ZeroBitCws, 512, 17).unwrap();
+        let si = hi
+            .signature(&weights_a())
+            .unwrap()
+            .similarity(&hi.signature(&weights_b()).unwrap())
+            .unwrap();
+        let sz = hz
+            .signature(&weights_a())
+            .unwrap()
+            .similarity(&hz.signature(&weights_b()).unwrap())
+            .unwrap();
+        assert!(sz >= si, "0-bit {sz} < icws {si}");
+    }
+
+    #[test]
+    fn heavier_weights_win_more_often() {
+        // Dimension 0 has weight 10, dimension 1 weight 1: under consistent
+        // weighted sampling dim 0 should win ≈ 10/11 of hashes.
+        let w = vec![10.0, 1.0];
+        for family in [HashFamily::Icws, HashFamily::Pcws, HashFamily::Ccws] {
+            let h = WeightedMinHasher::new(family, 4096, 23).unwrap();
+            let sig = h.signature(&w).unwrap();
+            let zero_wins = sig.keys().filter(|&k| k == 0).count() as f64 / 4096.0;
+            assert!(
+                zero_wins > 0.75,
+                "{family:?}: heavy dim won only {zero_wins:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(HashFamily::Ccws.variant_label(), "E-AFE");
+        assert_eq!(HashFamily::ZeroBitCws.variant_label(), "E-AFE^L");
+        assert_eq!(HashFamily::Pcws.variant_label(), "E-AFE^P");
+        assert_eq!(HashFamily::Icws.variant_label(), "E-AFE^I");
+        assert_eq!(HashFamily::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,27 @@
+//! # minhash
+//!
+//! Weighted MinHash substrate for E-AFE's Feature Pre-Evaluation model:
+//!
+//! - [`families`] — classic MinHash plus the four consistent weighted
+//!   sampling schemes the paper compares (ICWS, 0-bit CWS, PCWS, and the
+//!   default CCWS);
+//! - [`signature`] — fixed-length signatures and the collision-rate
+//!   similarity estimator (with exact generalised Jaccard for testing);
+//! - [`compressor`] — the sample compressor that projects a feature column
+//!   of arbitrary length onto a fixed `d`-dimensional vector (paper §III-B,
+//!   Eq. 2), enabling one pre-trained FPE classifier to serve any dataset;
+//! - [`rng`] — counter-based deterministic Gamma/Beta/Uniform variates so
+//!   no `d × M` random matrix is ever materialised.
+
+#![warn(missing_docs)]
+
+pub mod compressor;
+pub mod error;
+pub mod families;
+pub mod rng;
+pub mod signature;
+
+pub use compressor::SampleCompressor;
+pub use error::{MinHashError, Result};
+pub use families::{HashFamily, WeightedMinHasher};
+pub use signature::{generalized_jaccard, SigElement, Signature};

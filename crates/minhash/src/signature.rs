@@ -1,0 +1,161 @@
+//! MinHash signatures and similarity estimation.
+
+use crate::error::{MinHashError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One signature element: which input dimension won the minimum, plus the
+/// family-specific discretised value (`t` in the CWS literature; 0 for
+/// 0-bit CWS and plain MinHash, which only keep the winning dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SigElement {
+    /// Index of the winning input dimension (sample index for E-AFE's
+    /// sample compressor).
+    pub key: u32,
+    /// Discretised auxiliary value; collision requires both fields to match.
+    pub t: i64,
+}
+
+/// A fixed-length MinHash signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    elements: Vec<SigElement>,
+}
+
+impl Signature {
+    /// Wrap raw elements.
+    pub fn new(elements: Vec<SigElement>) -> Self {
+        Self { elements }
+    }
+
+    /// Signature length `d` (the paper's MinHash output dimension).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when the signature has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Borrow the elements.
+    pub fn elements(&self) -> &[SigElement] {
+        &self.elements
+    }
+
+    /// The winning dimension per hash — the indices the sample compressor
+    /// gathers from the original column.
+    pub fn keys(&self) -> impl Iterator<Item = usize> + '_ {
+        self.elements.iter().map(|e| e.key as usize)
+    }
+
+    /// Estimate the (generalised) Jaccard similarity between the underlying
+    /// weighted sets: the fraction of colliding signature elements. This is
+    /// the estimator whose concentration the paper's Eq. (2) constraint
+    /// relies on.
+    pub fn similarity(&self, other: &Signature) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(MinHashError::Incompatible(format!(
+                "signature lengths {} vs {}",
+                self.len(),
+                other.len()
+            )));
+        }
+        if self.is_empty() {
+            return Err(MinHashError::EmptyInput);
+        }
+        let hits = self
+            .elements
+            .iter()
+            .zip(&other.elements)
+            .filter(|(a, b)| a == b)
+            .count();
+        Ok(hits as f64 / self.len() as f64)
+    }
+}
+
+/// Exact generalised Jaccard similarity of two non-negative weight vectors:
+/// `Σ min(aᵢ, bᵢ) / Σ max(aᵢ, bᵢ)`. Ground truth for testing the estimator.
+pub fn generalized_jaccard(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(MinHashError::Incompatible(format!(
+            "weight vector lengths {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    if a.is_empty() {
+        return Err(MinHashError::EmptyInput);
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        num += x.min(y);
+        den += x.max(y);
+    }
+    if den <= 0.0 {
+        return Ok(1.0); // both all-zero: identical sets
+    }
+    Ok(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(pairs: &[(u32, i64)]) -> Signature {
+        Signature::new(pairs.iter().map(|&(key, t)| SigElement { key, t }).collect())
+    }
+
+    #[test]
+    fn identical_signatures_have_similarity_one() {
+        let s = sig(&[(1, 0), (2, 3), (5, -1)]);
+        assert_eq!(s.similarity(&s).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_signatures_have_similarity_zero() {
+        let a = sig(&[(1, 0), (2, 0)]);
+        let b = sig(&[(3, 0), (4, 0)]);
+        assert_eq!(a.similarity(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn partial_collision_counts_fraction() {
+        let a = sig(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let b = sig(&[(1, 0), (2, 1), (3, 0), (9, 0)]);
+        // key matches at 0 and 2; position 1 differs in t.
+        assert_eq!(a.similarity(&b).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let a = sig(&[(1, 0)]);
+        let b = sig(&[(1, 0), (2, 0)]);
+        assert!(a.similarity(&b).is_err());
+        let empty = sig(&[]);
+        assert!(empty.similarity(&empty).is_err());
+    }
+
+    #[test]
+    fn generalized_jaccard_basics() {
+        assert_eq!(
+            generalized_jaccard(&[1.0, 2.0], &[1.0, 2.0]).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            generalized_jaccard(&[1.0, 0.0], &[0.0, 1.0]).unwrap(),
+            0.0
+        );
+        // min-sum 1+1=2, max-sum 2+3=5.
+        assert!((generalized_jaccard(&[2.0, 1.0], &[1.0, 3.0]).unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(generalized_jaccard(&[0.0], &[0.0]).unwrap(), 1.0);
+        assert!(generalized_jaccard(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(generalized_jaccard(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn keys_iterates_winning_dimensions() {
+        let s = sig(&[(7, 0), (9, 2)]);
+        assert_eq!(s.keys().collect::<Vec<_>>(), vec![7, 9]);
+    }
+}

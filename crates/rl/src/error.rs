@@ -1,0 +1,49 @@
+//! Error types for the `rl` crate.
+
+use std::fmt;
+
+/// Errors produced by policy construction and training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RlError {
+    /// A parameter was outside its valid domain.
+    InvalidParam(String),
+    /// An input had the wrong dimensionality for the policy.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),
+            RlError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RlError::InvalidParam("x".into()).to_string().contains('x'));
+        assert!(RlError::DimensionMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains('2'));
+    }
+}

@@ -1,0 +1,22 @@
+//! # rl
+//!
+//! Reinforcement-learning substrate for E-AFE: the RNN policy agent of the
+//! paper's Figure 4 with a REINFORCE update (Eqs. 1 and 12), the discounted
+//! and λ-return computations (Eqs. 9–10), and the replay buffer that bridges
+//! the two training stages (Algorithm 2).
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod error;
+pub mod policy;
+pub mod replay;
+pub mod returns;
+
+pub use error::{Result, RlError};
+pub use policy::{sample_categorical, softmax, PolicyConfig, RnnPolicy, StepCache};
+pub use replay::ReplayBuffer;
+pub use returns::{
+    discounted_returns, lambda_return, lambda_returns, returns_from_scores, rewards_to_go,
+    score_gains, ReturnConfig,
+};

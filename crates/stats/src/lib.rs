@@ -1,0 +1,20 @@
+//! # eafe-stats
+//!
+//! Statistical testing substrate for E-AFE's improvement analysis (the
+//! paper's Table VI reports paired p-values of E-AFE against AutoFS_R,
+//! RTDL_N and NFS for both performance and running time):
+//!
+//! - [`dist`] — standard normal CDF, Student's t CDF, incomplete beta;
+//! - [`tests`] — paired t-test, Welch's t-test, Wilcoxon signed-rank.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+#[path = "tests_mod.rs"]
+pub mod tests;
+
+pub use dist::{incomplete_beta, ln_gamma, normal_cdf, t_cdf, t_two_sided_p};
+pub use tests::{
+    mean, paired_t_test, sample_variance, welch_t_test, wilcoxon_signed_rank, StatsError,
+    TestResult,
+};

@@ -1,0 +1,206 @@
+//! Minimal CSV serialisation for `DataFrame`.
+//!
+//! Format: a header row with feature names followed by a final label column
+//! named `__label__` (class index for classification, real value for
+//! regression). This is sufficient for persisting synthetic datasets and for
+//! loading user-provided numeric tables; it is not a general CSV parser
+//! (no quoting — feature names must not contain commas).
+
+use crate::column::Column;
+use crate::error::{Result, TabularError};
+use crate::frame::{DataFrame, Label, Task};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reserved header name for the label column.
+pub const LABEL_COLUMN: &str = "__label__";
+
+/// Write a frame as CSV to any writer.
+pub fn write_csv<W: Write>(frame: &DataFrame, w: &mut W) -> Result<()> {
+    let mut header: Vec<&str> = frame.columns().iter().map(|c| c.name.as_str()).collect();
+    header.push(LABEL_COLUMN);
+    writeln!(w, "{}", header.join(","))?;
+    for i in 0..frame.n_rows() {
+        let mut fields: Vec<String> = frame
+            .columns()
+            .iter()
+            .map(|c| format_f64(c.values[i]))
+            .collect();
+        match frame.label() {
+            Label::Class { y, .. } => fields.push(y[i].to_string()),
+            Label::Reg(y) => fields.push(format_f64(y[i])),
+        }
+        writeln!(w, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+/// Read a frame from CSV produced by [`write_csv`] (or any comma-separated
+/// numeric table whose last column is the label).
+pub fn read_csv<R: Read>(name: &str, task: Task, r: R) -> Result<DataFrame> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| TabularError::Empty("csv has no header".into()))??;
+    let header: Vec<String> = header_line.split(',').map(|s| s.trim().to_string()).collect();
+    if header.len() < 2 {
+        return Err(TabularError::Csv {
+            line: 1,
+            msg: "need at least one feature column and a label column".into(),
+        });
+    }
+    let n_features = header.len() - 1;
+    let mut feature_rows: Vec<Vec<f64>> = vec![Vec::new(); n_features];
+    let mut class_labels: Vec<usize> = Vec::new();
+    let mut reg_labels: Vec<f64> = Vec::new();
+
+    for (line_no, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != header.len() {
+            return Err(TabularError::Csv {
+                line: line_no + 2,
+                msg: format!("expected {} fields, got {}", header.len(), fields.len()),
+            });
+        }
+        for (j, row) in feature_rows.iter_mut().enumerate() {
+            let v: f64 = fields[j].trim().parse().map_err(|_| TabularError::Csv {
+                line: line_no + 2,
+                msg: format!("bad float `{}` in column `{}`", fields[j], header[j]),
+            })?;
+            row.push(v);
+        }
+        let last = fields[n_features].trim();
+        match task {
+            Task::Classification => {
+                let c: usize = last.parse().map_err(|_| TabularError::Csv {
+                    line: line_no + 2,
+                    msg: format!("bad class label `{last}`"),
+                })?;
+                class_labels.push(c);
+            }
+            Task::Regression => {
+                let v: f64 = last.parse().map_err(|_| TabularError::Csv {
+                    line: line_no + 2,
+                    msg: format!("bad regression target `{last}`"),
+                })?;
+                reg_labels.push(v);
+            }
+        }
+    }
+
+    let columns: Vec<Column> = header[..n_features]
+        .iter()
+        .zip(feature_rows)
+        .map(|(name, values)| Column::new(name.clone(), values))
+        .collect();
+
+    let label = match task {
+        Task::Classification => {
+            let n_classes = class_labels.iter().max().map_or(0, |&m| m + 1);
+            Label::Class {
+                y: class_labels,
+                n_classes: n_classes.max(1),
+            }
+        }
+        Task::Regression => Label::Reg(reg_labels),
+    };
+    DataFrame::new(name, columns, label)
+}
+
+/// Format an f64 compactly but round-trippably.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        // 17 significant digits round-trips any f64.
+        format!("{v:.17e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> DataFrame {
+        DataFrame::new(
+            "t",
+            vec![
+                Column::new("a", vec![1.0, 2.5, -3.125]),
+                Column::new("b", vec![0.1, 0.2, 0.3]),
+            ],
+            Label::Class {
+                y: vec![0, 1, 1],
+                n_classes: 2,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_classification() {
+        let f = frame();
+        let mut buf = Vec::new();
+        write_csv(&f, &mut buf).unwrap();
+        let g = read_csv("t", Task::Classification, &buf[..]).unwrap();
+        assert_eq!(g.n_rows(), 3);
+        assert_eq!(g.n_cols(), 2);
+        assert_eq!(g.label().classes().unwrap(), f.label().classes().unwrap());
+        for (ca, cb) in f.columns().iter().zip(g.columns()) {
+            assert_eq!(ca.name, cb.name);
+            for (x, y) in ca.values.iter().zip(&cb.values) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_regression() {
+        let f = DataFrame::new(
+            "r",
+            vec![Column::new("x", vec![1.0, 2.0])],
+            Label::Reg(vec![0.123456789012345, -9.0]),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&f, &mut buf).unwrap();
+        let g = read_csv("r", Task::Regression, &buf[..]).unwrap();
+        let t = g.label().targets().unwrap();
+        assert!((t[0] - 0.123456789012345).abs() < 1e-15);
+        assert_eq!(t[1], -9.0);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let data = "a,b,__label__\n1,2,0\n1,0\n";
+        let err = read_csv("x", Task::Classification, data.as_bytes()).unwrap_err();
+        match err {
+            TabularError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_float() {
+        let data = "a,__label__\nfoo,0\n";
+        assert!(matches!(
+            read_csv("x", Task::Classification, data.as_bytes()),
+            Err(TabularError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(read_csv("x", Task::Classification, &b""[..]).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = "a,__label__\n1,0\n\n2,1\n";
+        let f = read_csv("x", Task::Classification, data.as_bytes()).unwrap();
+        assert_eq!(f.n_rows(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the `tabular` crate.
+
+use std::fmt;
+
+/// Errors produced by data-frame construction, I/O, splitting, and sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TabularError {
+    /// Columns (or a column and the label) have mismatched lengths.
+    LengthMismatch {
+        /// Context describing what was being compared.
+        what: String,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A referenced column name or index does not exist.
+    NoSuchColumn(String),
+    /// The operation requires a non-empty frame but the frame had no rows
+    /// or no columns.
+    Empty(String),
+    /// A parameter was outside its valid domain.
+    InvalidParam(String),
+    /// CSV parse failure with 1-based line number.
+    Csv {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What went wrong on that line.
+        msg: String,
+    },
+    /// Underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "length mismatch in {what}: expected {expected}, got {got}"),
+            TabularError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            TabularError::Empty(what) => write!(f, "empty input: {what}"),
+            TabularError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),
+            TabularError::Csv { line, msg } => write!(f, "csv parse error at line {line}: {msg}"),
+            TabularError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+impl From<std::io::Error> for TabularError {
+    fn from(e: std::io::Error) -> Self {
+        TabularError::Io(e.to_string())
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TabularError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TabularError::LengthMismatch {
+            what: "column `x` vs label".into(),
+            expected: 10,
+            got: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("column `x`"));
+        assert!(s.contains("10"));
+        assert!(s.contains('9'));
+
+        assert!(TabularError::NoSuchColumn("foo".into())
+            .to_string()
+            .contains("foo"));
+        assert!(TabularError::Csv {
+            line: 3,
+            msg: "bad float".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: TabularError = io.into();
+        assert!(matches!(e, TabularError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

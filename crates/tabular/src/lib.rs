@@ -1,0 +1,31 @@
+//! # tabular
+//!
+//! Column-major tabular data substrate for the E-AFE reproduction:
+//!
+//! - [`DataFrame`] / [`Column`] / [`Label`] — the dataset representation
+//!   `D⟨F, y⟩` from the paper's problem formulation;
+//! - [`split`] — train/test and (stratified) k-fold index generation;
+//! - [`sample`] — subsampling and bootstrap utilities;
+//! - [`csv`] — simple persistence;
+//! - [`synth`] / [`registry`] — deterministic synthetic stand-ins for the
+//!   paper's 36 target datasets and the public pre-training corpus, with
+//!   planted operator compositions so feature engineering has real signal
+//!   to discover (see DESIGN.md §2).
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod frame;
+pub mod registry;
+pub mod sample;
+pub mod split;
+pub mod synth;
+
+pub use column::Column;
+pub use error::{Result, TabularError};
+pub use frame::{DataFrame, Label, Task};
+pub use registry::{find_dataset, DatasetInfo, TARGET_DATASETS};
+pub use split::Split;
+pub use synth::SynthSpec;

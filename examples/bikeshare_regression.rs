@@ -1,0 +1,62 @@
+//! Regression scenario: the Bikeshare-DC-shaped workload from Table III,
+//! scored with the paper's regression metric 1-RAE (1 − relative absolute
+//! error). Demonstrates that the same pipeline serves both task types and
+//! shows the cached features re-scored with alternative downstream models
+//! (the paper's Table V robustness check).
+//!
+//! ```sh
+//! cargo run --release --example bikeshare_regression
+//! ```
+
+use eafe::{bootstrap_fpe, reevaluate, EafeConfig, Engine, FpeSearchSpace};
+use learners::ModelKind;
+use minhash::HashFamily;
+use tabular::find_dataset;
+
+fn main() {
+    let info = find_dataset("Bikeshare DC").expect("registered dataset");
+    // 10886 rows in the paper; a 10% slice keeps the example snappy.
+    let frame = info.load_scaled(0.1).expect("generate dataset");
+    println!(
+        "bikeshare dataset: {} rows x {} features (regression, metric: 1-RAE)",
+        frame.n_rows(),
+        frame.n_cols()
+    );
+
+    let config = EafeConfig {
+        stage1_epochs: 3,
+        stage2_epochs: 6,
+        steps_per_epoch: 3,
+        ..EafeConfig::default()
+    };
+    let space = FpeSearchSpace {
+        families: vec![HashFamily::Ccws],
+        dims: vec![48],
+        thre: config.thre,
+        seed: 13,
+    };
+    println!("pre-training FPE model...");
+    let fpe = bootstrap_fpe(6, 6, &space, &config.evaluator, 13).expect("FPE");
+
+    println!("running E-AFE...");
+    let (result, engineered) = Engine::e_afe(config.clone(), fpe)
+        .run_full(&frame)
+        .expect("E-AFE");
+
+    println!();
+    println!("base 1-RAE: {:.4}", result.base_score);
+    println!("best 1-RAE: {:.4} ({:+.4})", result.best_score, result.improvement());
+    println!("selected generated features:");
+    for name in &result.selected {
+        println!("  {name}");
+    }
+
+    // Table V-style robustness: re-score the cached engineered features
+    // with other downstream models (GP for regression under NB|GP, MLP).
+    println!();
+    println!("cached features under replaced downstream tasks:");
+    for kind in [ModelKind::RandomForest, ModelKind::NaiveBayesGp, ModelKind::Mlp] {
+        let score = reevaluate(&engineered, kind, &config).expect("re-evaluate");
+        println!("  {:<6} 1-RAE = {score:.4}", kind.name());
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: run E-AFE end-to-end on a small synthetic classification
+//! dataset and print what it found.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use eafe::{bootstrap_fpe, EafeConfig, Engine, FpeSearchSpace};
+use minhash::HashFamily;
+use tabular::{SynthSpec, Task};
+
+fn main() {
+    // 1. A target dataset. Real use: load your numeric table via
+    //    `tabular::csv::read_csv` — here we generate a synthetic one whose
+    //    label depends on hidden operator compositions, so feature
+    //    engineering has something real to discover.
+    let frame = SynthSpec::new("quickstart", 240, 6, Task::Classification)
+        .with_depth(3)
+        .with_noise(0.35)
+        .with_seed(44)
+        .generate()
+        .expect("generate dataset");
+    println!(
+        "dataset: {} rows x {} features ({})",
+        frame.n_rows(),
+        frame.n_cols(),
+        frame.task().code()
+    );
+
+    // 2. Pre-train the Feature Pre-Evaluation model on a public corpus.
+    //    This is done once and is reusable across target datasets (the
+    //    paper pre-trains on 239 OpenML datasets; see also
+    //    `examples/fpe_pretraining.rs` for persisting/reloading).
+    let config = EafeConfig {
+        stage1_epochs: 4,
+        stage2_epochs: 8,
+        steps_per_epoch: 3,
+        ..EafeConfig::default()
+    };
+    let space = FpeSearchSpace {
+        families: vec![HashFamily::Ccws],
+        dims: vec![48],
+        thre: config.thre,
+        seed: 7,
+    };
+    println!("pre-training FPE model (one-time cost)...");
+    let fpe = bootstrap_fpe(8, 4, &space, &config.evaluator, 7).expect("FPE bootstrap");
+    println!(
+        "FPE ready: recall {:.2}, precision {:.2}, positive rate {:.2}",
+        fpe.metrics.recall, fpe.metrics.precision, fpe.metrics.positive_rate
+    );
+
+    // 3. Run E-AFE.
+    println!("running E-AFE (stage 1: FPE surrogate, stage 2: downstream RF)...");
+    let result = Engine::e_afe(config, fpe).run(&frame).expect("E-AFE run");
+
+    // 4. Inspect the outcome.
+    println!();
+    println!("base score (raw features, 5-fold RF CV F1): {:.4}", result.base_score);
+    println!("best score (engineered features):           {:.4}", result.best_score);
+    println!("improvement:                                {:+.4}", result.improvement());
+    println!(
+        "generated {} candidate features, evaluated {} on the downstream task \
+         (drop rate {:.0}%)",
+        result.generated_features,
+        result.downstream_evals,
+        100.0 * (1.0 - result.downstream_evals as f64 / result.generated_features.max(1) as f64)
+    );
+    println!(
+        "time: generation {:.2}s, evaluation {:.2}s, total {:.2}s (eval share {:.0}%)",
+        result.generation_secs,
+        result.eval_secs,
+        result.total_secs,
+        result.eval_time_fraction() * 100.0
+    );
+    println!("selected generated features:");
+    for name in &result.selected {
+        println!("  {name}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # e-afe
+//!
+//! Umbrella crate for the E-AFE reproduction (*Toward Efficient Automated
+//! Feature Engineering*, ICDE 2023). Re-exports the whole workspace so
+//! downstream users depend on one crate:
+//!
+//! - [`eafe`] — the E-AFE framework (engine, FPE model, baselines);
+//! - [`tabular`] — data frames, splits, synthetic dataset registry;
+//! - [`learners`] — the from-scratch ML substrate (RF, SVM, NB, GP, MLP,
+//!   tabular ResNet);
+//! - [`minhash`] — the weighted-MinHash family and sample compressor;
+//! - [`rl`] — RNN policies, REINFORCE, returns, replay buffer;
+//! - [`stats`] — significance tests for the improvement analysis.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the binaries regenerating every table and figure of
+//! the paper.
+
+#![warn(missing_docs)]
+
+pub use eafe;
+pub use learners;
+pub use minhash;
+pub use rl;
+pub use tabular;
+
+/// Statistical tests (re-exported under a short name).
+pub use eafe_stats as stats;

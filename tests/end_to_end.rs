@@ -1,0 +1,151 @@
+//! End-to-end integration tests spanning all crates: the full E-AFE
+//! pipeline against a plantable synthetic dataset, determinism, and the
+//! core efficiency claim relative to NFS.
+
+use eafe::{bootstrap_fpe, EafeConfig, Engine, FpeSearchSpace};
+use minhash::HashFamily;
+use tabular::{SynthSpec, Task};
+
+fn fast_config() -> EafeConfig {
+    let mut cfg = EafeConfig::fast();
+    cfg.stage1_epochs = 3;
+    cfg.stage2_epochs = 4;
+    cfg.steps_per_epoch = 3;
+    cfg
+}
+
+fn fpe() -> eafe::FpeModel {
+    let cfg = fast_config();
+    let space = FpeSearchSpace {
+        families: vec![HashFamily::Ccws],
+        dims: vec![16],
+        thre: 0.01,
+        seed: 5,
+    };
+    bootstrap_fpe(5, 2, &space, &cfg.evaluator, 5).expect("FPE bootstrap")
+}
+
+#[test]
+fn e_afe_full_pipeline_improves_plantable_dataset() {
+    // Low-noise, deep compositions: feature engineering must help here.
+    let frame = SynthSpec::new("e2e-plant", 250, 6, Task::Classification)
+        .with_noise(0.1)
+        .with_depth(2)
+        .with_seed(17)
+        .generate()
+        .unwrap();
+    let result = Engine::e_afe(fast_config(), fpe()).run(&frame).unwrap();
+    assert!(
+        result.best_score >= result.base_score,
+        "E-AFE must never end below the raw-feature score"
+    );
+    assert!(result.generated_features > 0);
+    assert!(!result.trace.is_empty());
+    // Monotone non-decreasing learning curve of best-so-far.
+    for w in result.trace.windows(2) {
+        assert!(w[1].score >= w[0].score);
+    }
+}
+
+#[test]
+fn e_afe_is_more_evaluation_efficient_than_nfs() {
+    let frame = SynthSpec::new("e2e-eff", 200, 6, Task::Classification)
+        .with_seed(19)
+        .generate()
+        .unwrap();
+    let nfs = Engine::nfs(fast_config()).run(&frame).unwrap();
+    let eafe = Engine::e_afe(fast_config(), fpe()).run(&frame).unwrap();
+    // Evaluations per generated candidate: E-AFE's FPE gate plus stage-1
+    // surrogate evaluation must reduce the ratio below NFS's.
+    let nfs_ratio = nfs.downstream_evals as f64 / nfs.generated_features as f64;
+    let eafe_ratio = eafe.downstream_evals as f64 / eafe.generated_features as f64;
+    assert!(
+        eafe_ratio < nfs_ratio,
+        "E-AFE {eafe_ratio:.2} evals/feature vs NFS {nfs_ratio:.2}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let frame = SynthSpec::new("e2e-det", 150, 5, Task::Classification)
+        .with_seed(23)
+        .generate()
+        .unwrap();
+    let model = fpe();
+    let a = Engine::e_afe(fast_config(), model.clone()).run(&frame).unwrap();
+    let b = Engine::e_afe(fast_config(), model).run(&frame).unwrap();
+    assert_eq!(a.best_score, b.best_score);
+    assert_eq!(a.selected, b.selected);
+    assert_eq!(a.downstream_evals, b.downstream_evals);
+}
+
+#[test]
+fn regression_pipeline_end_to_end() {
+    let frame = SynthSpec::new("e2e-reg", 200, 5, Task::Regression)
+        .with_seed(29)
+        .generate()
+        .unwrap();
+    let (result, engineered) = Engine::e_afe(fast_config(), fpe())
+        .run_full(&frame)
+        .unwrap();
+    assert!(result.best_score >= result.base_score);
+    assert_eq!(engineered.n_rows(), frame.n_rows());
+    assert_eq!(
+        engineered.n_cols(),
+        frame.n_cols() + result.selected.len(),
+        "engineered frame = original + selected generated columns"
+    );
+}
+
+#[test]
+fn engineered_features_survive_csv_round_trip() {
+    // The engineered frame can be persisted and reloaded losslessly enough
+    // to reproduce the downstream score.
+    let frame = SynthSpec::new("e2e-csv", 150, 4, Task::Classification)
+        .with_seed(31)
+        .generate()
+        .unwrap();
+    let cfg = fast_config();
+    let (_, engineered) = Engine::e_afe(cfg.clone(), fpe()).run_full(&frame).unwrap();
+    let mut buf = Vec::new();
+    tabular::csv::write_csv(&engineered, &mut buf).unwrap();
+    let reloaded =
+        tabular::csv::read_csv("reloaded", Task::Classification, &buf[..]).unwrap();
+    assert_eq!(reloaded.n_cols(), engineered.n_cols());
+    let s1 = cfg.evaluator.evaluate(&engineered).unwrap();
+    let s2 = cfg.evaluator.evaluate(&reloaded).unwrap();
+    assert!((s1 - s2).abs() < 1e-9, "{s1} vs {s2}");
+}
+
+#[test]
+fn failure_injection_nan_and_constant_columns() {
+    // A dataset with a NaN-riddled column and a constant column must not
+    // crash any engine.
+    let mut frame = SynthSpec::new("e2e-nan", 120, 4, Task::Classification)
+        .with_seed(37)
+        .generate()
+        .unwrap();
+    frame
+        .push_column(tabular::Column::new("const", vec![5.0; 120]))
+        .unwrap();
+    let mut bad = vec![f64::NAN; 120];
+    bad[0] = 1.0;
+    bad[1] = f64::INFINITY;
+    frame.push_column(tabular::Column::new("bad", bad)).unwrap();
+
+    let result = Engine::e_afe(fast_config(), fpe()).run(&frame).unwrap();
+    assert!(result.best_score.is_finite());
+    let nfs = Engine::nfs(fast_config()).run(&frame).unwrap();
+    assert!(nfs.best_score.is_finite());
+}
+
+#[test]
+fn tiny_dataset_edge_case() {
+    // 30 rows is the floor for 3-fold stratified CV with 2 classes.
+    let frame = SynthSpec::new("e2e-tiny", 30, 3, Task::Classification)
+        .with_seed(41)
+        .generate()
+        .unwrap();
+    let result = Engine::e_afe(fast_config(), fpe()).run(&frame).unwrap();
+    assert!(result.best_score.is_finite());
+}

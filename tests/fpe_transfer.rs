@@ -1,0 +1,111 @@
+//! Integration tests of the FPE model's cross-dataset transfer: the whole
+//! point of Algorithm 1 is that a classifier pre-trained on public datasets
+//! carries over to unseen target datasets through the fixed-size MinHash
+//! representation.
+
+use eafe::fpe::{search, FpeSearchSpace, RawLabels};
+use eafe::FpeModel;
+use learners::Evaluator;
+use minhash::HashFamily;
+use tabular::registry::public_corpus;
+
+fn evaluator() -> Evaluator {
+    let mut e = Evaluator {
+        folds: 3,
+        ..Evaluator::default()
+    };
+    e.forest.n_trees = 8;
+    e.forest.tree.max_depth = 6;
+    e
+}
+
+fn labels(seed: u64, n_class: usize, n_reg: usize) -> RawLabels {
+    let corpus = public_corpus(n_class, n_reg, seed).unwrap();
+    RawLabels::compute_augmented(&corpus, &evaluator(), 6, 3, seed).unwrap()
+}
+
+#[test]
+fn fpe_transfers_to_unseen_corpus() {
+    // Train on one corpus, validate on a disjoint one (different seed →
+    // different datasets): recall must beat the trivial all-negative
+    // classifier and precision must be non-zero (paper Eq. 6 constraints).
+    let train = labels(100, 6, 3);
+    let val = labels(200, 3, 2);
+    let space = FpeSearchSpace {
+        families: vec![HashFamily::Ccws],
+        dims: vec![32],
+        thre: 0.01,
+        seed: 1,
+    };
+    let result = search(&space, &train, &val).unwrap();
+    let m = result.model.metrics;
+    assert!(m.recall > 0.0, "recall {}", m.recall);
+    assert!(m.precision > 0.0, "precision {}", m.precision);
+    assert!(
+        m.positive_rate < 0.95,
+        "gate passes almost everything: {}",
+        m.positive_rate
+    );
+}
+
+#[test]
+fn search_prefers_higher_recall_candidates() {
+    let train = labels(300, 6, 3);
+    let val = labels(400, 3, 2);
+    let space = FpeSearchSpace {
+        families: vec![HashFamily::Ccws, HashFamily::Icws],
+        dims: vec![16, 48],
+        thre: 0.01,
+        seed: 2,
+    };
+    let result = search(&space, &train, &val).unwrap();
+    let winner_recall = result.model.metrics.recall;
+    for outcome in result.outcomes.iter().filter(|o| o.feasible) {
+        assert!(
+            winner_recall + 1e-12 >= outcome.recall,
+            "winner recall {winner_recall} < feasible candidate {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn persisted_fpe_model_is_identical_in_the_engine() {
+    use eafe::{EafeConfig, Engine};
+    use tabular::{SynthSpec, Task};
+
+    let train = labels(500, 5, 2);
+    let val = labels(600, 2, 1);
+    let space = FpeSearchSpace {
+        families: vec![HashFamily::Ccws],
+        dims: vec![16],
+        thre: 0.01,
+        seed: 3,
+    };
+    let model = search(&space, &train, &val).unwrap().model;
+    let reloaded = FpeModel::from_json(&model.to_json().unwrap()).unwrap();
+
+    let frame = SynthSpec::new("transfer", 150, 5, Task::Classification)
+        .with_seed(61)
+        .generate()
+        .unwrap();
+    let cfg = EafeConfig::fast();
+    let a = Engine::e_afe(cfg.clone(), model).run(&frame).unwrap();
+    let b = Engine::e_afe(cfg, reloaded).run(&frame).unwrap();
+    assert_eq!(a.best_score, b.best_score);
+    assert_eq!(a.downstream_evals, b.downstream_evals);
+    assert_eq!(a.selected, b.selected);
+}
+
+#[test]
+fn augmented_labelling_supersets_plain_labelling() {
+    let corpus = public_corpus(3, 1, 700).unwrap();
+    let ev = evaluator();
+    let plain = RawLabels::compute(&corpus, &ev).unwrap();
+    let augmented = RawLabels::compute_augmented(&corpus, &ev, 4, 3, 7).unwrap();
+    assert!(augmented.len() > plain.len());
+    // The plain (leave-one-out) labels are a prefix of the augmented set.
+    for (p, a) in plain.features.iter().zip(&augmented.features) {
+        assert_eq!(p.0, a.0);
+        assert!((p.1 - a.1).abs() < 1e-12);
+    }
+}

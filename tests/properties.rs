@@ -1,0 +1,197 @@
+//! Cross-crate property-based tests (proptest): algebraic invariants of the
+//! operator set, similarity preservation of the sample compressor (the
+//! paper's Eq. 2), return-computation recurrences, metric identities, and
+//! CSV round-trips under arbitrary inputs.
+
+use eafe::{GeneratedFeature, Operator};
+use minhash::{generalized_jaccard, HashFamily, SampleCompressor, WeightedMinHasher};
+use proptest::prelude::*;
+use rl::{discounted_returns, lambda_return, rewards_to_go, score_gains};
+use tabular::{Column, DataFrame, Label, Task};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every operator is total over finite inputs: outputs are always
+    /// finite regardless of zeros, negatives, or magnitude.
+    #[test]
+    fn operators_are_total(values_a in finite_vec(1..64), op_idx in 0usize..9) {
+        let values_b: Vec<f64> = values_a.iter().rev().copied().collect();
+        let op = Operator::ALL[op_idx];
+        let out = op.apply(&values_a, &values_b);
+        prop_assert_eq!(out.len(), values_a.len());
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    /// Min-max normalisation lands in [0, 1].
+    #[test]
+    fn minmax_bounds(values in finite_vec(2..64)) {
+        let out = Operator::MinMaxNorm.apply(&values, &[]);
+        prop_assert!(out.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+    }
+
+    /// Generated features record order = max(parent orders) + 1.
+    #[test]
+    fn generated_order_rule(
+        values in finite_vec(2..32),
+        op_idx in 0usize..9,
+        oa in 0usize..4,
+        ob in 0usize..4,
+    ) {
+        let a = Column::new("a", values.clone());
+        let b = Column::new("b", values.iter().map(|v| v + 1.0).collect());
+        let op = Operator::ALL[op_idx];
+        let g = GeneratedFeature::generate(op, &a, oa, &b, ob);
+        if op.is_unary() {
+            prop_assert_eq!(g.order, oa + 1);
+        } else {
+            prop_assert_eq!(g.order, oa.max(ob) + 1);
+        }
+        prop_assert!(g.column.is_finite());
+    }
+
+    /// The sample compressor maps any input length to exactly d values,
+    /// all finite, drawn from the input (fixed-size projection, Eq. 2's
+    /// prerequisite).
+    #[test]
+    fn compressor_fixed_size(values in finite_vec(1..300), d in 1usize..64) {
+        let c = SampleCompressor::new(HashFamily::Ccws, d, 7).unwrap();
+        let out = c.compress(&values).unwrap();
+        prop_assert_eq!(out.len(), d);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    /// Identical weighted sets collide on every signature element for
+    /// every family; the estimator then reports similarity exactly 1.
+    #[test]
+    fn identical_sets_full_collision(values in finite_vec(2..100), fam in 0usize..5) {
+        let weights = SampleCompressor::to_weights(&values);
+        let hasher = WeightedMinHasher::new(HashFamily::ALL[fam], 16, 3).unwrap();
+        let s1 = hasher.signature(&weights).unwrap();
+        let s2 = hasher.signature(&weights).unwrap();
+        prop_assert_eq!(s1.similarity(&s2).unwrap(), 1.0);
+    }
+
+    /// Eq. (2): the signature-collision similarity estimate of two related
+    /// weight vectors stays within ε of the exact generalised Jaccard
+    /// similarity (ICWS, large d, tolerance from Chernoff at d = 1024).
+    #[test]
+    fn similarity_preservation(seed_vals in finite_vec(8..40), bump in 0.0f64..2.0) {
+        let a = SampleCompressor::to_weights(&seed_vals);
+        let mut b = a.clone();
+        for (i, v) in b.iter_mut().enumerate() {
+            if i % 3 == 0 { *v += bump; }
+        }
+        let truth = generalized_jaccard(&a, &b).unwrap();
+        let hasher = WeightedMinHasher::new(HashFamily::Icws, 1024, 11).unwrap();
+        let est = hasher
+            .signature(&a).unwrap()
+            .similarity(&hasher.signature(&b).unwrap())
+            .unwrap();
+        prop_assert!((est - truth).abs() < 0.12, "est {} vs truth {}", est, truth);
+    }
+
+    /// Eq. (9) recurrence: U_t = γ·U_{t−1} + r_t, checked against the
+    /// direct double-sum definition.
+    #[test]
+    fn discounted_return_recurrence(rewards in finite_vec(1..24), gamma in 0.0f64..1.0) {
+        let u = discounted_returns(&rewards, gamma);
+        for (t, &ut) in u.iter().enumerate() {
+            let direct: f64 = (0..=t)
+                .map(|k| gamma.powi((t - k) as i32) * rewards[k])
+                .sum();
+            prop_assert!((ut - direct).abs() < 1e-6 * (1.0 + direct.abs()));
+        }
+    }
+
+    /// Eq. (10) closed form equals the expanded geometric sum.
+    #[test]
+    fn lambda_return_closed_form(ut in -100.0f64..100.0, lambda in 0.0f64..0.999, n in 1usize..64) {
+        let closed = lambda_return(ut, lambda, n);
+        let direct: f64 = (1..=n).map(|k| (1.0 - lambda) * lambda.powi(k as i32 - 1) * ut).sum();
+        prop_assert!((closed - direct).abs() < 1e-9 * (1.0 + direct.abs()));
+    }
+
+    /// Rewards-to-go of constant rewards is a geometric series.
+    #[test]
+    fn rewards_to_go_geometric(r in -10.0f64..10.0, gamma in 0.0f64..0.999, n in 1usize..32) {
+        let rewards = vec![r; n];
+        let g = rewards_to_go(&rewards, gamma);
+        let expected = r * (1.0 - gamma.powi(n as i32)) / (1.0 - gamma).max(1e-12);
+        prop_assert!((g[0] - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+    }
+
+    /// score_gains telescopes: the sum of gains equals last − baseline.
+    #[test]
+    fn score_gains_telescope(scores in finite_vec(1..32), baseline in -10.0f64..10.0) {
+        let gains = score_gains(&scores, baseline);
+        let total: f64 = gains.iter().sum();
+        let expected = scores.last().unwrap() - baseline;
+        prop_assert!((total - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+    }
+
+    /// Weighted F1 is bounded in [0, 1] and exactly 1 for perfect
+    /// predictions.
+    #[test]
+    fn f1_bounds(y in prop::collection::vec(0usize..3, 2..64)) {
+        let perfect = learners::f1_score(&y, &y, 3).unwrap();
+        prop_assert!((perfect - 1.0).abs() < 1e-12);
+        let shifted: Vec<usize> = y.iter().map(|&c| (c + 1) % 3).collect();
+        let wrong = learners::f1_score(&y, &shifted, 3).unwrap();
+        prop_assert!((0.0..=1.0).contains(&wrong));
+    }
+
+    /// 1-RAE is 1 for perfect predictions and ≤ 1 always.
+    #[test]
+    fn one_minus_rae_bounds(y in finite_vec(2..64)) {
+        let perfect = learners::one_minus_rae(&y, &y).unwrap();
+        prop_assert!((perfect - 1.0).abs() < 1e-12);
+        let preds: Vec<f64> = y.iter().map(|v| v + 1.0).collect();
+        let score = learners::one_minus_rae(&y, &preds).unwrap();
+        prop_assert!(score <= 1.0 + 1e-12);
+    }
+
+    /// CSV round-trip preserves shape and classification labels exactly,
+    /// and feature values to f64 precision.
+    #[test]
+    fn csv_round_trip(
+        cols in prop::collection::vec(finite_vec(3..12), 1..5),
+    ) {
+        let n = cols[0].len();
+        let columns: Vec<Column> = cols
+            .iter()
+            .enumerate()
+            .map(|(j, v)| Column::new(format!("c{j}"), v.iter().take(n).copied().collect()))
+            .collect();
+        // Only keep frames where all columns share the first column's len.
+        prop_assume!(columns.iter().all(|c| c.len() == n));
+        let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let frame = DataFrame::new("p", columns, Label::Class { y, n_classes: 2 }).unwrap();
+        let mut buf = Vec::new();
+        tabular::csv::write_csv(&frame, &mut buf).unwrap();
+        let back = tabular::csv::read_csv("p", Task::Classification, &buf[..]).unwrap();
+        prop_assert_eq!(back.n_rows(), frame.n_rows());
+        prop_assert_eq!(back.n_cols(), frame.n_cols());
+        prop_assert_eq!(back.label().classes().unwrap(), frame.label().classes().unwrap());
+        for (a, b) in frame.columns().iter().zip(back.columns()) {
+            for (x, y) in a.values.iter().zip(&b.values) {
+                prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{} vs {}", x, y);
+            }
+        }
+    }
+
+    /// Surrogate reward (Eq. 8) is monotone in the effectiveness
+    /// probability and bounded by the gain extremes.
+    #[test]
+    fn surrogate_reward_monotone(base in 0.0f64..1.0, p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let sr = eafe::SurrogateReward::new(base, 0.01);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(sr.pseudo_score(lo) <= sr.pseudo_score(hi) + 1e-12);
+        prop_assert!(sr.pseudo_score(1.0) <= base + sr.delta_max + 1e-12);
+        prop_assert!(sr.pseudo_score(0.0) >= base + sr.delta_min - sr.thre - 1e-12);
+    }
+}
