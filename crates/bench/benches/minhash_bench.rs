@@ -7,7 +7,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use minhash::{HashFamily, SampleCompressor, WeightedMinHasher};
 
 fn column(n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((i as f64) * 0.37).sin() * 4.0 + 5.0).collect()
+    (0..n)
+        .map(|i| ((i as f64) * 0.37).sin() * 4.0 + 5.0)
+        .collect()
 }
 
 fn bench_families(c: &mut Criterion) {
@@ -48,5 +50,10 @@ fn bench_sample_sizes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_families, bench_dimensions, bench_sample_sizes);
+criterion_group!(
+    benches,
+    bench_families,
+    bench_dimensions,
+    bench_sample_sizes
+);
 criterion_main!(benches);

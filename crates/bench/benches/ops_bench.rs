@@ -30,13 +30,8 @@ fn bench_generate(c: &mut Criterion) {
     let b = column(1000, 0.11);
     c.bench_function("generated_feature_full_n1000", |bch| {
         bch.iter(|| {
-            let g = GeneratedFeature::generate(
-                Operator::Divide,
-                black_box(&a),
-                1,
-                black_box(&b),
-                2,
-            );
+            let g =
+                GeneratedFeature::generate(Operator::Divide, black_box(&a), 1, black_box(&b), 2);
             black_box(g.is_degenerate());
             g
         })
@@ -51,5 +46,10 @@ fn bench_degeneracy_check(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_operators, bench_generate, bench_degeneracy_check);
+criterion_group!(
+    benches,
+    bench_operators,
+    bench_generate,
+    bench_degeneracy_check
+);
 criterion_main!(benches);

@@ -34,10 +34,11 @@ fn main() {
     for info in args.dataset_infos() {
         eprintln!("running {} ...", info.name);
         let frame = args.load(&info);
-        let lambda = Engine::e_afe(args.config(), fpe.clone())
+        let lambda = args
+            .engine(Engine::e_afe(args.config(), fpe.clone()))
             .run(&frame)
             .expect("E-AFE lambda");
-        let mut rtg_engine = Engine::e_afe(args.config(), fpe.clone());
+        let mut rtg_engine = args.engine(Engine::e_afe(args.config(), fpe.clone()));
         rtg_engine.use_lambda_returns = false;
         rtg_engine.method_name = "E-AFE(rtg)".into();
         let rtg = rtg_engine.run(&frame).expect("E-AFE rtg");

@@ -35,12 +35,14 @@ fn main() {
     for info in args.dataset_infos() {
         eprintln!("running {} ...", info.name);
         let frame = args.load(&info);
-        let with = Engine::e_afe(args.config(), fpe.clone())
+        let with = args
+            .engine(Engine::e_afe(args.config(), fpe.clone()))
             .run(&frame)
             .expect("E-AFE with replay");
         let mut cfg = args.config();
         cfg.replay_capacity = 1;
-        let without = Engine::e_afe(cfg, fpe.clone())
+        let without = args
+            .engine(Engine::e_afe(cfg, fpe.clone()))
             .run(&frame)
             .expect("E-AFE without replay");
         table.row(vec![

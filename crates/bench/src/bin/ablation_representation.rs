@@ -30,13 +30,18 @@ fn main() {
 
     let mut label_ev = args.evaluator();
     label_ev.folds = 3;
+    let label_ev = args.cached(label_ev);
     println!("labelling the public corpus once (shared across representations)...");
     let corpus = public_corpus(12, 6, args.seed).expect("corpus");
     let train =
         RawLabels::compute_augmented(&corpus[..14], &label_ev, 8, 3, args.seed).expect("train");
-    let val = RawLabels::compute_augmented(&corpus[14..], &label_ev, 8, 3, args.seed ^ 1)
-        .expect("val");
-    println!("labelled {} train / {} val features\n", train.len(), val.len());
+    let val =
+        RawLabels::compute_augmented(&corpus[14..], &label_ev, 8, 3, args.seed ^ 1).expect("val");
+    println!(
+        "labelled {} train / {} val features\n",
+        train.len(),
+        val.len()
+    );
 
     let reprs = vec![
         FeatureRepr::MinHash(SampleCompressor::new(HashFamily::Ccws, 48, args.seed).unwrap()),
@@ -71,7 +76,7 @@ fn main() {
         let mut scores = Vec::new();
         let mut evals = Vec::new();
         for frame in &frames {
-            let engine = Engine::e_afe_variant(cfg.clone(), model.clone(), "E-AFE*");
+            let engine = args.engine(Engine::e_afe_variant(cfg.clone(), model.clone(), "E-AFE*"));
             let r = engine.run(frame).expect("run");
             scores.push(r.best_score);
             evals.push(r.downstream_evals as f64);

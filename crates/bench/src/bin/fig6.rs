@@ -26,6 +26,7 @@ fn main() {
 
     let mut evaluator = args.evaluator();
     evaluator.folds = 3;
+    let evaluator = args.cached(evaluator);
     let corpus = public_corpus(12, 6, args.seed).expect("corpus");
     let n_val = corpus.len() / 5;
     let split = corpus.len() - n_val.max(1);
@@ -37,7 +38,11 @@ fn main() {
     );
     let train = RawLabels::compute(&corpus[..split], &evaluator).expect("train labels");
     let val = RawLabels::compute(&corpus[split..], &evaluator).expect("val labels");
-    println!("labelled {} train / {} val features\n", train.len(), val.len());
+    println!(
+        "labelled {} train / {} val features\n",
+        train.len(),
+        val.len()
+    );
 
     // The score-gain distribution itself (Figure 6's x-axis).
     let mut gains: Vec<f64> = train.features.iter().map(|(_, g)| *g).collect();
@@ -54,12 +59,8 @@ fn main() {
     let mut table = TextTable::new(vec!["thre", "positives", "recall", "precision"]);
     let mut rows = Vec::new();
     for &thre in &THRESHOLDS {
-        let positives = train
-            .features
-            .iter()
-            .filter(|(_, g)| *g > thre)
-            .count() as f64
-            / train.len() as f64;
+        let positives =
+            train.features.iter().filter(|(_, g)| *g > thre).count() as f64 / train.len() as f64;
         let space = FpeSearchSpace {
             families: vec![HashFamily::Ccws],
             dims: vec![32],

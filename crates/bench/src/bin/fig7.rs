@@ -6,7 +6,6 @@
 //! Regenerate: `cargo run -p bench --release --bin fig7 [--epochs2 12]`
 
 use bench::{fmt_score, print_header, CommonArgs, TextTable};
-use eafe::baselines::run_autofs_r;
 use eafe::{Engine, RunResult};
 use minhash::HashFamily;
 use serde::Serialize;
@@ -42,19 +41,21 @@ fn main() {
         eprintln!("running {} ...", info.name);
         let frame = args.load(&info);
         let runs = vec![
-            run_autofs_r(&cfg, &frame).expect("FS_R"),
-            Engine::nfs(cfg.clone()).run(&frame).expect("NFS"),
-            Engine::e_afe_d(cfg.clone(), 0.5).run(&frame).expect("E-AFE_D"),
-            Engine::e_afe(cfg.clone(), fpe.clone())
+            args.run_autofs_r(&cfg, &frame).expect("FS_R"),
+            args.engine(Engine::nfs(cfg.clone()))
+                .run(&frame)
+                .expect("NFS"),
+            args.engine(Engine::e_afe_d(cfg.clone(), 0.5))
+                .run(&frame)
+                .expect("E-AFE_D"),
+            args.engine(Engine::e_afe(cfg.clone(), fpe.clone()))
                 .run(&frame)
                 .expect("E-AFE"),
         ];
 
         println!("--- {} ({}) ---", info.name, frame.shape_str());
         let max_epoch = runs.iter().map(|r| r.trace.len()).max().unwrap_or(0);
-        let mut table = TextTable::new(vec![
-            "epoch", "AutoFS_R", "NFS", "E-AFE_D", "E-AFE",
-        ]);
+        let mut table = TextTable::new(vec!["epoch", "AutoFS_R", "NFS", "E-AFE_D", "E-AFE"]);
         for e in 0..max_epoch {
             let cell = |r: &RunResult| {
                 r.trace
@@ -86,10 +87,7 @@ fn main() {
             println!(
                 "{:>8}: reaches 99% of NFS-final at epoch {reach} \
                  (final {:.3}, evals {}, {:.1}s)",
-                r.method,
-                r.best_score,
-                r.downstream_evals,
-                r.total_secs
+                r.method, r.best_score, r.downstream_evals, r.total_secs
             );
         }
         println!();

@@ -33,6 +33,7 @@ fn main() {
     // the FPE classifier from them (the cheap part).
     let mut label_ev = args.evaluator();
     label_ev.folds = 3;
+    let label_ev = args.cached(label_ev);
     let corpus = public_corpus(10, 5, args.seed).expect("corpus");
     let train = RawLabels::compute(&corpus[..12], &label_ev).expect("train labels");
     let val = RawLabels::compute(&corpus[12..], &label_ev).expect("val labels");
@@ -54,7 +55,10 @@ fn main() {
     for &thre in &[0.005, 0.01, 0.02, 0.05] {
         let mut c = cfg.clone();
         c.thre = thre;
-        let r = Engine::e_afe(c, fpe_for(thre, 48)).run(&frame).expect("run");
+        let r = args
+            .engine(Engine::e_afe(c, fpe_for(thre, 48)))
+            .run(&frame)
+            .expect("run");
         t1.row(vec![
             format!("{thre}"),
             fmt_score(r.best_score),
@@ -77,7 +81,10 @@ fn main() {
     for &d in &[16usize, 32, 48, 64, 96] {
         let mut c = cfg.clone();
         c.signature_dim = d;
-        let r = Engine::e_afe(c, fpe_for(0.01, d)).run(&frame).expect("run");
+        let r = args
+            .engine(Engine::e_afe(c, fpe_for(0.01, d)))
+            .run(&frame)
+            .expect("run");
         t2.row(vec![
             d.to_string(),
             fmt_score(r.best_score),
@@ -101,7 +108,8 @@ fn main() {
     for order in 1..=5usize {
         let mut c = cfg.clone();
         c.max_order = order;
-        let r = Engine::e_afe(c, fpe_default.clone())
+        let r = args
+            .engine(Engine::e_afe(c, fpe_default.clone()))
             .run(&frame)
             .expect("run");
         t3.row(vec![

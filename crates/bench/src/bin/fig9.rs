@@ -35,8 +35,12 @@ fn main() {
             .with_seed(args.seed)
             .generate()
             .expect("synthetic frame");
-        let nfs = Engine::nfs(cfg.clone()).run(&frame).expect("NFS");
-        let eafe = Engine::e_afe(cfg.clone(), fpe.clone())
+        let nfs = args
+            .engine(Engine::nfs(cfg.clone()))
+            .run(&frame)
+            .expect("NFS");
+        let eafe = args
+            .engine(Engine::e_afe(cfg.clone(), fpe.clone()))
             .run(&frame)
             .expect("E-AFE");
         points.push(Point {

@@ -42,7 +42,7 @@ fn main() {
         cfg.stage1_epochs = 0;
         cfg.stage2_epochs = 1;
         cfg.steps_per_epoch = args.steps.max(3);
-        let result = Engine::nfs(cfg).run(&frame).expect("NFS run");
+        let result = args.engine(Engine::nfs(cfg)).run(&frame).expect("NFS run");
         let row = Row {
             dataset: info.name.to_string(),
             shape: frame.shape_str(),

@@ -12,7 +12,7 @@
 //! The JSON artifact feeds `table6` (significance analysis).
 
 use bench::{fmt_score, print_header, CommonArgs, TextTable};
-use eafe::baselines::{run_autofs_r, run_dl_fe, run_fe_dl, run_rtdl_n, DlBaselineConfig};
+use eafe::baselines::{run_dl_fe, run_fe_dl, run_rtdl_n, DlBaselineConfig};
 use eafe::{Engine, RunResult};
 use minhash::HashFamily;
 use serde::Serialize;
@@ -78,50 +78,72 @@ fn main() {
         };
 
         // The full E-AFE first: its engineered features also feed FE|DL.
-        let (eafe_result, engineered) = Engine::e_afe(cfg.clone(), fpe_ccws.clone())
+        let (eafe_result, engineered) = args
+            .engine(Engine::e_afe(cfg.clone(), fpe_ccws.clone()))
             .run_full(&frame)
             .expect("E-AFE");
 
-        record(&mut row, &run_autofs_r(&cfg, &frame).expect("FS_R"));
+        record(&mut row, &args.run_autofs_r(&cfg, &frame).expect("FS_R"));
         record(&mut row, &run_rtdl_n(&dl_cfg, &frame).expect("DL_N"));
-        record(&mut row, &Engine::nfs(cfg.clone()).run(&frame).expect("NFS"));
+        record(
+            &mut row,
+            &args
+                .engine(Engine::nfs(cfg.clone()))
+                .run(&frame)
+                .expect("NFS"),
+        );
         record(&mut row, &run_fe_dl(&dl_cfg, &engineered).expect("FE|DL"));
         record(&mut row, &run_dl_fe(&dl_cfg, &frame).expect("DL|FE"));
         record(
             &mut row,
-            &Engine::e_afe_r(cfg.clone(), fpe_ccws.clone())
+            &args
+                .engine(Engine::e_afe_r(cfg.clone(), fpe_ccws.clone()))
                 .run(&frame)
                 .expect("E-AFE_R"),
         );
         record(
             &mut row,
-            &Engine::e_afe_d(cfg.clone(), 0.5).run(&frame).expect("E-AFE_D"),
+            &args
+                .engine(Engine::e_afe_d(cfg.clone(), 0.5))
+                .run(&frame)
+                .expect("E-AFE_D"),
         );
         record(
             &mut row,
-            &Engine::e_afe_variant(cfg.clone(), fpe_licws.clone(), "E-AFE^L")
+            &args
+                .engine(Engine::e_afe_variant(
+                    cfg.clone(),
+                    fpe_licws.clone(),
+                    "E-AFE^L",
+                ))
                 .run(&frame)
                 .expect("E-AFE^L"),
         );
         record(
             &mut row,
-            &Engine::e_afe_variant(cfg.clone(), fpe_pcws.clone(), "E-AFE^P")
+            &args
+                .engine(Engine::e_afe_variant(
+                    cfg.clone(),
+                    fpe_pcws.clone(),
+                    "E-AFE^P",
+                ))
                 .run(&frame)
                 .expect("E-AFE^P"),
         );
         record(
             &mut row,
-            &Engine::e_afe_variant(cfg.clone(), fpe_icws.clone(), "E-AFE^I")
+            &args
+                .engine(Engine::e_afe_variant(
+                    cfg.clone(),
+                    fpe_icws.clone(),
+                    "E-AFE^I",
+                ))
                 .run(&frame)
                 .expect("E-AFE^I"),
         );
         record(&mut row, &eafe_result);
 
-        let mut cells = vec![
-            row.dataset.clone(),
-            row.task.clone(),
-            row.shape.clone(),
-        ];
+        let mut cells = vec![row.dataset.clone(), row.task.clone(), row.shape.clone()];
         for (label, recorded) in METHODS {
             let score = row
                 .scores

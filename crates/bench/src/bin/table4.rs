@@ -7,7 +7,6 @@
 //! Regenerate: `cargo run -p bench --release --bin table4`
 
 use bench::{print_header, CommonArgs, TextTable};
-use eafe::baselines::run_autofs_r;
 use eafe::Engine;
 use minhash::HashFamily;
 use serde::Serialize;
@@ -41,16 +40,28 @@ fn main() {
     let fpe = args.fpe_model(HashFamily::Ccws, 48);
 
     let mut table = TextTable::new(vec![
-        "Dataset", "gen/epoch", "FS_R", "NFS", "E-AFE_D", "E-AFE",
+        "Dataset",
+        "gen/epoch",
+        "FS_R",
+        "NFS",
+        "E-AFE_D",
+        "E-AFE",
     ]);
     let mut rows = Vec::new();
     for info in args.dataset_infos() {
         eprintln!("running {} ...", info.name);
         let frame = args.load(&info);
-        let fs_r = run_autofs_r(&cfg, &frame).expect("FS_R");
-        let nfs = Engine::nfs(cfg.clone()).run(&frame).expect("NFS");
-        let eafe_d = Engine::e_afe_d(cfg.clone(), 0.5).run(&frame).expect("E-AFE_D");
-        let eafe = Engine::e_afe(cfg.clone(), fpe.clone())
+        let fs_r = args.run_autofs_r(&cfg, &frame).expect("FS_R");
+        let nfs = args
+            .engine(Engine::nfs(cfg.clone()))
+            .run(&frame)
+            .expect("NFS");
+        let eafe_d = args
+            .engine(Engine::e_afe_d(cfg.clone(), 0.5))
+            .run(&frame)
+            .expect("E-AFE_D");
+        let eafe = args
+            .engine(Engine::e_afe(cfg.clone(), fpe.clone()))
             .run(&frame)
             .expect("E-AFE");
         let row = Row {

@@ -5,7 +5,6 @@
 //! Regenerate: `cargo run -p bench --release --bin table5`
 
 use bench::{fmt_score, print_header, CommonArgs, TextTable};
-use eafe::baselines::run_autofs_r_full;
 use eafe::{reevaluate, Engine};
 use learners::ModelKind;
 use minhash::HashFamily;
@@ -23,7 +22,10 @@ struct Row {
 
 fn main() {
     let args = CommonArgs::parse();
-    print_header("Table V: cached features under replaced downstream tasks", &args);
+    print_header(
+        "Table V: cached features under replaced downstream tasks",
+        &args,
+    );
 
     let cfg = args.config();
     let fpe = args.fpe_model(HashFamily::Ccws, 48);
@@ -40,9 +42,13 @@ fn main() {
     for info in args.dataset_infos() {
         eprintln!("running {} ...", info.name);
         let frame = args.load(&info);
-        let (_, fs_frame) = run_autofs_r_full(&cfg, &frame).expect("FS_R");
-        let (_, nfs_frame) = Engine::nfs(cfg.clone()).run_full(&frame).expect("NFS");
-        let (_, eafe_frame) = Engine::e_afe(cfg.clone(), fpe.clone())
+        let (_, fs_frame) = args.run_autofs_r_full(&cfg, &frame).expect("FS_R");
+        let (_, nfs_frame) = args
+            .engine(Engine::nfs(cfg.clone()))
+            .run_full(&frame)
+            .expect("NFS");
+        let (_, eafe_frame) = args
+            .engine(Engine::e_afe(cfg.clone(), fpe.clone()))
             .run_full(&frame)
             .expect("E-AFE");
 

@@ -10,7 +10,7 @@
 //! Regenerate: `cargo run -p bench --release --bin table6`
 
 use bench::{print_header, CommonArgs, TextTable};
-use eafe::baselines::{run_autofs_r, run_rtdl_n, DlBaselineConfig};
+use eafe::baselines::{run_rtdl_n, DlBaselineConfig};
 use eafe::Engine;
 use eafe_stats::{paired_t_test, wilcoxon_signed_rank};
 use minhash::HashFamily;
@@ -53,7 +53,14 @@ fn main() {
     let rows: Vec<DatasetRow> = match std::fs::read_to_string(args.out.join("table3.json")) {
         Ok(json) => {
             println!("using cached table3.json\n");
-            serde_json::from_str(&json).expect("parse table3.json")
+            // Artifacts are wrapped in a {header, data} envelope; accept
+            // bare arrays too so pre-envelope artifacts stay readable.
+            let value = serde_json::parse(&json).expect("parse table3.json");
+            let data = value
+                .as_map()
+                .and_then(|m| m.iter().find(|(k, _)| k == "data").map(|(_, v)| v))
+                .unwrap_or(&value);
+            serde::Deserialize::from_value(data).expect("decode table3.json")
         }
         Err(_) => {
             println!("table3.json not found; running FS_R / DL_N / NFS / E-AFE inline\n");
@@ -76,10 +83,12 @@ fn main() {
                         times: Vec::new(),
                     };
                     for result in [
-                        run_autofs_r(&cfg, &frame).expect("FS_R"),
+                        args.run_autofs_r(&cfg, &frame).expect("FS_R"),
                         run_rtdl_n(&dl_cfg, &frame).expect("DL_N"),
-                        Engine::nfs(cfg.clone()).run(&frame).expect("NFS"),
-                        Engine::e_afe(cfg.clone(), fpe.clone())
+                        args.engine(Engine::nfs(cfg.clone()))
+                            .run(&frame)
+                            .expect("NFS"),
+                        args.engine(Engine::e_afe(cfg.clone(), fpe.clone()))
                             .run(&frame)
                             .expect("E-AFE"),
                     ] {

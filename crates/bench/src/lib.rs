@@ -12,6 +12,8 @@
 //! --max-features <n> RF-importance pre-selection cap         (default 16)
 //! --seed <n>         master seed                             (default 0xEAFE)
 //! --out <dir>        artifact directory                      (default bench_results)
+//! --threads <n>      worker-thread ceiling, 0 = all cores    (default 0)
+//! --no-cache         disable score-cache sharing across runs
 //! ```
 //!
 //! Paper-fidelity note: the defaults are scaled down from the paper's
@@ -25,8 +27,10 @@
 use eafe::{bootstrap_fpe, EafeConfig, FpeModel, FpeSearchSpace};
 use learners::Evaluator;
 use minhash::HashFamily;
+use runtime::ScoreCache;
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::Arc;
 use tabular::{find_dataset, DataFrame, DatasetInfo, TARGET_DATASETS};
 
 /// Common command-line arguments.
@@ -48,6 +52,11 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Output directory for JSON artifacts.
     pub out: PathBuf,
+    /// Worker-thread ceiling (0 = the machine's available parallelism).
+    pub threads: usize,
+    /// Score cache shared by every run this binary launches (`None` when
+    /// `--no-cache` disables sharing for A/B wall-clock comparisons).
+    pub cache: Option<Arc<ScoreCache<f64>>>,
 }
 
 impl Default for CommonArgs {
@@ -66,6 +75,10 @@ impl Default for CommonArgs {
             max_features: 16,
             seed: 0xE_AFE,
             out: PathBuf::from("bench_results"),
+            threads: 0,
+            cache: Some(Arc::new(ScoreCache::new(
+                runtime::evaluator::DEFAULT_CACHE_CAPACITY,
+            ))),
         }
     }
 }
@@ -101,10 +114,13 @@ impl CommonArgs {
                 }
                 "--seed" => args.seed = value("--seed").parse().expect("int seed"),
                 "--out" => args.out = PathBuf::from(value("--out")),
+                "--threads" => args.threads = value("--threads").parse().expect("int threads"),
+                "--no-cache" => args.cache = None,
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale f --datasets list|all|motivation --epochs1 n \
-                         --epochs2 n --steps n --max-features n --seed n --out dir"
+                         --epochs2 n --steps n --max-features n --seed n --out dir \
+                         --threads n --no-cache"
                     );
                     std::process::exit(0);
                 }
@@ -115,6 +131,7 @@ impl CommonArgs {
             args.scale > 0.0 && args.scale <= 1.0,
             "--scale must be in (0,1]"
         );
+        runtime::set_global_threads(args.threads);
         args
     }
 
@@ -185,19 +202,96 @@ impl CommonArgs {
         ev.folds = 3; // labelling is the expensive part; 3-fold suffices
         let model = bootstrap_fpe(12, 6, &space, &ev, self.seed)
             .expect("FPE bootstrap should succeed on the synthetic corpus");
-        std::fs::write(&path, model.to_json().expect("serialise FPE"))
-            .expect("cache FPE model");
+        std::fs::write(&path, model.to_json().expect("serialise FPE")).expect("cache FPE model");
         model
     }
 
-    /// Write a JSON artifact under the output directory.
+    /// Wrap a downstream evaluator with this binary's shared score cache
+    /// (or a private one under `--no-cache`).
+    pub fn cached(&self, evaluator: Evaluator) -> eafe::CachedEvaluator {
+        match &self.cache {
+            Some(c) => runtime::Evaluator::with_cache(evaluator, Arc::clone(c)),
+            None => runtime::Evaluator::new(evaluator),
+        }
+    }
+
+    /// Attach this binary's shared score cache to an engine, so every
+    /// method/dataset run contributes to and benefits from one cache.
+    /// No-op under `--no-cache`.
+    pub fn engine(&self, engine: eafe::Engine) -> eafe::Engine {
+        match &self.cache {
+            Some(c) => engine.with_cache(Arc::clone(c)),
+            None => engine,
+        }
+    }
+
+    /// Run the AutoFS_R baseline through this binary's shared cache.
+    pub fn run_autofs_r(
+        &self,
+        config: &EafeConfig,
+        frame: &DataFrame,
+    ) -> eafe::Result<eafe::RunResult> {
+        Ok(self.run_autofs_r_full(config, frame)?.0)
+    }
+
+    /// Like [`CommonArgs::run_autofs_r`], but also returning the
+    /// engineered frame (Table V re-evaluation).
+    pub fn run_autofs_r_full(
+        &self,
+        config: &EafeConfig,
+        frame: &DataFrame,
+    ) -> eafe::Result<(eafe::RunResult, DataFrame)> {
+        match &self.cache {
+            Some(c) => eafe::baselines::run_autofs_r_cached(config, frame, Arc::clone(c)),
+            None => eafe::baselines::run_autofs_r_full(config, frame),
+        }
+    }
+
+    /// The runtime header recorded in every JSON artifact: thread count
+    /// and the shared score cache's cumulative counters at write time.
+    pub fn artifact_header(&self) -> ArtifactHeader {
+        let stats = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        ArtifactHeader {
+            threads: runtime::global_threads(),
+            cache_shared: self.cache.is_some(),
+            cache_hits: stats.hits,
+            cache_misses: stats.misses,
+            cache_hit_rate: stats.hit_rate(),
+            cache_evictions: stats.evictions,
+        }
+    }
+
+    /// Write a JSON artifact under the output directory, wrapped in an
+    /// envelope whose `header` records the runtime configuration (thread
+    /// count, shared-cache counters) and whose `data` is `value`.
     pub fn write_json<T: Serialize>(&self, filename: &str, value: &T) {
         std::fs::create_dir_all(&self.out).expect("create out dir");
         let path = self.out.join(filename);
-        let json = serde_json::to_string_pretty(value).expect("serialise artifact");
+        let artifact = serde::Value::Map(vec![
+            ("header".to_string(), self.artifact_header().to_value()),
+            ("data".to_string(), value.to_value()),
+        ]);
+        let json = serde_json::to_string_pretty(&artifact).expect("serialise artifact");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
         eprintln!("wrote {}", path.display());
     }
+}
+
+/// Runtime provenance recorded in each artifact's `header` field.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArtifactHeader {
+    /// Worker-thread ceiling in effect.
+    pub threads: usize,
+    /// Whether runs shared one score cache (false under `--no-cache`).
+    pub cache_shared: bool,
+    /// Cumulative shared-cache hits at write time.
+    pub cache_hits: u64,
+    /// Cumulative shared-cache misses at write time.
+    pub cache_misses: u64,
+    /// Hit fraction of all shared-cache lookups.
+    pub cache_hit_rate: f64,
+    /// Entries evicted by the capacity bound.
+    pub cache_evictions: u64,
 }
 
 /// Minimal fixed-width table printer for reproducing the paper's layouts.
@@ -275,8 +369,19 @@ pub fn fmt_secs(v: f64) -> String {
 pub fn print_header(what: &str, args: &CommonArgs) {
     println!("== {what} ==");
     println!(
-        "settings: scale={} epochs={}+{} steps={} max_features={} seed={:#x}",
-        args.scale, args.epochs1, args.epochs2, args.steps, args.max_features, args.seed
+        "settings: scale={} epochs={}+{} steps={} max_features={} seed={:#x} threads={} cache={}",
+        args.scale,
+        args.epochs1,
+        args.epochs2,
+        args.steps,
+        args.max_features,
+        args.seed,
+        runtime::global_threads(),
+        if args.cache.is_some() {
+            "shared"
+        } else {
+            "off"
+        },
     );
     println!(
         "note: synthetic same-shape stand-ins for the paper's datasets; \

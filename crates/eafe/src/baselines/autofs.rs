@@ -17,6 +17,8 @@ use crate::report::{EpochPoint, EvalCounter, PhaseTimer, RunResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rl::{PolicyConfig, RnnPolicy};
+use runtime::ScoreCache;
+use std::sync::Arc;
 use tabular::{Column, DataFrame};
 
 /// Generate `count` random features from uniformly chosen operators and
@@ -29,8 +31,7 @@ pub fn random_feature_pool(
     rng: &mut StdRng,
 ) -> Vec<GeneratedFeature> {
     let mut pool: Vec<GeneratedFeature> = Vec::with_capacity(count);
-    let originals: Vec<(&Column, usize)> =
-        frame.columns().iter().map(|c| (c, 0usize)).collect();
+    let originals: Vec<(&Column, usize)> = frame.columns().iter().map(|c| (c, 0usize)).collect();
     let mut attempts = 0usize;
     while pool.len() < count && attempts < count * 10 {
         attempts += 1;
@@ -69,11 +70,27 @@ pub fn run_autofs_r(config: &EafeConfig, frame: &DataFrame) -> Result<RunResult>
     Ok(run_autofs_r_full(config, frame)?.0)
 }
 
-/// Like [`run_autofs_r`], but also returns the engineered frame (original
-/// features plus the best selected subset) for Table V re-evaluation.
-pub fn run_autofs_r_full(
+/// Like [`run_autofs_r`], but sharing an externally owned runtime score
+/// cache, so toggles whose frames were already evaluated by any consumer
+/// of the same cache are served without recomputation.
+pub fn run_autofs_r_cached(
     config: &EafeConfig,
     frame: &DataFrame,
+    cache: Arc<ScoreCache<f64>>,
+) -> Result<(RunResult, DataFrame)> {
+    run_autofs_r_impl(config, frame, Some(cache))
+}
+
+/// Like [`run_autofs_r`], but also returns the engineered frame (original
+/// features plus the best selected subset) for Table V re-evaluation.
+pub fn run_autofs_r_full(config: &EafeConfig, frame: &DataFrame) -> Result<(RunResult, DataFrame)> {
+    run_autofs_r_impl(config, frame, None)
+}
+
+fn run_autofs_r_impl(
+    config: &EafeConfig,
+    frame: &DataFrame,
+    cache: Option<Arc<ScoreCache<f64>>>,
 ) -> Result<(RunResult, DataFrame)> {
     config.validate()?;
     let mut frame = frame.clone();
@@ -84,14 +101,19 @@ pub fn run_autofs_r_full(
     let mut counter = EvalCounter::default();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA0F5);
 
-    let base_score = timer.evaluation(|| config.evaluator.evaluate(&frame))?;
+    let evaluator = match cache {
+        Some(shared) => runtime::Evaluator::with_cache(config.evaluator.clone(), shared),
+        None => runtime::Evaluator::new(config.evaluator.clone()),
+    };
+    let cache_start = evaluator.stats();
+
+    let base_score = timer.evaluation(|| evaluator.evaluate(&frame))?;
     counter.evaluate();
 
     // Random generation phase.
     let pool_size = (config.steps_per_epoch * frame.n_cols()).max(4);
-    let pool = timer.generation(|| {
-        random_feature_pool(&frame, pool_size, config.max_order, &mut rng)
-    });
+    let pool =
+        timer.generation(|| random_feature_pool(&frame, pool_size, config.max_order, &mut rng));
     counter.generated += pool.len();
 
     // One binary agent per pool feature.
@@ -146,7 +168,7 @@ pub fn run_autofs_r_full(
             let mut trial = selected.clone();
             trial[j] = keep;
             let candidate = assemble(&frame, &pool, &trial)?;
-            let score = timer.evaluation(|| config.evaluator.evaluate(&candidate))?;
+            let score = timer.evaluation(|| evaluator.evaluate(&candidate))?;
             counter.evaluate();
             let reward = score - current_score;
             if reward > 0.0 {
@@ -175,6 +197,7 @@ pub fn run_autofs_r_full(
         .collect();
 
     let engineered = assemble(&frame, &pool, &best_selected)?;
+    let cache_stats = evaluator.stats().since(&cache_start);
     let result = RunResult {
         method: "AutoFS_R".into(),
         dataset: frame.name.clone(),
@@ -187,15 +210,13 @@ pub fn run_autofs_r_full(
         generation_secs: timer.generation_secs(),
         eval_secs: timer.eval_secs(),
         total_secs: timer.total_secs(),
+        cache_hits: cache_stats.hits,
+        cache_misses: cache_stats.misses,
     };
     Ok((result, engineered))
 }
 
-fn assemble(
-    frame: &DataFrame,
-    pool: &[GeneratedFeature],
-    selected: &[bool],
-) -> Result<DataFrame> {
+fn assemble(frame: &DataFrame, pool: &[GeneratedFeature], selected: &[bool]) -> Result<DataFrame> {
     let extra: Vec<Column> = pool
         .iter()
         .zip(selected)

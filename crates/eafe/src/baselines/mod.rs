@@ -6,5 +6,5 @@
 pub mod autofs;
 pub mod rtdl;
 
-pub use autofs::{random_feature_pool, run_autofs_r, run_autofs_r_full};
+pub use autofs::{random_feature_pool, run_autofs_r, run_autofs_r_cached, run_autofs_r_full};
 pub use rtdl::{run_dl_fe, run_fe_dl, run_rtdl_n, top_k, DlBaselineConfig};

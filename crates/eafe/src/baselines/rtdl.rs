@@ -54,7 +54,11 @@ impl Default for DlBaselineConfig {
 }
 
 /// Score predictions with the paper's metric for the task.
-fn score_predictions(test: &DataFrame, preds_class: Option<Vec<usize>>, preds_reg: Option<Vec<f64>>) -> Result<f64> {
+fn score_predictions(
+    test: &DataFrame,
+    preds_class: Option<Vec<usize>>,
+    preds_reg: Option<Vec<f64>>,
+) -> Result<f64> {
     match test.label() {
         Label::Class { y, n_classes } => Ok(f1_score(
             y,
@@ -91,6 +95,9 @@ fn single_point_result(
         generation_secs: timer.generation_secs(),
         eval_secs: timer.eval_secs(),
         total_secs: timer.total_secs(),
+        // The DL baselines use a fixed split, not the cached CV evaluator.
+        cache_hits: 0,
+        cache_misses: 0,
     }
 }
 

@@ -9,6 +9,11 @@ use minhash::HashFamily;
 use rl::{PolicyConfig, ReturnConfig};
 use serde::{Deserialize, Serialize};
 
+/// A downstream evaluator wrapped with the runtime's content-addressed
+/// score cache: identical (dataset content, learner config, folds, CV
+/// seed) evaluations are computed once and served from cache after.
+pub type CachedEvaluator = runtime::Evaluator<Evaluator>;
+
 /// Full engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EafeConfig {
@@ -82,6 +87,12 @@ impl EafeConfig {
         cfg.evaluator.forest.n_trees = 8;
         cfg.evaluator.forest.tree.max_depth = 6;
         cfg
+    }
+
+    /// Wrap this configuration's downstream evaluator with a fresh
+    /// (private) runtime score cache.
+    pub fn cached_evaluator(&self) -> CachedEvaluator {
+        runtime::Evaluator::new(self.evaluator.clone())
     }
 
     /// Validate parameter domains.

@@ -27,6 +27,8 @@ use crate::state::EngineState;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rl::{returns_from_scores, rewards_to_go, score_gains, ReplayBuffer, RnnPolicy, StepCache};
+use runtime::ScoreCache;
+use std::sync::Arc;
 use tabular::DataFrame;
 
 /// The candidate-feature gate applied before downstream evaluation.
@@ -57,6 +59,11 @@ pub struct Engine {
     pub use_lambda_returns: bool,
     /// Method name recorded in results.
     pub method_name: String,
+    /// Score cache shared with other runs (benchmark harnesses inject one
+    /// so repeated evaluations across methods/epochs are computed once).
+    /// `None` gives the run a private cache, keeping isolated runs
+    /// reproducible and unaffected by other runs in the same process.
+    pub cache: Option<Arc<ScoreCache<f64>>>,
 }
 
 impl Engine {
@@ -68,6 +75,7 @@ impl Engine {
             two_stage: true,
             use_lambda_returns: true,
             method_name: "E-AFE".into(),
+            cache: None,
         }
     }
 
@@ -86,6 +94,7 @@ impl Engine {
             two_stage: false,
             use_lambda_returns: true,
             method_name: "E-AFE_D".into(),
+            cache: None,
         }
     }
 
@@ -98,6 +107,7 @@ impl Engine {
             two_stage: false,
             use_lambda_returns: false,
             method_name: "E-AFE_R".into(),
+            cache: None,
         }
     }
 
@@ -110,7 +120,17 @@ impl Engine {
             two_stage: false,
             use_lambda_returns: false,
             method_name: "NFS".into(),
+            cache: None,
         }
+    }
+
+    /// Share an externally owned score cache with this engine. Runs then
+    /// reuse (and contribute to) evaluations made by any other consumer
+    /// of the same cache — other methods, other epochs, other datasets'
+    /// identical frames — instead of starting cold.
+    pub fn with_cache(mut self, cache: Arc<ScoreCache<f64>>) -> Engine {
+        self.cache = Some(cache);
+        self
     }
 
     /// Run the method on a dataset, producing the instrumented result.
@@ -129,7 +149,9 @@ impl Engine {
     pub fn run_full(&self, frame: &DataFrame) -> Result<(RunResult, DataFrame)> {
         self.config.validate()?;
         if matches!(&self.gate, Gate::RandomDrop { rate } if !(0.0..=1.0).contains(rate)) {
-            return Err(EafeError::InvalidConfig("drop rate must be in [0,1]".into()));
+            return Err(EafeError::InvalidConfig(
+                "drop rate must be in [0,1]".into(),
+            ));
         }
         if self.two_stage && !matches!(self.gate, Gate::Fpe(_)) {
             return Err(EafeError::InvalidConfig(
@@ -144,13 +166,27 @@ impl Engine {
         timer.start();
         let mut counter = EvalCounter::default();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // The dropout gate draws from its own stream so gating decisions
+        // never perturb policy/generation draws: E-AFE_D with rate 0 must
+        // explore exactly the candidates NFS does.
+        let mut gate_rng = StdRng::seed_from_u64(runtime::derive_seed(cfg.seed, 0x67617465, 0));
 
-        let base_score = timer.evaluation(|| cfg.evaluator.evaluate(&frame))?;
+        // Every downstream evaluation goes through the runtime's
+        // content-addressed cache: repeat candidates (replayed features,
+        // re-explored transformations) are computed once.
+        let evaluator = match &self.cache {
+            Some(shared) => {
+                runtime::Evaluator::with_cache(cfg.evaluator.clone(), Arc::clone(shared))
+            }
+            None => runtime::Evaluator::new(cfg.evaluator.clone()),
+        };
+        let cache_start = evaluator.stats();
+
+        let base_score = timer.evaluation(|| evaluator.evaluate(&frame))?;
         counter.evaluate();
         let mut state = EngineState::new(&frame, base_score);
         let n_agents = state.n_agents();
-        let max_generated =
-            ((n_agents as f64 * cfg.max_generated_ratio).ceil() as usize).max(1);
+        let max_generated = ((n_agents as f64 * cfg.max_generated_ratio).ceil() as usize).max(1);
 
         let mut policy_cfg = cfg.policy;
         policy_cfg.state_dim = EngineState::EMBEDDING_DIM;
@@ -179,8 +215,7 @@ impl Engine {
                 _ => unreachable!("checked above"),
             };
             let surrogate = SurrogateReward::new(base_score, cfg.thre);
-            let mut replay: ReplayBuffer<GeneratedFeature> =
-                ReplayBuffer::new(cfg.replay_capacity);
+            let mut replay: ReplayBuffer<GeneratedFeature> = ReplayBuffer::new(cfg.replay_capacity);
             let total_epochs = cfg.stage1_epochs.max(1);
             for epoch in 0..cfg.stage1_epochs {
                 let epoch_frac = epoch as f64 / total_epochs as f64;
@@ -197,12 +232,10 @@ impl Engine {
                                 epoch_frac,
                                 cfg.max_order,
                             );
-                            let cache = timer
-                                .generation(|| policies[j].step(&x, &mut rng))?;
+                            let cache = timer.generation(|| policies[j].step(&x, &mut rng))?;
                             let op = Operator::from_action(cache.action);
-                            let feat = timer.generation(|| {
-                                generate_candidate(&state, j, op, &mut rng)
-                            });
+                            let feat =
+                                timer.generation(|| generate_candidate(&state, j, op, &mut rng));
                             episode.push(cache);
                             feat
                         };
@@ -211,8 +244,7 @@ impl Engine {
                             counter.drop_feature();
                             surrogate.pseudo_score(0.0)
                         } else {
-                            let p = timer
-                                .generation(|| fpe.score_feature(&feat.column.values))?;
+                            let p = timer.generation(|| fpe.score_feature(&feat.column.values))?;
                             if p >= 0.5 {
                                 replay.push(p, feat);
                             } else {
@@ -223,8 +255,7 @@ impl Engine {
                         pseudo_scores.push(pseudo);
                     }
                     let rets = returns_from_scores(&pseudo_scores, base_score, &cfg.returns);
-                    let steps: Vec<(StepCache, f64)> =
-                        episode.into_iter().zip(rets).collect();
+                    let steps: Vec<(StepCache, f64)> = episode.into_iter().zip(rets).collect();
                     timer.generation(|| policies[j].update(&steps))?;
                 }
             }
@@ -240,7 +271,7 @@ impl Engine {
                 let candidate = state
                     .selected_frame(&frame)?
                     .with_extra_columns(std::slice::from_ref(&feat.column))?;
-                let score = timer.evaluation(|| cfg.evaluator.evaluate(&candidate))?;
+                let score = timer.evaluation(|| evaluator.evaluate(&candidate))?;
                 counter.evaluate();
                 if score > state.current_score {
                     state.last_reward = score - state.current_score;
@@ -264,17 +295,11 @@ impl Engine {
                 let mut score_trace = Vec::with_capacity(cfg.steps_per_epoch);
                 for t in 0..cfg.steps_per_epoch {
                     let feat = {
-                        let x = state.embedding(
-                            j,
-                            t,
-                            cfg.steps_per_epoch,
-                            epoch_frac,
-                            cfg.max_order,
-                        );
+                        let x =
+                            state.embedding(j, t, cfg.steps_per_epoch, epoch_frac, cfg.max_order);
                         let cache = timer.generation(|| policies[j].step(&x, &mut rng))?;
                         let op = Operator::from_action(cache.action);
-                        let feat =
-                            timer.generation(|| generate_candidate(&state, j, op, &mut rng));
+                        let feat = timer.generation(|| generate_candidate(&state, j, op, &mut rng));
                         episode.push(cache);
                         feat
                     };
@@ -286,11 +311,11 @@ impl Engine {
                     let passes_gate = structurally_ok
                         && match &self.gate {
                             Gate::Fpe(fpe) => {
-                                let p = timer
-                                    .generation(|| fpe.score_feature(&feat.column.values))?;
+                                let p =
+                                    timer.generation(|| fpe.score_feature(&feat.column.values))?;
                                 fpe_gate.observe_and_pass(p)
                             }
-                            Gate::RandomDrop { rate } => !rng.gen_bool(*rate),
+                            Gate::RandomDrop { rate } => !gate_rng.gen_bool(*rate),
                             Gate::None => true,
                         };
 
@@ -303,7 +328,7 @@ impl Engine {
                     let candidate = state
                         .selected_frame(&frame)?
                         .with_extra_columns(std::slice::from_ref(&feat.column))?;
-                    let score = timer.evaluation(|| cfg.evaluator.evaluate(&candidate))?;
+                    let score = timer.evaluation(|| evaluator.evaluate(&candidate))?;
                     counter.evaluate();
                     state.last_reward = score - state.current_score;
                     if score > state.current_score {
@@ -344,6 +369,7 @@ impl Engine {
         }
 
         let engineered = state.selected_frame(&frame)?;
+        let cache_stats = evaluator.stats().since(&cache_start);
         let result = RunResult {
             method: self.method_name.clone(),
             dataset: frame.name.clone(),
@@ -356,6 +382,8 @@ impl Engine {
             generation_secs: timer.generation_secs(),
             eval_secs: timer.eval_secs(),
             total_secs: timer.total_secs(),
+            cache_hits: cache_stats.hits,
+            cache_misses: cache_stats.misses,
         };
         Ok((result, engineered))
     }
@@ -474,6 +502,7 @@ mod tests {
         let corpus = public_corpus(3, 1, 77).unwrap();
         let mut ev = fast_config().evaluator;
         ev.folds = 3;
+        let ev = runtime::Evaluator::new(ev);
         let train = RawLabels::compute(&corpus[..3], &ev).unwrap();
         let val = RawLabels::compute(&corpus[3..], &ev).unwrap();
         let space = FpeSearchSpace {

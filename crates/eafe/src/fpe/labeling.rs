@@ -12,9 +12,10 @@
 //! Each labelled feature is represented by its MinHash-compressed,
 //! z-scored sample vector so one classifier serves all datasets.
 
+use crate::config::CachedEvaluator;
 use crate::error::Result;
-use learners::Evaluator;
 use minhash::SampleCompressor;
+use runtime::WorkerPool;
 use serde::{Deserialize, Serialize};
 use tabular::DataFrame;
 
@@ -36,7 +37,7 @@ pub struct LabeledFeature {
 /// be empty).
 pub fn label_dataset(
     frame: &DataFrame,
-    evaluator: &Evaluator,
+    evaluator: &CachedEvaluator,
     thre: f64,
     compressor: &SampleCompressor,
 ) -> Result<Vec<LabeledFeature>> {
@@ -44,26 +45,27 @@ pub fn label_dataset(
         return Ok(Vec::new());
     }
     let a0 = evaluator.evaluate(frame)?;
-    let mut out = Vec::with_capacity(frame.n_cols());
-    for j in 0..frame.n_cols() {
-        let residual = frame.drop_column(j)?;
-        let aj = evaluator.evaluate(&residual)?;
-        let gain = a0 - aj;
-        let label = usize::from(gain > thre);
-        let compressed = compressor.compress_normalized(&frame.column(j)?.values)?;
-        out.push(LabeledFeature {
-            compressed,
-            label,
-            score_gain: gain,
-        });
-    }
-    Ok(out)
+    // The residual evaluations are independent: fan them out on the
+    // runtime pool (each one is a full CV run, the dominant cost here).
+    WorkerPool::new()
+        .map((0..frame.n_cols()).collect(), |_ctx, j| {
+            let residual = frame.drop_column(j)?;
+            let aj = evaluator.evaluate(&residual)?;
+            let gain = a0 - aj;
+            Ok(LabeledFeature {
+                compressed: compressor.compress_normalized(&frame.column(j)?.values)?,
+                label: usize::from(gain > thre),
+                score_gain: gain,
+            })
+        })
+        .into_iter()
+        .collect()
 }
 
 /// Label a corpus of public datasets (Algorithm 1's outer loop).
 pub fn label_corpus(
     corpus: &[DataFrame],
-    evaluator: &Evaluator,
+    evaluator: &CachedEvaluator,
     thre: f64,
     compressor: &SampleCompressor,
 ) -> Result<Vec<LabeledFeature>> {
@@ -76,17 +78,17 @@ pub fn label_corpus(
 
 /// Score gains only (no compression) — used by the Figure 6 `thre` study,
 /// which examines how the threshold splits the gain distribution.
-pub fn score_gains_for_dataset(frame: &DataFrame, evaluator: &Evaluator) -> Result<Vec<f64>> {
+pub fn score_gains_for_dataset(frame: &DataFrame, evaluator: &CachedEvaluator) -> Result<Vec<f64>> {
     if frame.n_cols() < 2 {
         return Ok(Vec::new());
     }
     let a0 = evaluator.evaluate(frame)?;
-    let mut gains = Vec::with_capacity(frame.n_cols());
-    for j in 0..frame.n_cols() {
-        let aj = evaluator.evaluate(&frame.drop_column(j)?)?;
-        gains.push(a0 - aj);
-    }
-    Ok(gains)
+    WorkerPool::new()
+        .map((0..frame.n_cols()).collect(), |_ctx, j| {
+            Ok(a0 - evaluator.evaluate(&frame.drop_column(j)?)?)
+        })
+        .into_iter()
+        .collect()
 }
 
 /// Relabel cached gains at a different threshold — lets the Figure 6 and
@@ -103,12 +105,12 @@ mod tests {
     use minhash::HashFamily;
     use tabular::{SynthSpec, Task};
 
-    fn small_evaluator() -> Evaluator {
+    fn small_evaluator() -> CachedEvaluator {
         let mut e = Evaluator::default();
         e.folds = 3;
         e.forest.n_trees = 8;
         e.forest.tree.max_depth = 6;
-        e
+        runtime::Evaluator::new(e)
     }
 
     fn compressor() -> SampleCompressor {
@@ -145,7 +147,9 @@ mod tests {
             SynthSpec::new("c1", 80, 4, Task::Classification)
                 .generate()
                 .unwrap(),
-            SynthSpec::new("c2", 80, 3, Task::Regression).generate().unwrap(),
+            SynthSpec::new("c2", 80, 3, Task::Regression)
+                .generate()
+                .unwrap(),
         ];
         let labels = label_corpus(&corpus, &small_evaluator(), 0.01, &compressor()).unwrap();
         assert_eq!(labels.len(), 7);

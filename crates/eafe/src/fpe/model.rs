@@ -50,7 +50,13 @@ impl FpeModel {
         thre: f64,
         seed: u64,
     ) -> Result<FpeModel> {
-        Self::train_with_repr(FeatureRepr::MinHash(compressor), train, validation, thre, seed)
+        Self::train_with_repr(
+            FeatureRepr::MinHash(compressor),
+            train,
+            validation,
+            thre,
+            seed,
+        )
     }
 
     /// Train with an arbitrary fixed-size representation — used by the
@@ -227,7 +233,11 @@ mod tests {
         let val = corpus(60, 16, 2);
         let m = FpeModel::train(compressor(16), &train, &val, 0.01, 0).unwrap();
         assert!(m.metrics.recall > 0.8, "recall {}", m.metrics.recall);
-        assert!(m.metrics.precision > 0.8, "precision {}", m.metrics.precision);
+        assert!(
+            m.metrics.precision > 0.8,
+            "precision {}",
+            m.metrics.precision
+        );
         assert!(m.metrics.positive_rate > 0.2 && m.metrics.positive_rate < 0.8);
     }
 

@@ -75,7 +75,11 @@ pub fn quantile_sketch(values: &[f64], d: usize) -> Vec<f64> {
     finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
     let mut sketch: Vec<f64> = (0..d)
         .map(|i| {
-            let q = if d == 1 { 0.5 } else { i as f64 / (d - 1) as f64 };
+            let q = if d == 1 {
+                0.5
+            } else {
+                i as f64 / (d - 1) as f64
+            };
             let idx = (q * (finite.len() - 1) as f64).round() as usize;
             finite[idx]
         })
@@ -112,7 +116,11 @@ pub fn meta_features(values: &[f64]) -> Vec<f64> {
         if std <= 1e-12 {
             return 0.0;
         }
-        finite.iter().map(|v| ((v - mean) / std).powi(p)).sum::<f64>() / nf
+        finite
+            .iter()
+            .map(|v| ((v - mean) / std).powi(p))
+            .sum::<f64>()
+            / nf
     };
     let mut sorted = finite.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));

@@ -8,11 +8,12 @@
 //! evaluations — does not depend on the compressor, so labels (score gains)
 //! are computed once per corpus and only re-compressed per candidate.
 
+use crate::config::CachedEvaluator;
 use crate::error::{EafeError, Result};
 use crate::fpe::labeling::{score_gains_for_dataset, LabeledFeature};
 use crate::fpe::model::FpeModel;
-use learners::Evaluator;
 use minhash::{HashFamily, SampleCompressor};
+use runtime::WorkerPool;
 use serde::{Deserialize, Serialize};
 use tabular::DataFrame;
 
@@ -80,7 +81,7 @@ pub struct RawLabels {
 
 impl RawLabels {
     /// Run the leave-one-feature-out evaluations over a corpus.
-    pub fn compute(corpus: &[DataFrame], evaluator: &Evaluator) -> Result<RawLabels> {
+    pub fn compute(corpus: &[DataFrame], evaluator: &CachedEvaluator) -> Result<RawLabels> {
         let mut features = Vec::new();
         for frame in corpus {
             let gains = score_gains_for_dataset(frame, evaluator)?;
@@ -103,7 +104,7 @@ impl RawLabels {
     /// already has).
     pub fn compute_augmented(
         corpus: &[DataFrame],
-        evaluator: &Evaluator,
+        evaluator: &CachedEvaluator,
         generated_per_dataset: usize,
         max_order: usize,
         seed: u64,
@@ -122,12 +123,15 @@ impl RawLabels {
             if pool.is_empty() {
                 continue;
             }
+            // Served from cache: `compute` above already evaluated `frame`.
             let a0 = evaluator.evaluate(frame)?;
-            for feat in pool {
-                let candidate =
-                    frame.with_extra_columns(std::slice::from_ref(&feat.column))?;
+            let labelled = WorkerPool::new().map(pool, |_ctx, feat| -> Result<_> {
+                let candidate = frame.with_extra_columns(std::slice::from_ref(&feat.column))?;
                 let gain = evaluator.evaluate(&candidate)? - a0;
-                out.features.push((feat.column.values, gain));
+                Ok((feat.column.values, gain))
+            });
+            for item in labelled {
+                out.features.push(item?);
             }
         }
         Ok(out)
@@ -192,12 +196,11 @@ pub fn search(
     let mut best: Option<(f64, FpeModel)> = None;
     for &family in &space.families {
         for &d in &space.dims {
-            let compressor = SampleCompressor::new(family, d, space.seed)
-                .map_err(EafeError::MinHash)?;
+            let compressor =
+                SampleCompressor::new(family, d, space.seed).map_err(EafeError::MinHash)?;
             let train = train_labels.compress(&compressor, space.thre)?;
             let val = val_labels.compress(&compressor, space.thre)?;
-            let model = match FpeModel::train(compressor, &train, &val, space.thre, space.seed)
-            {
+            let model = match FpeModel::train(compressor, &train, &val, space.thre, space.seed) {
                 Ok(m) => m,
                 Err(EafeError::InvalidConfig(_)) => continue, // single-class corpus
                 Err(e) => return Err(e),
@@ -224,12 +227,11 @@ pub fn search(
     if best.is_none() {
         for &family in &space.families {
             for &d in &space.dims {
-                let compressor = SampleCompressor::new(family, d, space.seed)
-                    .map_err(EafeError::MinHash)?;
+                let compressor =
+                    SampleCompressor::new(family, d, space.seed).map_err(EafeError::MinHash)?;
                 let train = train_labels.compress(&compressor, space.thre)?;
                 let val = val_labels.compress(&compressor, space.thre)?;
-                if let Ok(model) =
-                    FpeModel::train(compressor, &train, &val, space.thre, space.seed)
+                if let Ok(model) = FpeModel::train(compressor, &train, &val, space.thre, space.seed)
                 {
                     let r = model.metrics.recall;
                     if best.as_ref().is_none_or(|(br, _)| r > *br) {
@@ -239,14 +241,11 @@ pub fn search(
             }
         }
     }
-    let model = best
-        .map(|(_, m)| m)
-        .ok_or_else(|| {
-            EafeError::InvalidConfig(
-                "no FPE candidate could be trained (corpus may be single-class at this thre)"
-                    .into(),
-            )
-        })?;
+    let model = best.map(|(_, m)| m).ok_or_else(|| {
+        EafeError::InvalidConfig(
+            "no FPE candidate could be trained (corpus may be single-class at this thre)".into(),
+        )
+    })?;
     Ok(FpeSearchResult { model, outcomes })
 }
 
@@ -257,12 +256,12 @@ mod tests {
     use learners::Evaluator;
     use tabular::registry::public_corpus;
 
-    fn small_evaluator() -> Evaluator {
+    fn small_evaluator() -> CachedEvaluator {
         let mut e = Evaluator::default();
         e.folds = 3;
         e.forest.n_trees = 6;
         e.forest.tree.max_depth = 5;
-        e
+        runtime::Evaluator::new(e)
     }
 
     fn labels() -> (RawLabels, RawLabels) {

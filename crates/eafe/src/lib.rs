@@ -58,7 +58,7 @@ pub mod report;
 pub mod reward;
 pub mod state;
 
-pub use config::EafeConfig;
+pub use config::{CachedEvaluator, EafeConfig};
 pub use engine::{Engine, Gate};
 pub use error::{EafeError, Result};
 pub use fpe::{FpeMetrics, FpeModel, FpeSearchSpace, RawLabels};

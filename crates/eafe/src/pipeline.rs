@@ -16,11 +16,7 @@ use tabular::{DataFrame, Label};
 
 /// Keep the `max_features` most RF-important columns of a frame (identity
 /// when the frame is already narrow enough).
-pub fn preselect_features(
-    frame: &DataFrame,
-    max_features: usize,
-    seed: u64,
-) -> Result<DataFrame> {
+pub fn preselect_features(frame: &DataFrame, max_features: usize, seed: u64) -> Result<DataFrame> {
     if frame.n_cols() <= max_features || max_features == 0 {
         return Ok(frame.clone());
     }
@@ -58,23 +54,23 @@ pub fn bootstrap_fpe(
     let corpus = public_corpus(n_class, n_reg, seed)?;
     let n_val = (corpus.len() / 5).max(1);
     let split = corpus.len().saturating_sub(n_val);
+    // One cache across train and validation labelling: the corpora are
+    // disjoint, but every per-frame baseline `A₀` is re-requested by the
+    // augmented labelling and served from cache.
+    let evaluator = runtime::Evaluator::new(evaluator.clone());
     // Augment the paper's leave-one-out labelling with add-one-in labels
     // for generated features: the gate's real input distribution.
     let gen_per_dataset = 8;
     let train =
-        RawLabels::compute_augmented(&corpus[..split], evaluator, gen_per_dataset, 3, seed)?;
+        RawLabels::compute_augmented(&corpus[..split], &evaluator, gen_per_dataset, 3, seed)?;
     let val =
-        RawLabels::compute_augmented(&corpus[split..], evaluator, gen_per_dataset, 3, seed ^ 1)?;
+        RawLabels::compute_augmented(&corpus[split..], &evaluator, gen_per_dataset, 3, seed ^ 1)?;
     Ok(search(space, &train, &val)?.model)
 }
 
 /// Re-evaluate a cached engineered feature set with an alternative
 /// downstream model (the paper's Table V: SVM, NB/GP, MLP).
-pub fn reevaluate(
-    engineered: &DataFrame,
-    kind: ModelKind,
-    base: &EafeConfig,
-) -> Result<f64> {
+pub fn reevaluate(engineered: &DataFrame, kind: ModelKind, base: &EafeConfig) -> Result<f64> {
     let mut evaluator = base.evaluator.clone();
     evaluator.kind = kind;
     Ok(evaluator.evaluate(engineered)?)

@@ -106,13 +106,21 @@ impl Evaluator {
             ));
         }
         let splits = cv_indices(frame.label(), self.folds, self.seed)?;
-        let mut total = 0.0;
-        for (fold, split) in splits.iter().enumerate() {
+        let n_folds = splits.len();
+        // Folds are independent given their index-derived seeds, so they can
+        // run on the shared pool; summing in fold order afterwards keeps the
+        // result bit-identical to a sequential run.
+        let pool = runtime::WorkerPool::new().with_seed(self.seed);
+        let fold_scores = pool.map(splits, |ctx, split| {
             let train = frame.take_rows(&split.train)?;
             let test = frame.take_rows(&split.test)?;
-            total += self.fit_score(&train, &test, fold as u64)?;
+            self.fit_score(&train, &test, ctx.index as u64)
+        });
+        let mut total = 0.0;
+        for score in fold_scores {
+            total += score?;
         }
-        Ok(total / splits.len() as f64)
+        Ok(total / n_folds as f64)
     }
 
     /// Fit on `train`, score on `test` (one fold).
@@ -157,7 +165,10 @@ impl Evaluator {
                 m.predict(xte)
             }
             ModelKind::Svm => {
-                let mut m = LinearSvm::new(LinearConfig { seed, ..self.linear });
+                let mut m = LinearSvm::new(LinearConfig {
+                    seed,
+                    ..self.linear
+                });
                 m.fit(xtr, ytr, n_classes)?;
                 m.predict(xte)
             }
@@ -204,6 +215,24 @@ impl Evaluator {
                 m.predict(xte)
             }
         }
+    }
+}
+
+impl runtime::Scorer for Evaluator {
+    type Error = LearnError;
+
+    /// Everything besides the frame that determines a score lives in this
+    /// struct (model kind, hyper-parameters, fold count, CV seed), so the
+    /// digest is simply a hash of its serialised form.
+    fn config_digest(&self) -> runtime::Fingerprint {
+        let mut h = runtime::Hasher128::new();
+        h.write_str("learners::Evaluator");
+        h.write_str(&serde_json::to_string(self).expect("evaluator config serialises"));
+        h.finish()
+    }
+
+    fn score_frame(&self, frame: &DataFrame) -> Result<f64> {
+        self.evaluate(frame)
     }
 }
 
@@ -275,5 +304,43 @@ mod tests {
     fn kind_names() {
         assert_eq!(ModelKind::RandomForest.name(), "RF");
         assert_eq!(ModelKind::NaiveBayesGp.name(), "NB|GP");
+    }
+
+    #[test]
+    fn parallel_folds_match_single_threaded_bit_for_bit() {
+        let f = class_frame();
+        let e = Evaluator::default();
+        runtime::set_global_threads(1);
+        let sequential = e.evaluate(&f).unwrap();
+        runtime::set_global_threads(4);
+        let parallel = e.evaluate(&f).unwrap();
+        runtime::set_global_threads(0);
+        assert_eq!(sequential.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn config_digest_tracks_configuration() {
+        use runtime::Scorer;
+        let a = Evaluator::default();
+        let b = Evaluator::default();
+        assert_eq!(a.config_digest(), b.config_digest());
+        let c = Evaluator {
+            seed: 17,
+            ..Evaluator::default()
+        };
+        let d = Evaluator::with_kind(ModelKind::Mlp);
+        assert_ne!(a.config_digest(), c.config_digest());
+        assert_ne!(a.config_digest(), d.config_digest());
+    }
+
+    #[test]
+    fn cached_evaluator_serves_repeats_from_cache() {
+        let f = class_frame();
+        let cached = runtime::Evaluator::new(Evaluator::default());
+        let first = cached.evaluate(&f).unwrap();
+        let second = cached.evaluate(&f).unwrap();
+        assert_eq!(first.to_bits(), second.to_bits());
+        let stats = cached.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 }

@@ -30,7 +30,10 @@ impl fmt::Display for LearnError {
         match self {
             LearnError::EmptyTrainingSet(what) => write!(f, "empty training set: {what}"),
             LearnError::DimensionMismatch { fitted, got } => {
-                write!(f, "dimension mismatch: fitted with {fitted} features, got {got}")
+                write!(
+                    f,
+                    "dimension mismatch: fitted with {fitted} features, got {got}"
+                )
             }
             LearnError::NotFitted(model) => write!(f, "{model} has not been fitted"),
             LearnError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),

@@ -3,12 +3,15 @@
 //! tasks") and for the RF-importance feature pre-selection step.
 //!
 //! Trees are trained on bootstrap resamples with √N feature subsampling and
-//! fitted in parallel with crossbeam scoped threads.
+//! fitted in parallel through the shared `runtime` worker pool. Per-tree
+//! seeds and bootstrap rows are drawn sequentially up front, so the fitted
+//! forest is bit-identical under any thread count.
 
 use crate::error::{LearnError, Result};
 use crate::tree::{argmax, DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use runtime::WorkerPool;
 use serde::{Deserialize, Serialize};
 
 /// Forest hyper-parameters.
@@ -22,7 +25,8 @@ pub struct ForestConfig {
     pub bootstrap: bool,
     /// Master seed; per-tree seeds derive from it.
     pub seed: u64,
-    /// Number of worker threads; `0` means use available parallelism.
+    /// Number of worker threads; `0` defers to the runtime's process-wide
+    /// ceiling (`runtime::global_threads()`).
     pub n_threads: usize,
 }
 
@@ -57,14 +61,6 @@ impl ForestConfig {
         }
     }
 
-    fn threads(&self) -> usize {
-        if self.n_threads > 0 {
-            self.n_threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        }
-    }
-
     fn sqrt_features(&self, n_features: usize) -> usize {
         ((n_features as f64).sqrt().round() as usize).clamp(1, n_features)
     }
@@ -86,36 +82,18 @@ fn gather(x: &[Vec<f64>], rows: &[usize]) -> Vec<Vec<f64>> {
         .collect()
 }
 
-/// Run `jobs` closures across `threads` workers, collecting results in order.
-fn parallel_map<T: Send>(
-    threads: usize,
-    jobs: Vec<Box<dyn FnOnce() -> Result<T> + Send + '_>>,
-) -> Result<Vec<T>> {
-    if threads <= 1 || jobs.len() <= 1 {
-        return jobs.into_iter().map(|j| j()).collect();
-    }
-    let n = jobs.len();
-    let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
-    let job_iter = parking_lot::Mutex::new(jobs.into_iter().enumerate());
-    let slots_mx = parking_lot::Mutex::new(&mut slots);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
-                let next = job_iter.lock().next();
-                match next {
-                    Some((i, job)) => {
-                        let out = job();
-                        slots_mx.lock()[i] = Some(out);
-                    }
-                    None => break,
-                }
-            });
-        }
-    })
-    .map_err(|_| LearnError::Numerical("worker thread panicked".into()))?;
-    slots
+/// Fit one tree per `(seed, rows)` draw through the shared runtime pool.
+///
+/// The draws carry all per-tree randomness, so results do not depend on
+/// which worker runs which tree; the pool returns them in draw order.
+fn fit_trees<M: Send, F: Fn(u64, &[usize]) -> Result<M> + Sync>(
+    n_threads: usize,
+    draws: Vec<(u64, Vec<usize>)>,
+    fit_one: F,
+) -> Result<Vec<M>> {
+    let pool = WorkerPool::new().with_threads(n_threads);
+    pool.map(draws, |_ctx, (seed, rows)| fit_one(seed, &rows))
         .into_iter()
-        .map(|s| s.expect("every job slot filled"))
         .collect()
 }
 
@@ -159,20 +137,14 @@ impl RandomForestClassifier {
                 )
             })
             .collect();
-        let jobs: Vec<Box<dyn FnOnce() -> Result<DecisionTreeClassifier> + Send>> = draws
-            .into_iter()
-            .map(|(seed, rows)| {
-                let cfg = TreeConfig { seed, ..tree_cfg };
-                let xb = gather(x, &rows);
-                let yb: Vec<usize> = rows.iter().map(|&r| y[r]).collect();
-                Box::new(move || {
-                    let mut t = DecisionTreeClassifier::new(cfg);
-                    t.fit(&xb, &yb, n_classes)?;
-                    Ok(t)
-                }) as Box<dyn FnOnce() -> Result<DecisionTreeClassifier> + Send>
-            })
-            .collect();
-        self.trees = parallel_map(self.config.threads(), jobs)?;
+        self.trees = fit_trees(self.config.n_threads, draws, |seed, rows| {
+            let cfg = TreeConfig { seed, ..tree_cfg };
+            let xb = gather(x, rows);
+            let yb: Vec<usize> = rows.iter().map(|&r| y[r]).collect();
+            let mut t = DecisionTreeClassifier::new(cfg);
+            t.fit(&xb, &yb, n_classes)?;
+            Ok(t)
+        })?;
         self.n_classes = n_classes;
         self.n_features = x.len();
         Ok(())
@@ -262,20 +234,14 @@ impl RandomForestRegressor {
                 )
             })
             .collect();
-        let jobs: Vec<Box<dyn FnOnce() -> Result<DecisionTreeRegressor> + Send>> = draws
-            .into_iter()
-            .map(|(seed, rows)| {
-                let cfg = TreeConfig { seed, ..tree_cfg };
-                let xb = gather(x, &rows);
-                let yb: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
-                Box::new(move || {
-                    let mut t = DecisionTreeRegressor::new(cfg);
-                    t.fit(&xb, &yb)?;
-                    Ok(t)
-                }) as Box<dyn FnOnce() -> Result<DecisionTreeRegressor> + Send>
-            })
-            .collect();
-        self.trees = parallel_map(self.config.threads(), jobs)?;
+        self.trees = fit_trees(self.config.n_threads, draws, |seed, rows| {
+            let cfg = TreeConfig { seed, ..tree_cfg };
+            let xb = gather(x, rows);
+            let yb: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
+            let mut t = DecisionTreeRegressor::new(cfg);
+            t.fit(&xb, &yb)?;
+            Ok(t)
+        })?;
         self.n_features = x.len();
         Ok(())
     }

@@ -96,10 +96,16 @@ impl GaussianProcess {
 
         let n = rows.len();
         self.y_mean = targets.iter().sum::<f64>() / n as f64;
-        let var =
-            targets.iter().map(|t| (t - self.y_mean).powi(2)).sum::<f64>() / n as f64;
+        let var = targets
+            .iter()
+            .map(|t| (t - self.y_mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         self.y_std = var.sqrt().max(1e-12);
-        let yz: Vec<f64> = targets.iter().map(|t| (t - self.y_mean) / self.y_std).collect();
+        let yz: Vec<f64> = targets
+            .iter()
+            .map(|t| (t - self.y_mean) / self.y_std)
+            .collect();
 
         let mut k = SquareMatrix::zeros(n);
         for i in 0..n {
@@ -110,9 +116,9 @@ impl GaussianProcess {
             }
         }
         k.add_diagonal(self.config.noise.max(1e-10));
-        let l = k.cholesky().map_err(|e| {
-            LearnError::Numerical(format!("GP kernel factorisation failed: {e}"))
-        })?;
+        let l = k
+            .cholesky()
+            .map_err(|e| LearnError::Numerical(format!("GP kernel factorisation failed: {e}")))?;
         self.alpha = l.cholesky_solve(&yz)?;
         self.train_rows = rows;
         self.scaler = Some(scaler);
@@ -206,15 +212,15 @@ mod tests {
     fn errors_on_bad_input() {
         let mut gp = GaussianProcess::new(GpConfig::default());
         assert!(gp.fit(&[], &[]).is_err());
-        assert!(gp
-            .fit(&[vec![1.0, 2.0]], &[1.0])
-            .is_err());
+        assert!(gp.fit(&[vec![1.0, 2.0]], &[1.0]).is_err());
         assert!(gp.predict(&[vec![1.0]]).is_err());
         let bad = GpConfig {
             length_scale: 0.0,
             ..Default::default()
         };
-        assert!(GaussianProcess::new(bad).fit(&[vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+        assert!(GaussianProcess::new(bad)
+            .fit(&[vec![1.0, 2.0]], &[1.0, 2.0])
+            .is_err());
     }
 
     #[test]

@@ -150,10 +150,7 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 #[cfg(test)]
@@ -173,8 +170,8 @@ mod tests {
 
     #[test]
     fn cholesky_solve_recovers_solution() {
-        let a = SquareMatrix::from_vec(3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0])
-            .unwrap();
+        let a =
+            SquareMatrix::from_vec(3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0]).unwrap();
         let l = a.cholesky().unwrap();
         let x_true = [1.0, -2.0, 3.0];
         // b = A x

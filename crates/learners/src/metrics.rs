@@ -73,11 +73,7 @@ fn check_lengths(a: usize, b: usize) -> Result<()> {
 /// Fraction of exactly matching class predictions.
 pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> Result<f64> {
     check_lengths(y_true.len(), y_pred.len())?;
-    let hits = y_true
-        .iter()
-        .zip(y_pred)
-        .filter(|(t, p)| t == p)
-        .count();
+    let hits = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
     Ok(hits as f64 / y_true.len() as f64)
 }
 
@@ -141,7 +137,9 @@ fn average_over_classes(
         seen += 1;
     }
     if seen == 0 {
-        return Err(LearnError::EmptyTrainingSet("no classes with support".into()));
+        return Err(LearnError::EmptyTrainingSet(
+            "no classes with support".into(),
+        ));
     }
     Ok(sum / seen as f64)
 }
@@ -161,11 +159,7 @@ pub fn one_minus_rae(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
     check_lengths(y_true.len(), y_pred.len())?;
     let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
     let denom: f64 = y_true.iter().map(|y| (y - mean).abs()).sum();
-    let num: f64 = y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(y, p)| (p - y).abs())
-        .sum();
+    let num: f64 = y_true.iter().zip(y_pred).map(|(y, p)| (p - y).abs()).sum();
     if denom <= f64::EPSILON {
         return Ok(if num <= f64::EPSILON { 1.0 } else { 0.0 });
     }
@@ -241,8 +235,9 @@ mod tests {
         let y_true = [0, 0, 1, 1];
         let y_pred = [0, 1, 1, 1];
         // class 0: p = 1, r = 0.5; class 1: p = 2/3, r = 1.
-        assert!((precision_macro(&y_true, &y_pred, 2).unwrap() - (1.0 + 2.0 / 3.0) / 2.0).abs()
-            < 1e-12);
+        assert!(
+            (precision_macro(&y_true, &y_pred, 2).unwrap() - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12
+        );
         assert!((recall_macro(&y_true, &y_pred, 2).unwrap() - 0.75).abs() < 1e-12);
     }
 

@@ -57,9 +57,7 @@ impl GaussianNb {
         let mut sumsqs = vec![vec![0.0; n_features]; n_classes];
         for (i, &c) in y.iter().enumerate() {
             if c >= n_classes {
-                return Err(LearnError::InvalidParam(format!(
-                    "class {c} out of range"
-                )));
+                return Err(LearnError::InvalidParam(format!("class {c} out of range")));
             }
             counts[c] += 1;
             for (j, col) in x.iter().enumerate() {
@@ -106,8 +104,8 @@ impl GaussianNb {
                     let v = col[row];
                     let mean = self.means[c][j];
                     let var = self.vars[c][j];
-                    ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln()
-                        + (v - mean) * (v - mean) / var);
+                    ll += -0.5
+                        * ((2.0 * std::f64::consts::PI * var).ln() + (v - mean) * (v - mean) / var);
                 }
                 ll
             })

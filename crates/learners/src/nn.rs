@@ -237,15 +237,17 @@ mod tests {
         let dx = d.backward(&x, &dy);
 
         let eps = 1e-6;
-        let loss = |d: &Dense, x: &[f64]| -> f64 {
-            d.forward(x).iter().map(|v| v * v).sum()
-        };
+        let loss = |d: &Dense, x: &[f64]| -> f64 { d.forward(x).iter().map(|v| v * v).sum() };
         // Check one weight and one input grad numerically.
         let base = loss(&d, &x);
         let mut d2 = d.clone();
         d2.w[1][2] += eps;
         let num_gw = (loss(&d2, &x) - base) / eps;
-        assert!((num_gw - d.gw[1][2]).abs() < 1e-4, "{num_gw} vs {}", d.gw[1][2]);
+        assert!(
+            (num_gw - d.gw[1][2]).abs() < 1e-4,
+            "{num_gw} vs {}",
+            d.gw[1][2]
+        );
 
         let mut x2 = x;
         x2[0] += eps;

@@ -31,8 +31,7 @@ impl Standardizer {
                 if col.len() < 2 {
                     return 1.0;
                 }
-                let var =
-                    col.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / col.len() as f64;
+                let var = col.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / col.len() as f64;
                 let s = var.sqrt();
                 if s < 1e-12 {
                     1.0

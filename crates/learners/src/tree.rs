@@ -203,9 +203,8 @@ impl<'a> Builder<'a> {
             || node_impurity <= 1e-12;
         if !stop {
             if let Some((feature, threshold, gain)) = self.best_split(rows, node_impurity) {
-                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
-                    .iter()
-                    .partition(|&&r| self.x[feature][r] <= threshold);
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| self.x[feature][r] <= threshold);
                 if left_rows.len() >= self.cfg.min_samples_leaf
                     && right_rows.len() >= self.cfg.min_samples_leaf
                 {
@@ -583,9 +582,7 @@ mod tests {
     fn errors_on_empty_and_mismatched_input() {
         let mut t = DecisionTreeClassifier::new(TreeConfig::default());
         assert!(t.fit(&[], &[], 2).is_err());
-        assert!(t
-            .fit(&[vec![1.0, 2.0]], &[0], 2)
-            .is_err());
+        assert!(t.fit(&[vec![1.0, 2.0]], &[0], 2).is_err());
         assert!(t.predict(&[vec![1.0]]).is_err()); // not fitted
         let (x, y) = xor_data(8);
         t.fit(&x, &y, 2).unwrap();

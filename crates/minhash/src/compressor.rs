@@ -159,7 +159,9 @@ mod tests {
     #[test]
     fn normalized_output_is_zero_mean_unit_std() {
         let c = compressor();
-        let values: Vec<f64> = (0..300).map(|i| (i as f64 * 1.7).sin() * 40.0 + 7.0).collect();
+        let values: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 1.7).sin() * 40.0 + 7.0)
+            .collect();
         let out = c.compress_normalized(&values).unwrap();
         let mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
         let var: f64 = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / out.len() as f64;
@@ -181,7 +183,10 @@ mod tests {
             .zip(&cb)
             .filter(|(x, y)| (**x - **y / 1.01).abs() < 1e-9)
             .count();
-        assert!(close > 40, "only {close}/64 indices stable under perturbation");
+        assert!(
+            close > 40,
+            "only {close}/64 indices stable under perturbation"
+        );
     }
 
     #[test]

@@ -283,7 +283,10 @@ mod tests {
             .unwrap()
             .similarity(&h.signature(&weights_b()).unwrap())
             .unwrap();
-        assert!((est - truth).abs() < 0.05, "est {est:.3} vs truth {truth:.3}");
+        assert!(
+            (est - truth).abs() < 0.05,
+            "est {est:.3} vs truth {truth:.3}"
+        );
     }
 
     #[test]

@@ -103,7 +103,12 @@ mod tests {
     use super::*;
 
     fn sig(pairs: &[(u32, i64)]) -> Signature {
-        Signature::new(pairs.iter().map(|&(key, t)| SigElement { key, t }).collect())
+        Signature::new(
+            pairs
+                .iter()
+                .map(|&(key, t)| SigElement { key, t })
+                .collect(),
+        )
     }
 
     #[test]
@@ -138,14 +143,8 @@ mod tests {
 
     #[test]
     fn generalized_jaccard_basics() {
-        assert_eq!(
-            generalized_jaccard(&[1.0, 2.0], &[1.0, 2.0]).unwrap(),
-            1.0
-        );
-        assert_eq!(
-            generalized_jaccard(&[1.0, 0.0], &[0.0, 1.0]).unwrap(),
-            0.0
-        );
+        assert_eq!(generalized_jaccard(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 1.0);
+        assert_eq!(generalized_jaccard(&[1.0, 0.0], &[0.0, 1.0]).unwrap(), 0.0);
         // min-sum 1+1=2, max-sum 2+3=5.
         assert!((generalized_jaccard(&[2.0, 1.0], &[1.0, 3.0]).unwrap() - 0.4).abs() < 1e-12);
         assert_eq!(generalized_jaccard(&[0.0], &[0.0]).unwrap(), 1.0);

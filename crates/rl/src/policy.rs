@@ -141,9 +141,7 @@ impl RnnPolicy {
         }
         let h: Vec<f64> = (0..self.config.hidden_dim)
             .map(|i| {
-                let a = self.bh[i]
-                    + dot(&self.wx[i], x)
-                    + dot(&self.wh[i], &self.hidden);
+                let a = self.bh[i] + dot(&self.wx[i], x) + dot(&self.wh[i], &self.hidden);
                 a.tanh()
             })
             .collect();

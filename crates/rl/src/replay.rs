@@ -52,13 +52,16 @@ impl<T> ReplayBuffer<T> {
             .iter()
             .enumerate()
             .map(|(i, (p, _))| (i, *p))
-            .fold((0, f64::INFINITY), |acc, cur| {
-                if cur.1 < acc.1 {
-                    cur
-                } else {
-                    acc
-                }
-            });
+            .fold(
+                (0, f64::INFINITY),
+                |acc, cur| {
+                    if cur.1 < acc.1 {
+                        cur
+                    } else {
+                        acc
+                    }
+                },
+            );
         if priority > min_p {
             self.entries[min_idx] = (priority, item);
         }
@@ -73,7 +76,9 @@ impl<T> ReplayBuffer<T> {
                 .partial_cmp(&self.entries[a].0)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        order.into_iter().map(|i| (self.entries[i].0, &self.entries[i].1))
+        order
+            .into_iter()
+            .map(|i| (self.entries[i].0, &self.entries[i].1))
     }
 
     /// Drain all entries, highest priority first.

@@ -1,0 +1,335 @@
+//! Concurrent, content-addressed evaluation cache.
+//!
+//! Maps a [`Fingerprint`] to a cached score (generic payload `V`) across
+//! 16 independently locked shards, with a global capacity bound, an
+//! approximate-LRU eviction policy (global logical clock, per-shard LRU
+//! scan), and atomic hit/miss/insert/evict counters.
+//!
+//! Capacity invariant: once every in-flight `insert` has returned, the
+//! number of resident entries is at most `capacity`; while inserts are in
+//! flight, residency can overshoot by at most the number of concurrently
+//! inserting threads (each over-capacity insert pays one eviction before
+//! returning). The victim is the globally least-recently-used entry,
+//! located by scanning the shards one lock at a time (O(len), but
+//! eviction only happens at capacity, where each resident entry already
+//! amortises a full CV evaluation). Locks are only ever held one shard at
+//! a time, so there is no lock-ordering hazard; concurrent touches
+//! between the scan and the removal merely make the LRU choice
+//! approximate.
+
+use crate::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const N_SHARDS: usize = 16;
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// Counter snapshot returned by [`ScoreCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+    /// Resident entries at snapshot time.
+    pub len: usize,
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas relative to an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            inserts: self.inserts - earlier.inserts,
+            evictions: self.evictions - earlier.evictions,
+            len: self.len,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Sharded concurrent cache from [`Fingerprint`] to `V`.
+pub struct ScoreCache<V> {
+    shards: Vec<Mutex<HashMap<u128, Entry<V>>>>,
+    capacity: usize,
+    /// Logical clock driving LRU ordering.
+    tick: AtomicU64,
+    /// Resident-entry counter (kept in sync with the shard maps).
+    len: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ScoreCache<V> {
+    /// Create a cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ScoreCache {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entries right now.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_of(&self, key: Fingerprint) -> usize {
+        // High bits: FNV mixes the low bits last, the high bits are well
+        // distributed for similar inputs either way.
+        (key.0 >> 124) as usize % N_SHARDS
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up a cached value, refreshing its recency on hit.
+    pub fn get(&self, key: Fingerprint) -> Option<V> {
+        let tick = self.next_tick();
+        let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+        match shard.get_mut(&key.0) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a value, evicting the approximate global LRU
+    /// entry first if the cache is at capacity.
+    pub fn insert(&self, key: Fingerprint, value: V) {
+        let tick = self.next_tick();
+        let idx = self.shard_of(key);
+        {
+            let mut shard = self.shards[idx].lock().unwrap();
+            if let Some(entry) = shard.get_mut(&key.0) {
+                entry.value = value;
+                entry.last_used = tick;
+                return;
+            }
+        }
+        // Reserve a slot, insert, then pay any eviction debt. Paying after
+        // the insert means a concurrent debtor always has a victim to find,
+        // at the cost of letting residency overshoot `capacity` by at most
+        // the number of concurrently inserting threads; the bound is exact
+        // again as soon as every in-flight insert returns.
+        let need_evict = self.len.fetch_add(1, Ordering::AcqRel) >= self.capacity;
+        let mut shard = self.shards[idx].lock().unwrap();
+        if let Some(entry) = shard.get_mut(&key.0) {
+            // A concurrent inserter beat us to this key: refresh in place
+            // and release the slot we reserved.
+            entry.value = value;
+            entry.last_used = tick;
+            drop(shard);
+            self.len.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        shard.insert(
+            key.0,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        drop(shard);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if need_evict {
+            self.evict_global_lru(key);
+        }
+    }
+
+    /// Pay one eviction debt with the globally least-recently-used entry,
+    /// never evicting `protect` (the entry whose insert incurred the debt).
+    fn evict_global_lru(&self, protect: Fingerprint) {
+        for _ in 0..16 {
+            // Pass 1: find the oldest entry, one shard lock at a time.
+            let mut victim: Option<(usize, u128, u64)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                let shard = shard.lock().unwrap();
+                for (&k, e) in shard.iter() {
+                    if k != protect.0 && victim.is_none_or(|(_, _, t)| e.last_used < t) {
+                        victim = Some((si, k, e.last_used));
+                    }
+                }
+            }
+            let Some((si, k, _)) = victim else {
+                // Nothing evictable anywhere: concurrent evictors already
+                // brought the cache under capacity; drop the debt.
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return;
+            };
+            // Pass 2: re-lock and remove. A touch between the passes just
+            // makes the LRU choice approximate; a removal means another
+            // evictor claimed the victim, so rescan.
+            if self.shards[si].lock().unwrap().remove(&k).is_some() {
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Pathological contention: every scan lost its victim to another
+        // evictor. Take any entry other than `protect`.
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            if let Some(&k) = shard.keys().find(|&&k| k != protect.0) {
+                shard.remove(&k);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.len.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Atomically read the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<V: Clone> std::fmt::Debug for ScoreCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoreCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> Fingerprint {
+        // Spread test keys over shards the way real digests would.
+        Fingerprint(n.wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_0C93_A5B7_1D43))
+    }
+
+    #[test]
+    fn get_after_insert() {
+        let cache = ScoreCache::new(8);
+        assert_eq!(cache.get(fp(1)), None);
+        cache.insert(fp(1), 0.5f64);
+        assert_eq!(cache.get(fp(1)), Some(0.5));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let cache = ScoreCache::new(10);
+        for i in 0..100u128 {
+            cache.insert(fp(i), i as f64);
+            assert!(
+                cache.len() <= 10,
+                "len {} after {} inserts",
+                cache.len(),
+                i + 1
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.inserts, 100);
+        assert_eq!(s.evictions, 90);
+        assert_eq!(s.len, 10);
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction_pressure() {
+        let cache = ScoreCache::new(4);
+        cache.insert(fp(0), 0.0f64);
+        for i in 1..40u128 {
+            // Touch key 0 so it stays the most recently used.
+            assert_eq!(cache.get(fp(0)), Some(0.0));
+            cache.insert(fp(i), i as f64);
+        }
+        assert_eq!(cache.get(fp(0)), Some(0.0), "hot entry was evicted");
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = ScoreCache::new(2);
+        cache.insert(fp(1), 1.0f64);
+        cache.insert(fp(1), 2.0f64);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(fp(1)), Some(2.0));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn concurrent_insert_lookup_evict_holds_invariants() {
+        use std::sync::Arc;
+        let cache = Arc::new(ScoreCache::new(64));
+        let n_threads = 8;
+        let per_thread = 500u128;
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let key = fp(t as u128 * per_thread + i);
+                        cache.insert(key, i as f64);
+                        // Mix in lookups of shared hot keys.
+                        cache.get(fp(i % 7));
+                        // Mid-flight residency may overshoot by one slot
+                        // per concurrently inserting thread, and len()
+                        // itself is a racy per-shard sum.
+                        assert!(cache.len() <= 64 + 2 * n_threads);
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.len, cache.len());
+        assert!(s.len <= 64);
+        assert_eq!(s.inserts, n_threads as u64 * per_thread as u64);
+        // Inserts beyond capacity are paid for by evictions (a rare race
+        // can drop an eviction debt, never create phantom evictions).
+        assert!(s.evictions <= s.inserts - s.len as u64);
+        assert!(s.evictions >= s.inserts - s.len as u64 - 64);
+    }
+}

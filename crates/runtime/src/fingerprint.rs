@@ -1,0 +1,196 @@
+//! Content-addressed 128-bit fingerprints of evaluation inputs.
+//!
+//! See the crate docs for the full key scheme and collision assumptions.
+//! The digest is FNV-1a over a length-prefixed, domain-tagged byte
+//! encoding: every variable-length field is preceded by its length and
+//! every logical section by a tag byte, so `("ab", "c")` and `("a", "bc")`
+//! hash differently.
+
+use tabular::{DataFrame, Label};
+
+/// A 128-bit content fingerprint, used as a cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Mix two fingerprints into one (non-commutative).
+    pub fn combine(self, other: Fingerprint) -> Fingerprint {
+        let mut h = Hasher128::new();
+        h.write_u128(self.0);
+        h.write_u128(other.0);
+        h.finish()
+    }
+}
+
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Incremental FNV-1a-128 hasher with typed, length-prefixed writers.
+#[derive(Debug, Clone)]
+pub struct Hasher128 {
+    state: u128,
+}
+
+impl Hasher128 {
+    pub fn new() -> Self {
+        Hasher128 { state: FNV_OFFSET }
+    }
+
+    pub fn write_byte(&mut self, b: u8) {
+        self.state = (self.state ^ b as u128).wrapping_mul(FNV_PRIME);
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hash the IEEE-754 bit pattern, so `-0.0 != 0.0` and NaN payloads
+    /// are preserved — bit-exact content addressing.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Length-prefixed string write.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+impl Default for Hasher128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Section tags keeping the frame encoding self-delimiting.
+const TAG_FRAME: u8 = 0xF0;
+const TAG_COLUMN: u8 = 0xF1;
+const TAG_LABEL_CLASS: u8 = 0xF2;
+const TAG_LABEL_REG: u8 = 0xF3;
+
+/// Fingerprint a frame's full content: name, shape, every column name and
+/// value bit pattern, and the label.
+pub fn fingerprint_frame(frame: &DataFrame) -> Fingerprint {
+    let mut h = Hasher128::new();
+    h.write_byte(TAG_FRAME);
+    h.write_str(&frame.name);
+    h.write_u64(frame.n_rows() as u64);
+    h.write_u64(frame.n_cols() as u64);
+    for col in frame.columns() {
+        h.write_byte(TAG_COLUMN);
+        h.write_str(&col.name);
+        for &v in &col.values {
+            h.write_f64(v);
+        }
+    }
+    match frame.label() {
+        Label::Class { y, n_classes } => {
+            h.write_byte(TAG_LABEL_CLASS);
+            h.write_u64(*n_classes as u64);
+            for &c in y {
+                h.write_u64(c as u64);
+            }
+        }
+        Label::Reg(targets) => {
+            h.write_byte(TAG_LABEL_REG);
+            for &t in targets {
+                h.write_f64(t);
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::{Column, DataFrame, Label};
+
+    fn frame(name: &str, vals: Vec<f64>) -> DataFrame {
+        let n = vals.len();
+        DataFrame::new(
+            name,
+            vec![Column::new("c0", vals)],
+            Label::Class {
+                y: (0..n).map(|i| i % 2).collect(),
+                n_classes: 2,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_content_equal_fingerprint() {
+        let a = frame("d", vec![1.0, 2.0, 3.0]);
+        let b = frame("d", vec![1.0, 2.0, 3.0]);
+        assert_eq!(fingerprint_frame(&a), fingerprint_frame(&b));
+    }
+
+    #[test]
+    fn any_content_change_changes_fingerprint() {
+        let base = fingerprint_frame(&frame("d", vec![1.0, 2.0, 3.0]));
+        assert_ne!(base, fingerprint_frame(&frame("e", vec![1.0, 2.0, 3.0])));
+        assert_ne!(base, fingerprint_frame(&frame("d", vec![1.0, 2.0, 4.0])));
+        let mut renamed = frame("d", vec![1.0, 2.0, 3.0]);
+        renamed = DataFrame::new(
+            "d",
+            vec![Column::new("other", renamed.columns()[0].values.clone())],
+            renamed.label().clone(),
+        )
+        .unwrap();
+        assert_ne!(base, fingerprint_frame(&renamed));
+    }
+
+    #[test]
+    fn bit_level_sensitivity() {
+        let a = fingerprint_frame(&frame("d", vec![0.0, 1.0]));
+        let b = fingerprint_frame(&frame("d", vec![-0.0, 1.0]));
+        assert_ne!(a, b, "-0.0 and 0.0 must address different entries");
+    }
+
+    #[test]
+    fn label_distinguishes_class_from_reg() {
+        let c = frame("d", vec![1.0, 2.0]);
+        let r = DataFrame::new(
+            "d",
+            vec![Column::new("c0", vec![1.0, 2.0])],
+            Label::Reg(vec![0.0, 1.0]),
+        )
+        .unwrap();
+        assert_ne!(fingerprint_frame(&c), fingerprint_frame(&r));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = Fingerprint(1);
+        let b = Fingerprint(2);
+        assert_ne!(a.combine(b), b.combine(a));
+        assert_eq!(a.combine(b), a.combine(b));
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_ambiguity() {
+        let mut h1 = Hasher128::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = Hasher128::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

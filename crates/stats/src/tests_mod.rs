@@ -106,12 +106,13 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TestResult> {
     let (va, vb) = (sample_variance(a), sample_variance(b));
     let se2 = va / na + vb / nb;
     if se2 <= 0.0 {
-        return Err(StatsError::Degenerate("zero variance in both samples".into()));
+        return Err(StatsError::Degenerate(
+            "zero variance in both samples".into(),
+        ));
     }
     let t = (mean(a) - mean(b)) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     Ok(TestResult {
         statistic: t,
         df,

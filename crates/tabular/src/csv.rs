@@ -42,7 +42,10 @@ pub fn read_csv<R: Read>(name: &str, task: Task, r: R) -> Result<DataFrame> {
     let header_line = lines
         .next()
         .ok_or_else(|| TabularError::Empty("csv has no header".into()))??;
-    let header: Vec<String> = header_line.split(',').map(|s| s.trim().to_string()).collect();
+    let header: Vec<String> = header_line
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
     if header.len() < 2 {
         return Err(TabularError::Csv {
             line: 1,

@@ -39,7 +39,10 @@ impl fmt::Display for TabularError {
                 what,
                 expected,
                 got,
-            } => write!(f, "length mismatch in {what}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "length mismatch in {what}: expected {expected}, got {got}"
+            ),
             TabularError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
             TabularError::Empty(what) => write!(f, "empty input: {what}"),
             TabularError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),

@@ -18,7 +18,9 @@ pub fn subsample_fraction(frame: &DataFrame, fraction: f64, seed: u64) -> Result
     }
     let n = frame.n_rows();
     if n == 0 {
-        return Err(TabularError::Empty("cannot subsample an empty frame".into()));
+        return Err(TabularError::Empty(
+            "cannot subsample an empty frame".into(),
+        ));
     }
     let keep = (((n as f64) * fraction).round() as usize).clamp(1, n);
     let mut idx: Vec<usize> = (0..n).collect();
@@ -42,7 +44,9 @@ pub fn stratified_subsample(frame: &DataFrame, fraction: f64, seed: u64) -> Resu
         )));
     }
     if y.is_empty() {
-        return Err(TabularError::Empty("cannot subsample an empty frame".into()));
+        return Err(TabularError::Empty(
+            "cannot subsample an empty frame".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let n_classes = frame.label().n_classes();

@@ -187,7 +187,9 @@ fn generate(spec: &SynthSpec) -> Result<DataFrame> {
     let mut terms = Vec::with_capacity(n_terms + n_informative.min(4));
     for _ in 0..n_terms {
         let arity = rng.gen_range(1..=depth.max(1));
-        let cols: Vec<usize> = (0..=arity).map(|_| rng.gen_range(0..n_informative)).collect();
+        let cols: Vec<usize> = (0..=arity)
+            .map(|_| rng.gen_range(0..n_informative))
+            .collect();
         let unary_ops: Vec<usize> = (0..cols.len()).map(|_| rng.gen_range(0..5)).collect();
         let binary_ops: Vec<usize> = (0..cols.len().saturating_sub(1))
             .map(|_| rng.gen_range(0..5))
@@ -311,8 +313,12 @@ mod tests {
 
     #[test]
     fn different_names_differ() {
-        let a = SynthSpec::new("x", 50, 5, Task::Regression).generate().unwrap();
-        let b = SynthSpec::new("y", 50, 5, Task::Regression).generate().unwrap();
+        let a = SynthSpec::new("x", 50, 5, Task::Regression)
+            .generate()
+            .unwrap();
+        let b = SynthSpec::new("y", 50, 5, Task::Regression)
+            .generate()
+            .unwrap();
         assert_ne!(a.columns()[0].values, b.columns()[0].values);
     }
 
@@ -348,8 +354,12 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_specs() {
-        assert!(SynthSpec::new("e", 0, 5, Task::Regression).generate().is_err());
-        assert!(SynthSpec::new("e", 5, 0, Task::Regression).generate().is_err());
+        assert!(SynthSpec::new("e", 0, 5, Task::Regression)
+            .generate()
+            .is_err());
+        assert!(SynthSpec::new("e", 5, 0, Task::Regression)
+            .generate()
+            .is_err());
         assert!(SynthSpec::new("e", 5, 5, Task::Classification)
             .with_classes(1)
             .generate()

@@ -45,7 +45,11 @@ fn main() {
 
     println!();
     println!("base 1-RAE: {:.4}", result.base_score);
-    println!("best 1-RAE: {:.4} ({:+.4})", result.best_score, result.improvement());
+    println!(
+        "best 1-RAE: {:.4} ({:+.4})",
+        result.best_score,
+        result.improvement()
+    );
     println!("selected generated features:");
     for name in &result.selected {
         println!("  {name}");
@@ -55,7 +59,11 @@ fn main() {
     // with other downstream models (GP for regression under NB|GP, MLP).
     println!();
     println!("cached features under replaced downstream tasks:");
-    for kind in [ModelKind::RandomForest, ModelKind::NaiveBayesGp, ModelKind::Mlp] {
+    for kind in [
+        ModelKind::RandomForest,
+        ModelKind::NaiveBayesGp,
+        ModelKind::Mlp,
+    ] {
         let score = reevaluate(&engineered, kind, &config).expect("re-evaluate");
         println!("  {:<6} 1-RAE = {score:.4}", kind.name());
     }

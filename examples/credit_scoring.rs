@@ -46,7 +46,10 @@ fn main() {
     let eafe = Engine::e_afe(config, fpe).run(&frame).expect("E-AFE");
 
     println!();
-    println!("{:<22} {:>8} {:>8} {:>10} {:>9}", "method", "F1", "evals", "total(s)", "eval(s)");
+    println!(
+        "{:<22} {:>8} {:>8} {:>10} {:>9}",
+        "method", "F1", "evals", "total(s)", "eval(s)"
+    );
     for r in [&nfs, &eafe] {
         println!(
             "{:<22} {:>8.4} {:>8} {:>10.2} {:>9.2}",

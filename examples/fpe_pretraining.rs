@@ -29,10 +29,18 @@ fn main() {
         folds: 3,
         ..Evaluator::default()
     };
+    // Route through the shared runtime: content-addressed score caching
+    // means the per-frame baselines A₀ are evaluated once across both
+    // labelling passes.
+    let evaluator = runtime::Evaluator::new(evaluator);
     println!("labelling features by leave-one-out + generated add-one-in gains...");
     let train = RawLabels::compute_augmented(train_corpus, &evaluator, 8, 3, 1).expect("train");
     let val = RawLabels::compute_augmented(val_corpus, &evaluator, 8, 3, 2).expect("val");
-    println!("labelled {} train / {} val features", train.len(), val.len());
+    println!(
+        "labelled {} train / {} val features",
+        train.len(),
+        val.len()
+    );
 
     // The Algorithm 1 sweep: 4 CWS families x 4 signature dimensions.
     let space = FpeSearchSpace {
@@ -49,7 +57,10 @@ fn main() {
     println!("\nsearching {} compressor candidates...", 16);
     let result = search(&space, &train, &val).expect("search");
 
-    println!("\n{:<10} {:>4} {:>8} {:>10} {:>9}", "family", "d", "recall", "precision", "feasible");
+    println!(
+        "\n{:<10} {:>4} {:>8} {:>10} {:>9}",
+        "family", "d", "recall", "precision", "feasible"
+    );
     for o in &result.outcomes {
         println!(
             "{:<10} {:>4} {:>8.3} {:>10.3} {:>9}",
@@ -63,7 +74,10 @@ fn main() {
     let model = result.model;
     println!(
         "\nwinner: {} with d = {} (recall {:.3}, precision {:.3})",
-        model.family().expect("search picked a MinHash model").name(),
+        model
+            .family()
+            .expect("search picked a MinHash model")
+            .name(),
         model.d(),
         model.metrics.recall,
         model.metrics.precision

@@ -56,9 +56,18 @@ fn main() {
 
     // 4. Inspect the outcome.
     println!();
-    println!("base score (raw features, 5-fold RF CV F1): {:.4}", result.base_score);
-    println!("best score (engineered features):           {:.4}", result.best_score);
-    println!("improvement:                                {:+.4}", result.improvement());
+    println!(
+        "base score (raw features, 5-fold RF CV F1): {:.4}",
+        result.base_score
+    );
+    println!(
+        "best score (engineered features):           {:.4}",
+        result.best_score
+    );
+    println!(
+        "improvement:                                {:+.4}",
+        result.improvement()
+    );
     println!(
         "generated {} candidate features, evaluated {} on the downstream task \
          (drop rate {:.0}%)",

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 build + test sweep
+# (ROADMAP.md). Run from anywhere inside the repo; fails fast.
+#
+#   ./scripts/ci.sh          # full gate
+#   ./scripts/ci.sh --quick  # skip the release build (debug test run only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -173,8 +173,7 @@ fn run() -> Result<(), String> {
         raw.n_cols(),
         raw.task().code()
     );
-    let frame =
-        preselect_features(&raw, cli.max_features, cli.seed).map_err(|e| e.to_string())?;
+    let frame = preselect_features(&raw, cli.max_features, cli.seed).map_err(|e| e.to_string())?;
     if frame.n_cols() < raw.n_cols() {
         eprintln!(
             "pre-selected {} of {} features by RF importance",
@@ -204,14 +203,19 @@ fn run() -> Result<(), String> {
         "dropout" => Engine::e_afe_d(config, 0.5)
             .run_full(&frame)
             .map_err(|e| e.to_string())?,
-        "autofs" => eafe::baselines::run_autofs_r_full(&config, &frame)
-            .map_err(|e| e.to_string())?,
+        "autofs" => {
+            eafe::baselines::run_autofs_r_full(&config, &frame).map_err(|e| e.to_string())?
+        }
         other => return Err(format!("unknown method `{other}` (try --help)")),
     };
 
     println!("method:            {}", result.method);
     println!("base score:        {:.4}", result.base_score);
-    println!("best score:        {:.4}  ({:+.4})", result.best_score, result.improvement());
+    println!(
+        "best score:        {:.4}  ({:+.4})",
+        result.best_score,
+        result.improvement()
+    );
     println!(
         "features:          {} generated, {} evaluated downstream, {} selected",
         result.generated_features,
@@ -231,8 +235,7 @@ fn run() -> Result<(), String> {
     }
 
     if let Some(path) = &cli.output {
-        let mut file =
-            std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+        let mut file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
         tabular::csv::write_csv(&engineered, &mut file).map_err(|e| e.to_string())?;
         println!("wrote engineered table to {}", path.display());
     }

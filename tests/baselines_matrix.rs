@@ -56,7 +56,9 @@ fn all_eleven_table3_methods_run() {
         Engine::nfs(cfg()).run(&frame).unwrap(),
         run_fe_dl(&dl_cfg(), &engineered).unwrap(),
         run_dl_fe(&dl_cfg(), &frame).unwrap(),
-        Engine::e_afe_r(cfg(), fpe_ccws.clone()).run(&frame).unwrap(),
+        Engine::e_afe_r(cfg(), fpe_ccws.clone())
+            .run(&frame)
+            .unwrap(),
         Engine::e_afe_d(cfg(), 0.5).run(&frame).unwrap(),
         Engine::e_afe_variant(cfg(), fpe(HashFamily::ZeroBitCws), "E-AFE^L")
             .run(&frame)

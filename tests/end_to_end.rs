@@ -72,7 +72,9 @@ fn runs_are_deterministic_across_invocations() {
         .generate()
         .unwrap();
     let model = fpe();
-    let a = Engine::e_afe(fast_config(), model.clone()).run(&frame).unwrap();
+    let a = Engine::e_afe(fast_config(), model.clone())
+        .run(&frame)
+        .unwrap();
     let b = Engine::e_afe(fast_config(), model).run(&frame).unwrap();
     assert_eq!(a.best_score, b.best_score);
     assert_eq!(a.selected, b.selected);
@@ -109,8 +111,7 @@ fn engineered_features_survive_csv_round_trip() {
     let (_, engineered) = Engine::e_afe(cfg.clone(), fpe()).run_full(&frame).unwrap();
     let mut buf = Vec::new();
     tabular::csv::write_csv(&engineered, &mut buf).unwrap();
-    let reloaded =
-        tabular::csv::read_csv("reloaded", Task::Classification, &buf[..]).unwrap();
+    let reloaded = tabular::csv::read_csv("reloaded", Task::Classification, &buf[..]).unwrap();
     assert_eq!(reloaded.n_cols(), engineered.n_cols());
     let s1 = cfg.evaluator.evaluate(&engineered).unwrap();
     let s2 = cfg.evaluator.evaluate(&reloaded).unwrap();

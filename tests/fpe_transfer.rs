@@ -21,7 +21,8 @@ fn evaluator() -> Evaluator {
 
 fn labels(seed: u64, n_class: usize, n_reg: usize) -> RawLabels {
     let corpus = public_corpus(n_class, n_reg, seed).unwrap();
-    RawLabels::compute_augmented(&corpus, &evaluator(), 6, 3, seed).unwrap()
+    RawLabels::compute_augmented(&corpus, &runtime::Evaluator::new(evaluator()), 6, 3, seed)
+        .unwrap()
 }
 
 #[test]
@@ -99,7 +100,7 @@ fn persisted_fpe_model_is_identical_in_the_engine() {
 #[test]
 fn augmented_labelling_supersets_plain_labelling() {
     let corpus = public_corpus(3, 1, 700).unwrap();
-    let ev = evaluator();
+    let ev = runtime::Evaluator::new(evaluator());
     let plain = RawLabels::compute(&corpus, &ev).unwrap();
     let augmented = RawLabels::compute_augmented(&corpus, &ev, 4, 3, 7).unwrap();
     assert!(augmented.len() > plain.len());

@@ -1,0 +1,122 @@
+//! Determinism of the shared parallel evaluation runtime: a fixed-seed
+//! E-AFE / NFS run must produce **bit-identical** scores whether the
+//! runtime executes on one thread or many, and whether the score cache is
+//! private or shared. The runtime guarantees this by deriving every
+//! task's RNG seed from (root seed, stream, task index) instead of from
+//! thread identity or scheduling order, and by returning `WorkerPool`
+//! results in submission order.
+//!
+//! `runtime::set_global_threads` is process-global, so the single- vs
+//! multi-threaded comparisons run sequentially inside one `#[test]` per
+//! scenario rather than as separate tests.
+
+use std::sync::Arc;
+
+use eafe::{bootstrap_fpe, EafeConfig, Engine, FpeSearchSpace, RunResult};
+use minhash::HashFamily;
+use runtime::ScoreCache;
+use tabular::{DataFrame, SynthSpec, Task};
+
+fn fast_config() -> EafeConfig {
+    let mut cfg = EafeConfig::fast();
+    cfg.stage1_epochs = 2;
+    cfg.stage2_epochs = 3;
+    cfg.steps_per_epoch = 3;
+    cfg
+}
+
+fn frame() -> DataFrame {
+    SynthSpec::new("par-det", 180, 5, Task::Classification)
+        .with_seed(41)
+        .generate()
+        .unwrap()
+}
+
+fn fpe() -> eafe::FpeModel {
+    let cfg = fast_config();
+    let space = FpeSearchSpace {
+        families: vec![HashFamily::Ccws],
+        dims: vec![16],
+        thre: 0.01,
+        seed: 9,
+    };
+    bootstrap_fpe(4, 2, &space, &cfg.evaluator, 9).expect("FPE bootstrap")
+}
+
+/// Exact equality on everything score-bearing: seeds are fixed, so the
+/// parallel schedule must not leak into any reported number.
+fn assert_bit_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(
+        a.base_score.to_bits(),
+        b.base_score.to_bits(),
+        "{what}: base"
+    );
+    assert_eq!(
+        a.best_score.to_bits(),
+        b.best_score.to_bits(),
+        "{what}: best"
+    );
+    assert_eq!(a.downstream_evals, b.downstream_evals, "{what}: evals");
+    assert_eq!(
+        a.generated_features, b.generated_features,
+        "{what}: generated"
+    );
+    assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace length");
+    for (x, y) in a.trace.iter().zip(&b.trace) {
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "{what}: trace score");
+    }
+}
+
+#[test]
+fn nfs_scores_identical_across_thread_counts() {
+    let frame = frame();
+    runtime::set_global_threads(1);
+    let single = Engine::nfs(fast_config()).run(&frame).unwrap();
+    runtime::set_global_threads(4);
+    let multi = Engine::nfs(fast_config()).run(&frame).unwrap();
+    runtime::set_global_threads(0);
+    assert_bit_identical(&single, &multi, "NFS 1-vs-4 threads");
+}
+
+#[test]
+fn e_afe_scores_identical_across_thread_counts() {
+    let frame = frame();
+    let fpe = fpe();
+    runtime::set_global_threads(1);
+    let single = Engine::e_afe(fast_config(), fpe.clone())
+        .run(&frame)
+        .unwrap();
+    runtime::set_global_threads(4);
+    let multi = Engine::e_afe(fast_config(), fpe).run(&frame).unwrap();
+    runtime::set_global_threads(0);
+    assert_bit_identical(&single, &multi, "E-AFE 1-vs-4 threads");
+}
+
+#[test]
+fn shared_cache_does_not_change_scores() {
+    // A shared content-addressed cache may only short-circuit evaluations
+    // whose inputs fingerprint identically — so scores cannot move.
+    let frame = frame();
+    let cold = Engine::nfs(fast_config()).run(&frame).unwrap();
+    let cache = Arc::new(ScoreCache::new(4096));
+    let warm1 = Engine::nfs(fast_config())
+        .with_cache(Arc::clone(&cache))
+        .run(&frame)
+        .unwrap();
+    let warm2 = Engine::nfs(fast_config())
+        .with_cache(Arc::clone(&cache))
+        .run(&frame)
+        .unwrap();
+    assert_bit_identical(&cold, &warm1, "NFS private-vs-shared cache");
+    assert_bit_identical(&cold, &warm2, "NFS cold-vs-warm shared cache");
+    // The second identical run must be served largely from cache.
+    assert!(
+        warm2.cache_hits > 0,
+        "repeated fixed-seed run should hit the shared cache (hits = {})",
+        warm2.cache_hits
+    );
+    assert_eq!(
+        warm2.cache_misses, 0,
+        "every evaluation of an identical rerun is cached"
+    );
+}

@@ -1,0 +1,292 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! range and `collection::vec` strategies, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Differences from the real crate, by design:
+//! - inputs are drawn from a deterministic per-test stream (seeded by the
+//!   test name), so runs are reproducible without a regressions file;
+//! - failing cases are reported with their inputs but not shrunk.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How a generated case resolved.
+pub enum CaseResult {
+    Pass,
+    Reject,
+}
+
+/// Error type `prop_assert!`/`prop_assume!` return from a case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject,
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod runner {
+    pub use super::{CaseResult, TestCaseError};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn name_seed(name: &str) -> u64 {
+        // FNV-1a, so each test gets a stable, distinct input stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive one property: generate inputs until `cases` cases pass, with
+    /// a rejection budget so a too-strict `prop_assume!` fails loudly.
+    pub fn run(
+        cfg: &super::ProptestConfig,
+        name: &str,
+        mut case: impl FnMut(&mut StdRng) -> CaseResult,
+    ) {
+        let mut rng = StdRng::seed_from_u64(name_seed(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = cfg.cases.saturating_mul(10).max(1000);
+        while passed < cfg.cases {
+            match case(&mut rng) {
+                CaseResult::Pass => passed += 1,
+                CaseResult::Reject => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejected} rejects for {passed} passes)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::runner::run(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let __case_desc = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(stringify!($arg));
+                        __s.push_str(" = ");
+                        __s.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    __s
+                };
+                let mut __case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                match __case() {
+                    Ok(()) => $crate::CaseResult::Pass,
+                    Err($crate::TestCaseError::Reject) => $crate::CaseResult::Reject,
+                    Err($crate::TestCaseError::Fail(__msg)) => panic!(
+                        "proptest '{}' failed: {}\n  inputs: {}",
+                        stringify!($name),
+                        __msg,
+                        __case_desc
+                    ),
+                }
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0usize..10, y in -2.0f64..2.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-2.0..2.0).contains(&y), "y out of range: {}", y);
+        }
+
+        #[test]
+        fn vec_strategy_length(v in prop::collection::vec(0.0f64..1.0, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn nested_vec_strategy(vv in prop::collection::vec(prop::collection::vec(0usize..5, 1..4), 1..4)) {
+            prop_assert!(!vv.is_empty());
+            for v in &vv {
+                prop_assert!(!v.is_empty());
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0.0f64..1.0, 2..9);
+        let a = strat.generate(&mut StdRng::seed_from_u64(1));
+        let b = strat.generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

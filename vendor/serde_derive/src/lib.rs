@@ -1,0 +1,446 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` for the vendored `serde` crate's
+//! `Value` model. The real derive crate parses items with `syn`; neither
+//! `syn` nor `quote` is available offline, so this walks the raw
+//! `proc_macro::TokenStream` directly. It supports exactly the item shapes
+//! the workspace uses:
+//!
+//! - structs with named fields (optionally generic over type parameters),
+//! - tuple structs,
+//! - enums with unit, newtype, and struct variants,
+//!
+//! and mirrors serde's externally-tagged representation: structs become
+//! maps, unit variants become strings, newtype/struct variants become
+//! single-entry maps.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------- parsing
+
+struct Item {
+    name: String,
+    /// Type-parameter names, e.g. `["T"]` for `ReplayBuffer<T>`.
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Variants(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Newtype(String),
+    Named(Vec<Field>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("derive expects a struct or enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_enum {
+                Body::Variants(parse_variants(&inner))
+            } else {
+                Body::Named(parse_named_fields(&inner))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Tuple(split_top_level(&inner).len())
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+        other => panic!("unsupported item body: {other:?}"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Skip leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parse `<T, U: Bound, ...>` returning the parameter names; bounds are
+/// accepted and ignored (the generated impls re-bound every parameter on
+/// Serialize/Deserialize, which is what serde's derive does too).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Split a token slice on top-level commas (tracking `<...>` nesting; other
+/// brackets arrive pre-grouped by the tokenizer).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle = 0usize;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    split_top_level(tokens)
+        .into_iter()
+        .map(|field_tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&field_tokens, &mut i);
+            let name = match &field_tokens[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, found {other}"),
+            };
+            i += 1;
+            match &field_tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+                other => panic!("expected ':' after field `{name}`, found {other}"),
+            }
+            let ty = tokens_to_string(&field_tokens[i..]);
+            Field { name, ty }
+        })
+        .collect()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level(tokens)
+        .into_iter()
+        .map(|var_tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&var_tokens, &mut i);
+            let name = match &var_tokens[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, found {other}"),
+            };
+            i += 1;
+            let body = match var_tokens.get(i) {
+                None => VariantBody::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let elems = split_top_level(&inner);
+                    if elems.len() != 1 {
+                        panic!("variant `{name}`: only newtype tuple variants are supported");
+                    }
+                    let mut j = 0;
+                    skip_attrs_and_vis(&elems[0], &mut j);
+                    VariantBody::Newtype(tokens_to_string(&elems[0][j..]))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantBody::Named(parse_named_fields(&inner))
+                }
+                // Discriminant (`= expr`) — not used in this workspace.
+                Some(other) => panic!("unsupported variant body for `{name}`: {other}"),
+            };
+            Variant { name, body }
+        })
+        .collect()
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    // Joint puncts must stay glued to the next token: a space after the `'`
+    // of a lifetime (`' static`) would fail to lex as generated code.
+    let mut out = String::new();
+    let mut glue = true;
+    for t in tokens {
+        if !glue {
+            out.push(' ');
+        }
+        out.push_str(&t.to_string());
+        glue = matches!(t, TokenTree::Punct(p) if p.spacing() == Spacing::Joint);
+    }
+    out
+}
+
+// ------------------------------------------------------------------- codegen
+
+/// `impl<T: ::serde::Serialize> ::serde::Serialize for Name<T>` pieces.
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.generics.join(", ");
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("{}<{}>", item.name, plain),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (generics, target) = impl_header(item, "Serialize");
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Variants(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let ty = &item.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{ty}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantBody::Newtype(_) => format!(
+                            "{ty}::{vn}(inner) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(inner))])"
+                        ),
+                        VariantBody::Named(fields) => {
+                            let names: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{entries}]))])",
+                                binds = names.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {target} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (generics, target) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: <{ty} as ::serde::Deserialize>::from_value(::serde::field(entries, \"{n}\"))\
+                         .map_err(|e| ::serde::DeError::new(format!(\"{name}.{n}: {{e}}\")))?",
+                        n = f.name,
+                        ty = f.ty
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = v.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|idx| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({idx}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Body::Unit => format!("let _ = v; Ok({name})"),
+        Body::Variants(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn})", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => None,
+                        VariantBody::Newtype(ty) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(<{ty} as ::serde::Deserialize>::from_value(inner)?))"
+                        )),
+                        VariantBody::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{n}: <{ty} as ::serde::Deserialize>::from_value(::serde::field(entries, \"{n}\"))?",
+                                        n = f.name,
+                                        ty = f.ty
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let entries = inner.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for {name}::{vn}\"))?; Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = &m[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged}\n\
+                             other => Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::DeError::new(\"expected string or single-entry map for enum {name}\")),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                tagged = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Deserialize for {target} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
