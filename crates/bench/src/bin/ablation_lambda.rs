@@ -32,7 +32,9 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for info in args.dataset_infos() {
-        eprintln!("running {} ...", info.name);
+        if !args.quiet {
+            eprintln!("running {} ...", info.name);
+        }
         let frame = args.load(&info);
         let lambda = args
             .engine(Engine::e_afe(args.config(), fpe.clone()))
@@ -66,4 +68,5 @@ fn main() {
         mean(|r| r.lambda_score),
         mean(|r| r.rewards_to_go_score)
     );
+    args.finish();
 }

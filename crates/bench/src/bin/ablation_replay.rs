@@ -33,7 +33,9 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for info in args.dataset_infos() {
-        eprintln!("running {} ...", info.name);
+        if !args.quiet {
+            eprintln!("running {} ...", info.name);
+        }
         let frame = args.load(&info);
         let with = args
             .engine(Engine::e_afe(args.config(), fpe.clone()))
@@ -69,4 +71,5 @@ fn main() {
         mean(|r| r.with_replay_score),
         mean(|r| r.without_replay_score)
     );
+    args.finish();
 }

@@ -67,7 +67,9 @@ fn main() {
     let mut rows = Vec::new();
     for repr in reprs {
         let name = repr.name();
-        eprintln!("training FPE with {name} ...");
+        if !args.quiet {
+            eprintln!("training FPE with {name} ...");
+        }
         let t = train.represent(&repr, 0.01).expect("train repr");
         let v = val.represent(&repr, 0.01).expect("val repr");
         let model = FpeModel::train_with_repr(repr, &t, &v, 0.01, args.seed).expect("train");
@@ -107,4 +109,5 @@ fn main() {
          datasets AND preserves sample similarity (Eq. 2); sketches keep \
          marginals only, meta-features compress harder still."
     );
+    args.finish();
 }

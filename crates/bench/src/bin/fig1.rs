@@ -77,4 +77,5 @@ fn main() {
             fmt_secs(full.mean_secs),
         );
     }
+    args.finish();
 }

@@ -90,4 +90,5 @@ fn main() {
         "\nshape check: positives (and typically recall pressure) shrink as thre grows — \
          the paper picks thre = 0.01 as the recall/selectivity trade-off."
     );
+    args.finish();
 }

@@ -38,7 +38,9 @@ fn main() {
 
     let mut curves = Vec::new();
     for info in args.dataset_infos() {
-        eprintln!("running {} ...", info.name);
+        if !args.quiet {
+            eprintln!("running {} ...", info.name);
+        }
         let frame = args.load(&info);
         let runs = vec![
             args.run_autofs_r(&cfg, &frame).expect("FS_R"),
@@ -96,4 +98,5 @@ fn main() {
         }
     }
     args.write_json("fig7.json", &curves);
+    args.finish();
 }

@@ -135,4 +135,5 @@ fn main() {
          smaller thre → larger recall; very small d hurts; higher order can \
          help some datasets at sharply growing cost."
     );
+    args.finish();
 }

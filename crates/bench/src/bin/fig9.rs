@@ -58,12 +58,16 @@ fn main() {
 
     // Sample-count sweep at fixed width.
     for &n in &[250usize, 500, 1000, 2000] {
-        eprintln!("samples sweep: n = {n}");
+        if !args.quiet {
+            eprintln!("samples sweep: n = {n}");
+        }
         run_pair("samples", n, 8);
     }
     // Feature-count sweep at fixed height.
     for &m in &[4usize, 8, 16, 32] {
-        eprintln!("features sweep: m = {m}");
+        if !args.quiet {
+            eprintln!("features sweep: m = {m}");
+        }
         run_pair("features", 500, m);
     }
 
@@ -98,4 +102,5 @@ fn main() {
          size — bigger datasets make each avoided downstream evaluation \
          more expensive."
     );
+    args.finish();
 }

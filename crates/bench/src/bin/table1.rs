@@ -65,4 +65,5 @@ fn main() {
     }
     table.print();
     args.write_json("table1.json", &rows);
+    args.finish();
 }

@@ -67,7 +67,9 @@ fn main() {
 
     let mut rows: Vec<DatasetRow> = Vec::new();
     for info in args.dataset_infos() {
-        eprintln!("running {} ...", info.name);
+        if !args.quiet {
+            eprintln!("running {} ...", info.name);
+        }
         let frame = args.load(&info);
         let mut row = DatasetRow {
             dataset: info.name.to_string(),
@@ -173,4 +175,5 @@ fn main() {
     for (label, recorded) in METHODS {
         println!("mean {label:<8} = {:.4}", mean_of(recorded));
     }
+    args.finish();
 }

@@ -49,7 +49,9 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for info in args.dataset_infos() {
-        eprintln!("running {} ...", info.name);
+        if !args.quiet {
+            eprintln!("running {} ...", info.name);
+        }
         let frame = args.load(&info);
         let fs_r = args.run_autofs_r(&cfg, &frame).expect("FS_R");
         let nfs = args
@@ -92,4 +94,5 @@ fn main() {
         100.0 * sum(|r| r.e_afe) / sum(|r| r.nfs).max(1.0),
         100.0 * sum(|r| r.e_afe_d) / sum(|r| r.nfs).max(1.0),
     );
+    args.finish();
 }

@@ -40,7 +40,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for info in args.dataset_infos() {
-        eprintln!("running {} ...", info.name);
+        if !args.quiet {
+            eprintln!("running {} ...", info.name);
+        }
         let frame = args.load(&info);
         let (_, fs_frame) = args.run_autofs_r_full(&cfg, &frame).expect("FS_R");
         let (_, nfs_frame) = args
@@ -100,4 +102,5 @@ fn main() {
         "\nshape check: E-AFE features best-or-tied in {wins}/{cells} \
          (dataset × replacement-model) cells."
     );
+    args.finish();
 }

@@ -73,7 +73,9 @@ fn main() {
             args.dataset_infos()
                 .iter()
                 .map(|info| {
-                    eprintln!("running {} ...", info.name);
+                    if !args.quiet {
+                        eprintln!("running {} ...", info.name);
+                    }
                     let frame = args.load(info);
                     let mut row = DatasetRow {
                         dataset: info.name.to_string(),
@@ -159,4 +161,5 @@ fn main() {
          performance significant vs RTDL_N, near-significant vs AutoFS_R, \
          not significant vs NFS (E-AFE's gain over NFS is efficiency)."
     );
+    args.finish();
 }

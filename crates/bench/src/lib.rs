@@ -14,7 +14,15 @@
 //! --out <dir>        artifact directory                      (default bench_results)
 //! --threads <n>      worker-thread ceiling, 0 = all cores    (default 0)
 //! --no-cache         disable score-cache sharing across runs
+//! --quiet            suppress per-dataset/per-epoch progress lines
+//! --metrics          print the end-of-run telemetry summary
+//! --trace-out <path> stream telemetry events to a JSON-lines file
 //! ```
+//!
+//! `--metrics` / `--trace-out` install the workspace telemetry sink for
+//! the duration of the run; without them instrumentation costs one atomic
+//! load per site. Every artifact's JSON envelope carries a `telemetry`
+//! block (counters, histograms, span aggregates — empty when disabled).
 //!
 //! Paper-fidelity note: the defaults are scaled down from the paper's
 //! 200-epoch runs so every binary finishes in minutes on a laptop. The
@@ -57,6 +65,16 @@ pub struct CommonArgs {
     /// Score cache shared by every run this binary launches (`None` when
     /// `--no-cache` disables sharing for A/B wall-clock comparisons).
     pub cache: Option<Arc<ScoreCache<f64>>>,
+    /// Suppress progress lines (`--quiet`); data tables and the telemetry
+    /// summary still print.
+    pub quiet: bool,
+    /// Print the end-of-run telemetry summary (`--metrics`).
+    pub metrics: bool,
+    /// Stream telemetry events to this JSON-lines file (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// In-memory event collector backing the end-of-run summary; `Some`
+    /// exactly when telemetry was switched on by `--metrics`/`--trace-out`.
+    pub collector: Option<Arc<telemetry::MemorySink>>,
 }
 
 impl Default for CommonArgs {
@@ -79,6 +97,10 @@ impl Default for CommonArgs {
             cache: Some(Arc::new(ScoreCache::new(
                 runtime::evaluator::DEFAULT_CACHE_CAPACITY,
             ))),
+            quiet: false,
+            metrics: false,
+            trace_out: None,
+            collector: None,
         }
     }
 }
@@ -116,11 +138,14 @@ impl CommonArgs {
                 "--out" => args.out = PathBuf::from(value("--out")),
                 "--threads" => args.threads = value("--threads").parse().expect("int threads"),
                 "--no-cache" => args.cache = None,
+                "--quiet" => args.quiet = true,
+                "--metrics" => args.metrics = true,
+                "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out"))),
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale f --datasets list|all|motivation --epochs1 n \
                          --epochs2 n --steps n --max-features n --seed n --out dir \
-                         --threads n --no-cache"
+                         --threads n --no-cache --quiet --metrics --trace-out path"
                     );
                     std::process::exit(0);
                 }
@@ -132,7 +157,33 @@ impl CommonArgs {
             "--scale must be in (0,1]"
         );
         runtime::set_global_threads(args.threads);
+        args.install_telemetry();
         args
+    }
+
+    /// Install the telemetry sink when `--metrics` or `--trace-out` asked
+    /// for it: an in-memory collector (for the end-of-run summary and the
+    /// artifact `telemetry` block), fanned out to a JSON-lines file when
+    /// `--trace-out` names one.
+    fn install_telemetry(&mut self) {
+        if !self.metrics && self.trace_out.is_none() {
+            return;
+        }
+        let collector = Arc::new(telemetry::MemorySink::new());
+        let mut sinks: Vec<Arc<dyn telemetry::Sink>> =
+            vec![Arc::clone(&collector) as Arc<dyn telemetry::Sink>];
+        if let Some(path) = &self.trace_out {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create trace-out dir");
+                }
+            }
+            let file = telemetry::JsonLinesSink::create(path)
+                .unwrap_or_else(|e| panic!("open {path:?}: {e}"));
+            sinks.push(Arc::new(file));
+        }
+        telemetry::install(Arc::new(telemetry::FanoutSink(sinks)));
+        self.collector = Some(collector);
     }
 
     /// Resolve dataset infos, failing loudly on unknown names.
@@ -247,8 +298,10 @@ impl CommonArgs {
         }
     }
 
-    /// The runtime header recorded in every JSON artifact: thread count
-    /// and the shared score cache's cumulative counters at write time.
+    /// The runtime header recorded in every JSON artifact: thread count,
+    /// the shared score cache's cumulative counters at write time, and the
+    /// wall-clock write timestamp (timestamps live here so the captured
+    /// run logs stay byte-deterministic).
     pub fn artifact_header(&self) -> ArtifactHeader {
         let stats = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         ArtifactHeader {
@@ -258,22 +311,141 @@ impl CommonArgs {
             cache_misses: stats.misses,
             cache_hit_rate: stats.hit_rate(),
             cache_evictions: stats.evictions,
+            written_at_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+
+    /// Snapshot the telemetry state for the artifact envelope. Always
+    /// present so consumers can branch on `enabled` instead of key
+    /// presence; counters/histograms/spans are empty when telemetry is off.
+    pub fn telemetry_block(&self) -> TelemetryBlock {
+        let enabled = self.collector.is_some();
+        if enabled {
+            self.export_shard_counters();
+        }
+        let snapshot = if enabled {
+            telemetry::global().snapshot()
+        } else {
+            telemetry::RegistrySnapshot::default()
+        };
+        let spans = match &self.collector {
+            Some(c) => telemetry::Summary::from_events(&c.events()),
+            None => telemetry::Summary::default(),
+        };
+        TelemetryBlock {
+            enabled,
+            counters: snapshot.counters,
+            histograms: snapshot.histograms,
+            spans,
+        }
+    }
+
+    /// Mirror the score cache's per-shard counters into the metrics
+    /// registry under `score_cache.shardNN.*`, so the artifact block and
+    /// `--metrics` summary carry the shard-level breakdown.
+    fn export_shard_counters(&self) {
+        let Some(cache) = &self.cache else { return };
+        let registry = telemetry::global();
+        for (i, s) in cache.shard_stats().iter().enumerate() {
+            let set = |what: &str, v: u64| {
+                registry
+                    .counter(&format!("score_cache.shard{i:02}.{what}"))
+                    .set(v);
+            };
+            set("hits", s.hits);
+            set("misses", s.misses);
+            set("inserts", s.inserts);
+            set("evictions", s.evictions);
+            set("len", s.len as u64);
         }
     }
 
     /// Write a JSON artifact under the output directory, wrapped in an
     /// envelope whose `header` records the runtime configuration (thread
-    /// count, shared-cache counters) and whose `data` is `value`.
+    /// count, shared-cache counters), whose `data` is `value`, and whose
+    /// `telemetry` block carries counters/histograms/span aggregates
+    /// (empty unless `--metrics`/`--trace-out` enabled collection).
     pub fn write_json<T: Serialize>(&self, filename: &str, value: &T) {
         std::fs::create_dir_all(&self.out).expect("create out dir");
         let path = self.out.join(filename);
         let artifact = serde::Value::Map(vec![
             ("header".to_string(), self.artifact_header().to_value()),
             ("data".to_string(), value.to_value()),
+            ("telemetry".to_string(), self.telemetry_block().to_value()),
         ]);
         let json = serde_json::to_string_pretty(&artifact).expect("serialise artifact");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
         eprintln!("wrote {}", path.display());
+    }
+
+    /// End-of-run hook for every bench binary: print the shared-cache
+    /// summary (per-shard breakdown under `--metrics`), render the
+    /// telemetry summary when collection is on, and flush the sink so a
+    /// `--trace-out` file is complete before the process exits.
+    pub fn finish(&self) {
+        if let Some(cache) = &self.cache {
+            let stats = cache.stats();
+            println!(
+                "cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {} live",
+                stats.hits,
+                stats.misses,
+                stats.hit_rate() * 100.0,
+                stats.evictions,
+                stats.len,
+            );
+            if self.metrics {
+                let mut t =
+                    TextTable::new(vec!["shard", "hits", "misses", "inserts", "evict", "len"]);
+                for (i, s) in cache.shard_stats().iter().enumerate() {
+                    t.row(vec![
+                        format!("{i:02}"),
+                        s.hits.to_string(),
+                        s.misses.to_string(),
+                        s.inserts.to_string(),
+                        s.evictions.to_string(),
+                        s.len.to_string(),
+                    ]);
+                }
+                t.print();
+            }
+        }
+        let Some(collector) = &self.collector else {
+            return;
+        };
+        self.export_shard_counters();
+        telemetry::flush();
+        if !self.metrics {
+            return;
+        }
+        let snapshot = telemetry::global().snapshot();
+        if !snapshot.counters.is_empty() {
+            println!("\n== telemetry counters ==");
+            for (name, v) in &snapshot.counters {
+                println!("{name:<40} {v}");
+            }
+        }
+        if !snapshot.histograms.is_empty() {
+            println!("\n== telemetry histograms ==");
+            for (name, h) in &snapshot.histograms {
+                println!(
+                    "{name:<28} n={} mean={:.0} p50={} p90={} p99={} max={}",
+                    h.count,
+                    h.mean(),
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.max,
+                );
+            }
+        }
+        let summary = telemetry::Summary::from_events(&collector.events());
+        if !summary.spans.is_empty() {
+            println!("\n== telemetry spans ==");
+            print!("{}", summary.render());
+        }
     }
 }
 
@@ -292,6 +464,24 @@ pub struct ArtifactHeader {
     pub cache_hit_rate: f64,
     /// Entries evicted by the capacity bound.
     pub cache_evictions: u64,
+    /// Unix timestamp (seconds) at which the artifact was written. Kept in
+    /// the header — never in the captured run log — so logs stay
+    /// byte-deterministic across runs.
+    pub written_at_unix: u64,
+}
+
+/// Telemetry snapshot embedded as the `telemetry` key of every artifact
+/// envelope. Always present; `enabled` says whether collection was on.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryBlock {
+    /// Whether `--metrics`/`--trace-out` enabled collection for this run.
+    pub enabled: bool,
+    /// Name → value pairs of every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// Name → snapshot pairs of every registered histogram.
+    pub histograms: Vec<(String, telemetry::HistogramSnapshot)>,
+    /// Per-span-name aggregates (count, total/self/max time).
+    pub spans: telemetry::Summary,
 }
 
 /// Minimal fixed-width table printer for reproducing the paper's layouts.
@@ -425,6 +615,23 @@ mod tests {
         let infos = args.dataset_infos();
         assert_eq!(infos.len(), 4);
         assert_eq!(infos[0].name, "PimaIndian");
+    }
+
+    #[test]
+    fn telemetry_block_is_empty_when_disabled() {
+        let args = CommonArgs::default();
+        let block = args.telemetry_block();
+        assert!(!block.enabled);
+        assert!(block.counters.is_empty());
+        assert!(block.histograms.is_empty());
+        assert!(block.spans.spans.is_empty());
+    }
+
+    #[test]
+    fn header_carries_write_timestamp() {
+        let args = CommonArgs::default();
+        // 2020-01-01 as a sanity floor: the clock is set and monotone-ish.
+        assert!(args.artifact_header().written_at_unix > 1_577_836_800);
     }
 
     #[test]

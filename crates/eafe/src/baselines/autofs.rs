@@ -96,6 +96,7 @@ fn run_autofs_r_impl(
     let mut frame = frame.clone();
     frame.sanitize();
 
+    let _run_span = telemetry::span("autofs.run");
     let mut timer = PhaseTimer::new();
     timer.start();
     let mut counter = EvalCounter::default();
@@ -148,6 +149,8 @@ fn run_autofs_r_impl(
 
     let epochs = config.stage1_epochs + config.stage2_epochs;
     for epoch in 0..epochs {
+        let mut epoch_span = telemetry::span("autofs.epoch");
+        epoch_span.field("epoch", epoch as f64);
         let epoch_frac = epoch as f64 / epochs.max(1) as f64;
         for (j, agent) in agents.iter_mut().enumerate() {
             agent.reset();
@@ -168,7 +171,10 @@ fn run_autofs_r_impl(
             let mut trial = selected.clone();
             trial[j] = keep;
             let candidate = assemble(&frame, &pool, &trial)?;
-            let score = timer.evaluation(|| evaluator.evaluate(&candidate))?;
+            let score = {
+                let _eval_span = telemetry::span("autofs.evaluate");
+                timer.evaluation(|| evaluator.evaluate(&candidate))?
+            };
             counter.evaluate();
             let reward = score - current_score;
             if reward > 0.0 {

@@ -105,6 +105,7 @@ fn single_point_result(
 pub fn run_rtdl_n(config: &DlBaselineConfig, frame: &DataFrame) -> Result<RunResult> {
     let mut frame = frame.clone();
     frame.sanitize();
+    let _run_span = telemetry::span("rtdl.run_rtdl_n");
     let mut timer = PhaseTimer::new();
     timer.start();
     let split = train_test_indices(frame.n_rows(), config.test_fraction, config.seed)?;
@@ -162,6 +163,7 @@ pub fn run_rtdl_n(config: &DlBaselineConfig, frame: &DataFrame) -> Result<RunRes
 pub fn run_fe_dl(config: &DlBaselineConfig, engineered: &DataFrame) -> Result<RunResult> {
     let mut frame = engineered.clone();
     frame.sanitize();
+    let _run_span = telemetry::span("rtdl.run_fe_dl");
     let mut timer = PhaseTimer::new();
     timer.start();
     let split = train_test_indices(frame.n_rows(), config.test_fraction, config.seed)?;
@@ -198,6 +200,7 @@ pub fn run_fe_dl(config: &DlBaselineConfig, engineered: &DataFrame) -> Result<Ru
 pub fn run_dl_fe(config: &DlBaselineConfig, frame: &DataFrame) -> Result<RunResult> {
     let mut frame = frame.clone();
     frame.sanitize();
+    let _run_span = telemetry::span("rtdl.run_dl_fe");
     let mut timer = PhaseTimer::new();
     timer.start();
     let split = train_test_indices(frame.n_rows(), config.test_fraction, config.seed)?;

@@ -161,6 +161,7 @@ impl Engine {
         let mut frame = frame.clone();
         frame.sanitize();
 
+        let mut run_span = telemetry::span("engine.run");
         let cfg = &self.config;
         let mut timer = PhaseTimer::new();
         timer.start();
@@ -182,7 +183,10 @@ impl Engine {
         };
         let cache_start = evaluator.stats();
 
-        let base_score = timer.evaluation(|| evaluator.evaluate(&frame))?;
+        let base_score = {
+            let _eval_span = telemetry::span("engine.evaluate");
+            timer.evaluation(|| evaluator.evaluate(&frame))?
+        };
         counter.evaluate();
         let mut state = EngineState::new(&frame, base_score);
         let n_agents = state.n_agents();
@@ -218,6 +222,8 @@ impl Engine {
             let mut replay: ReplayBuffer<GeneratedFeature> = ReplayBuffer::new(cfg.replay_capacity);
             let total_epochs = cfg.stage1_epochs.max(1);
             for epoch in 0..cfg.stage1_epochs {
+                let mut epoch_span = telemetry::span("engine.stage1_epoch");
+                epoch_span.field("epoch", epoch as f64);
                 let epoch_frac = epoch as f64 / total_epochs as f64;
                 for j in 0..n_agents {
                     policies[j].reset();
@@ -246,16 +252,22 @@ impl Engine {
                         } else {
                             let p = timer.generation(|| fpe.score_feature(&feat.column.values))?;
                             if p >= 0.5 {
+                                telemetry::count("fpe.gate.accept", 1);
                                 replay.push(p, feat);
                             } else {
+                                telemetry::count("fpe.gate.reject", 1);
                                 counter.drop_feature();
                             }
                             surrogate.pseudo_score(p)
                         };
                         pseudo_scores.push(pseudo);
                     }
-                    let rets = returns_from_scores(&pseudo_scores, base_score, &cfg.returns);
+                    let rets = {
+                        let _reward_span = telemetry::span("engine.reward");
+                        returns_from_scores(&pseudo_scores, base_score, &cfg.returns)
+                    };
                     let steps: Vec<(StepCache, f64)> = episode.into_iter().zip(rets).collect();
+                    let _update_span = telemetry::span("engine.policy_update");
                     timer.generation(|| policies[j].update(&steps))?;
                 }
             }
@@ -271,7 +283,10 @@ impl Engine {
                 let candidate = state
                     .selected_frame(&frame)?
                     .with_extra_columns(std::slice::from_ref(&feat.column))?;
-                let score = timer.evaluation(|| evaluator.evaluate(&candidate))?;
+                let score = {
+                    let _eval_span = telemetry::span("engine.evaluate");
+                    timer.evaluation(|| evaluator.evaluate(&candidate))?
+                };
                 counter.evaluate();
                 if score > state.current_score {
                     state.last_reward = score - state.current_score;
@@ -287,6 +302,8 @@ impl Engine {
         let mut fpe_gate = AdaptiveGate::new(256);
         let mut epochs_since_improvement = 0usize;
         for epoch in 0..cfg.stage2_epochs {
+            let mut epoch_span = telemetry::span("engine.stage2_epoch");
+            epoch_span.field("epoch", epoch as f64);
             let epoch_frac = epoch as f64 / cfg.stage2_epochs.max(1) as f64;
             for j in 0..n_agents {
                 policies[j].reset();
@@ -313,7 +330,16 @@ impl Engine {
                             Gate::Fpe(fpe) => {
                                 let p =
                                     timer.generation(|| fpe.score_feature(&feat.column.values))?;
-                                fpe_gate.observe_and_pass(p)
+                                let pass = fpe_gate.observe_and_pass(p);
+                                telemetry::count(
+                                    if pass {
+                                        "fpe.gate.accept"
+                                    } else {
+                                        "fpe.gate.reject"
+                                    },
+                                    1,
+                                );
+                                pass
                             }
                             Gate::RandomDrop { rate } => !gate_rng.gen_bool(*rate),
                             Gate::None => true,
@@ -328,7 +354,10 @@ impl Engine {
                     let candidate = state
                         .selected_frame(&frame)?
                         .with_extra_columns(std::slice::from_ref(&feat.column))?;
-                    let score = timer.evaluation(|| evaluator.evaluate(&candidate))?;
+                    let score = {
+                        let _eval_span = telemetry::span("engine.evaluate");
+                        timer.evaluation(|| evaluator.evaluate(&candidate))?
+                    };
                     counter.evaluate();
                     state.last_reward = score - state.current_score;
                     if score > state.current_score {
@@ -338,15 +367,20 @@ impl Engine {
                     }
                     score_trace.push(score.max(state.current_score));
                 }
-                let rets = if self.use_lambda_returns {
-                    returns_from_scores(&score_trace, episode_start_score, &cfg.returns)
-                } else {
-                    let gains = score_gains(&score_trace, episode_start_score);
-                    rewards_to_go(&gains, cfg.returns.gamma)
+                let rets = {
+                    let _reward_span = telemetry::span("engine.reward");
+                    if self.use_lambda_returns {
+                        returns_from_scores(&score_trace, episode_start_score, &cfg.returns)
+                    } else {
+                        let gains = score_gains(&score_trace, episode_start_score);
+                        rewards_to_go(&gains, cfg.returns.gamma)
+                    }
                 };
                 let steps: Vec<(StepCache, f64)> = episode.into_iter().zip(rets).collect();
+                let _update_span = telemetry::span("engine.policy_update");
                 timer.generation(|| policies[j].update(&steps))?;
             }
+            epoch_span.field("best_score", best_score);
             let improved = trace
                 .last()
                 .is_none_or(|last| best_score > last.score + f64::EPSILON);
@@ -369,6 +403,9 @@ impl Engine {
         }
 
         let engineered = state.selected_frame(&frame)?;
+        run_span.field("generated", counter.generated as f64);
+        run_span.field("downstream_evals", counter.evaluated as f64);
+        run_span.field("best_score", best_score);
         let cache_stats = evaluator.stats().since(&cache_start);
         let result = RunResult {
             method: self.method_name.clone(),

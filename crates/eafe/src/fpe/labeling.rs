@@ -44,10 +44,12 @@ pub fn label_dataset(
     if frame.n_cols() < 2 {
         return Ok(Vec::new());
     }
+    let mut span = telemetry::span("fpe.label_dataset");
+    span.field("features", frame.n_cols() as f64);
     let a0 = evaluator.evaluate(frame)?;
     // The residual evaluations are independent: fan them out on the
     // runtime pool (each one is a full CV run, the dominant cost here).
-    WorkerPool::new()
+    let labels: Result<Vec<LabeledFeature>> = WorkerPool::new()
         .map((0..frame.n_cols()).collect(), |_ctx, j| {
             let residual = frame.drop_column(j)?;
             let aj = evaluator.evaluate(&residual)?;
@@ -59,7 +61,11 @@ pub fn label_dataset(
             })
         })
         .into_iter()
-        .collect()
+        .collect();
+    if let Ok(labels) = &labels {
+        telemetry::count("fpe.labels", labels.len() as u64);
+    }
+    labels
 }
 
 /// Label a corpus of public datasets (Algorithm 1's outer loop).
@@ -82,6 +88,7 @@ pub fn score_gains_for_dataset(frame: &DataFrame, evaluator: &CachedEvaluator) -
     if frame.n_cols() < 2 {
         return Ok(Vec::new());
     }
+    let _span = telemetry::span("fpe.score_gains");
     let a0 = evaluator.evaluate(frame)?;
     WorkerPool::new()
         .map((0..frame.n_cols()).collect(), |_ctx, j| {

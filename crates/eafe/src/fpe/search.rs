@@ -192,10 +192,17 @@ pub fn search(
             "FPE search needs a non-empty labelled corpus".into(),
         ));
     }
+    let mut search_span = telemetry::span("fpe.search");
+    search_span.field(
+        "candidates",
+        (space.families.len() * space.dims.len()) as f64,
+    );
     let mut outcomes = Vec::new();
     let mut best: Option<(f64, FpeModel)> = None;
     for &family in &space.families {
         for &d in &space.dims {
+            let mut cand_span = telemetry::span("fpe.search_candidate");
+            cand_span.field("d", d as f64);
             let compressor =
                 SampleCompressor::new(family, d, space.seed).map_err(EafeError::MinHash)?;
             let train = train_labels.compress(&compressor, space.thre)?;

@@ -97,6 +97,22 @@ impl Operator {
         }
     }
 
+    /// Telemetry counter name for candidates generated with this operator
+    /// (static, so counting never allocates).
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            Operator::Log => "ops.generated.log",
+            Operator::MinMaxNorm => "ops.generated.norm",
+            Operator::Sqrt => "ops.generated.sqrt",
+            Operator::Reciprocal => "ops.generated.recip",
+            Operator::Add => "ops.generated.add",
+            Operator::Subtract => "ops.generated.sub",
+            Operator::Multiply => "ops.generated.mul",
+            Operator::Divide => "ops.generated.div",
+            Operator::Modulo => "ops.generated.mod",
+        }
+    }
+
     /// Apply a unary operator to a slice of values.
     fn apply_unary(self, a: &[f64]) -> Vec<f64> {
         match self {
@@ -194,6 +210,7 @@ impl GeneratedFeature {
         b: &Column,
         b_order: usize,
     ) -> GeneratedFeature {
+        telemetry::count(op.counter_name(), 1);
         let values = op.apply(&a.values, &b.values);
         let (name, order) = if op.is_unary() {
             (format!("{}({})", op.symbol(), a.name), a_order + 1)
@@ -234,6 +251,14 @@ mod tests {
         assert!(Operator::BINARY.iter().all(|o| !o.is_unary()));
         assert_eq!(Operator::from_action(0), Operator::Log);
         assert_eq!(Operator::from_action(9), Operator::Log); // wraps
+    }
+
+    #[test]
+    fn counter_names_are_distinct_and_namespaced() {
+        let names: std::collections::HashSet<_> =
+            Operator::ALL.iter().map(|o| o.counter_name()).collect();
+        assert_eq!(names.len(), Operator::ALL.len());
+        assert!(names.iter().all(|n| n.starts_with("ops.generated.")));
     }
 
     #[test]

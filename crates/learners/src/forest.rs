@@ -91,6 +91,8 @@ fn fit_trees<M: Send, F: Fn(u64, &[usize]) -> Result<M> + Sync>(
     draws: Vec<(u64, Vec<usize>)>,
     fit_one: F,
 ) -> Result<Vec<M>> {
+    let mut span = telemetry::span("forest.fit_trees");
+    span.field("trees", draws.len() as f64);
     let pool = WorkerPool::new().with_threads(n_threads);
     pool.map(draws, |_ctx, (seed, rows)| fit_one(seed, &rows))
         .into_iter()

@@ -3,7 +3,9 @@
 //! Maps a [`Fingerprint`] to a cached score (generic payload `V`) across
 //! 16 independently locked shards, with a global capacity bound, an
 //! approximate-LRU eviction policy (global logical clock, per-shard LRU
-//! scan), and atomic hit/miss/insert/evict counters.
+//! scan), and atomic hit/miss/insert/evict counters kept *per shard*
+//! (surfaced raw via [`ScoreCache::shard_stats`], aggregated by
+//! [`ScoreCache::stats`]) so contention and key-skew are observable.
 //!
 //! Capacity invariant: once every in-flight `insert` has returned, the
 //! number of resident entries is at most `capacity`; while inserts are in
@@ -27,6 +29,50 @@ const N_SHARDS: usize = 16;
 struct Entry<V> {
     value: V,
     last_used: u64,
+}
+
+/// One lock domain of the cache, with its own counters so per-shard
+/// statistics cost no extra synchronisation on the lookup path.
+struct Shard<V> {
+    map: Mutex<HashMap<u128, Entry<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    /// Evictions are charged to the shard the victim lived in.
+    evictions: AtomicU64,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.map.lock().unwrap().len(),
+        }
+    }
+}
+
+/// Per-shard counter snapshot returned by [`ScoreCache::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+    /// Resident entries in this shard at snapshot time.
+    pub len: usize,
 }
 
 /// Counter snapshot returned by [`ScoreCache::stats`].
@@ -67,30 +113,22 @@ impl CacheStats {
 
 /// Sharded concurrent cache from [`Fingerprint`] to `V`.
 pub struct ScoreCache<V> {
-    shards: Vec<Mutex<HashMap<u128, Entry<V>>>>,
+    shards: Vec<Shard<V>>,
     capacity: usize,
     /// Logical clock driving LRU ordering.
     tick: AtomicU64,
     /// Resident-entry counter (kept in sync with the shard maps).
     len: AtomicUsize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl<V: Clone> ScoreCache<V> {
     /// Create a cache bounded to `capacity` entries (minimum 1).
     pub fn new(capacity: usize) -> Self {
         ScoreCache {
-            shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..N_SHARDS).map(|_| Shard::new()).collect(),
             capacity: capacity.max(1),
             tick: AtomicU64::new(0),
             len: AtomicUsize::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -100,7 +138,10 @@ impl<V: Clone> ScoreCache<V> {
 
     /// Resident entries right now.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.map.lock().unwrap().len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -120,15 +161,16 @@ impl<V: Clone> ScoreCache<V> {
     /// Look up a cached value, refreshing its recency on hit.
     pub fn get(&self, key: Fingerprint) -> Option<V> {
         let tick = self.next_tick();
-        let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
-        match shard.get_mut(&key.0) {
+        let shard = &self.shards[self.shard_of(key)];
+        let mut map = shard.map.lock().unwrap();
+        match map.get_mut(&key.0) {
             Some(entry) => {
                 entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.value.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -140,8 +182,8 @@ impl<V: Clone> ScoreCache<V> {
         let tick = self.next_tick();
         let idx = self.shard_of(key);
         {
-            let mut shard = self.shards[idx].lock().unwrap();
-            if let Some(entry) = shard.get_mut(&key.0) {
+            let mut map = self.shards[idx].map.lock().unwrap();
+            if let Some(entry) = map.get_mut(&key.0) {
                 entry.value = value;
                 entry.last_used = tick;
                 return;
@@ -153,25 +195,26 @@ impl<V: Clone> ScoreCache<V> {
         // the number of concurrently inserting threads; the bound is exact
         // again as soon as every in-flight insert returns.
         let need_evict = self.len.fetch_add(1, Ordering::AcqRel) >= self.capacity;
-        let mut shard = self.shards[idx].lock().unwrap();
-        if let Some(entry) = shard.get_mut(&key.0) {
+        let shard = &self.shards[idx];
+        let mut map = shard.map.lock().unwrap();
+        if let Some(entry) = map.get_mut(&key.0) {
             // A concurrent inserter beat us to this key: refresh in place
             // and release the slot we reserved.
             entry.value = value;
             entry.last_used = tick;
-            drop(shard);
+            drop(map);
             self.len.fetch_sub(1, Ordering::AcqRel);
             return;
         }
-        shard.insert(
+        map.insert(
             key.0,
             Entry {
                 value,
                 last_used: tick,
             },
         );
-        drop(shard);
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        drop(map);
+        shard.inserts.fetch_add(1, Ordering::Relaxed);
         if need_evict {
             self.evict_global_lru(key);
         }
@@ -184,8 +227,8 @@ impl<V: Clone> ScoreCache<V> {
             // Pass 1: find the oldest entry, one shard lock at a time.
             let mut victim: Option<(usize, u128, u64)> = None;
             for (si, shard) in self.shards.iter().enumerate() {
-                let shard = shard.lock().unwrap();
-                for (&k, e) in shard.iter() {
+                let map = shard.map.lock().unwrap();
+                for (&k, e) in map.iter() {
                     if k != protect.0 && victim.is_none_or(|(_, _, t)| e.last_used < t) {
                         victim = Some((si, k, e.last_used));
                     }
@@ -200,36 +243,46 @@ impl<V: Clone> ScoreCache<V> {
             // Pass 2: re-lock and remove. A touch between the passes just
             // makes the LRU choice approximate; a removal means another
             // evictor claimed the victim, so rescan.
-            if self.shards[si].lock().unwrap().remove(&k).is_some() {
+            if self.shards[si].map.lock().unwrap().remove(&k).is_some() {
                 self.len.fetch_sub(1, Ordering::AcqRel);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.shards[si].evictions.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
         // Pathological contention: every scan lost its victim to another
         // evictor. Take any entry other than `protect`.
         for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
-            if let Some(&k) = shard.keys().find(|&&k| k != protect.0) {
-                shard.remove(&k);
+            let mut map = shard.map.lock().unwrap();
+            if let Some(&k) = map.keys().find(|&&k| k != protect.0) {
+                map.remove(&k);
+                drop(map);
                 self.len.fetch_sub(1, Ordering::AcqRel);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
         self.len.fetch_sub(1, Ordering::AcqRel);
     }
 
-    /// Atomically read the counters.
+    /// Per-shard counters and occupancy, in shard-index order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Counters aggregated over every shard.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            len: self.len(),
+        let mut agg = CacheStats {
             capacity: self.capacity,
+            ..CacheStats::default()
+        };
+        for s in self.shard_stats() {
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.inserts += s.inserts;
+            agg.evictions += s.evictions;
+            agg.len += s.len;
         }
+        agg
     }
 }
 
@@ -298,6 +351,32 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(fp(1)), Some(2.0));
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_aggregate() {
+        let cache = ScoreCache::new(16);
+        for i in 0..64u128 {
+            cache.insert(fp(i), i as f64);
+            cache.get(fp(i));
+            cache.get(fp(i + 1000));
+        }
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), 16);
+        assert!(
+            shards.iter().filter(|s| s.inserts > 0).count() > 1,
+            "test keys should spread over several shards"
+        );
+        let agg = cache.stats();
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), agg.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), agg.misses);
+        assert_eq!(shards.iter().map(|s| s.inserts).sum::<u64>(), agg.inserts);
+        assert_eq!(
+            shards.iter().map(|s| s.evictions).sum::<u64>(),
+            agg.evictions
+        );
+        assert_eq!(shards.iter().map(|s| s.len).sum::<usize>(), agg.len);
+        assert_eq!(agg.len, cache.len());
     }
 
     #[test]

@@ -78,9 +78,14 @@ impl<S: Scorer> Evaluator<S> {
     pub fn evaluate(&self, frame: &DataFrame) -> Result<f64, S::Error> {
         let key = self.cache_key(frame);
         if let Some(score) = self.cache.get(key) {
+            telemetry::count("evaluator.cache_hits", 1);
             return Ok(score);
         }
-        let score = self.scorer.score_frame(frame)?;
+        let score = {
+            let _span = telemetry::span("evaluator.score_frame");
+            self.scorer.score_frame(frame)?
+        };
+        telemetry::count("evaluator.evals_computed", 1);
         self.cache.insert(key, score);
         Ok(score)
     }

@@ -79,6 +79,23 @@ fn release_extra(n: usize) {
     ACTIVE_EXTRA.fetch_sub(n, Ordering::SeqCst);
 }
 
+/// Run one task under a `pool.task` span, recording its run time. The
+/// span parents under whatever is current on the executing thread (the
+/// `pool.map` span inline, the re-established submitter span on workers).
+fn run_task<T, U, F>(f: &F, ctx: &TaskCtx, item: T) -> U
+where
+    F: Fn(&TaskCtx, T) -> U,
+{
+    if !telemetry::enabled() {
+        return f(ctx, item);
+    }
+    let _task = telemetry::span("pool.task");
+    let start = Instant::now();
+    let out = f(ctx, item);
+    telemetry::record("pool.run_us", start.elapsed().as_micros() as u64);
+    out
+}
+
 /// Shared flag for cooperative cancellation.
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken(Arc<AtomicBool>);
@@ -217,6 +234,8 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        let mut map_span = telemetry::span("pool.map");
+        map_span.field("items", n as f64);
 
         let want = match self.max_threads {
             0 => global_threads(),
@@ -227,16 +246,17 @@ impl WorkerPool {
         } else {
             acquire_extra(want.min(n).saturating_sub(1))
         };
+        map_span.field("workers", (extra + 1) as f64);
 
         if extra == 0 {
             return items
                 .into_iter()
                 .enumerate()
-                .map(|(i, item)| f(&self.task_ctx(i, deadline), item))
+                .map(|(i, item)| run_task(&f, &self.task_ctx(i, deadline), item))
                 .collect();
         }
 
-        let result = self.map_parallel(items, &f, extra, deadline);
+        let result = self.map_parallel(items, &f, extra, deadline, map_span.id());
         release_extra(extra);
         match result {
             Ok(out) => out,
@@ -250,6 +270,7 @@ impl WorkerPool {
         f: &F,
         extra: usize,
         deadline: Option<Instant>,
+        parent: telemetry::SpanId,
     ) -> Result<Vec<U>, Box<dyn std::any::Any + Send>>
     where
         T: Send,
@@ -258,7 +279,8 @@ impl WorkerPool {
     {
         let n = items.len();
         let n_workers = extra + 1; // caller participates
-        let queues: Vec<Mutex<VecDeque<(usize, T)>>> = (0..n_workers)
+        type Job<T> = (usize, T, Option<Instant>);
+        let queues: Vec<Mutex<VecDeque<Job<T>>>> = (0..n_workers)
             .map(|_| Mutex::new(VecDeque::new()))
             .collect();
         let poisoned = AtomicBool::new(false);
@@ -271,20 +293,27 @@ impl WorkerPool {
         // inline right here (backpressure on the submitting thread).
         for (i, item) in items.into_iter().enumerate() {
             let mut item = Some(item);
+            let enqueued_at = telemetry::enabled().then(Instant::now);
             for off in 0..n_workers {
                 let mut q = queues[(i + off) % n_workers].lock().unwrap();
                 if q.len() < self.queue_capacity {
-                    q.push_back((i, item.take().expect("item not yet placed")));
+                    q.push_back((i, item.take().expect("item not yet placed"), enqueued_at));
                     break;
                 }
             }
             if let Some(item) = item.take() {
+                telemetry::count("pool.inline_overflow", 1);
                 let ctx = self.task_ctx(i, deadline);
-                inline.push((i, f(&ctx, item)));
+                inline.push((i, run_task(f, &ctx, item)));
             }
         }
 
         let run_worker = |me: usize| -> Vec<(usize, U)> {
+            // Re-establish the submitting call's span on this thread so
+            // task spans parent across the pool boundary.
+            let _parent = telemetry::parent_scope(parent);
+            let worker_start = telemetry::enabled().then(Instant::now);
+            let mut busy_us = 0u64;
             let mut out = Vec::new();
             loop {
                 if poisoned.load(Ordering::SeqCst) {
@@ -304,10 +333,21 @@ impl WorkerPool {
                     }
                     job
                 };
-                let Some((i, item)) = job else { break };
+                let Some((i, item, enqueued_at)) = job else {
+                    break;
+                };
+                if let Some(enqueued_at) = enqueued_at {
+                    telemetry::record("pool.queue_us", enqueued_at.elapsed().as_micros() as u64);
+                }
+                let task_start = worker_start.map(|_| Instant::now());
                 let ctx = self.task_ctx(i, deadline);
-                match panic::catch_unwind(AssertUnwindSafe(|| f(&ctx, item))) {
-                    Ok(value) => out.push((i, value)),
+                match panic::catch_unwind(AssertUnwindSafe(|| run_task(f, &ctx, item))) {
+                    Ok(value) => {
+                        if let Some(task_start) = task_start {
+                            busy_us += task_start.elapsed().as_micros() as u64;
+                        }
+                        out.push((i, value));
+                    }
                     Err(payload) => {
                         poisoned.store(true, Ordering::SeqCst);
                         self.cancel.cancel();
@@ -315,6 +355,10 @@ impl WorkerPool {
                         break;
                     }
                 }
+            }
+            if let Some(worker_start) = worker_start {
+                let total_us = worker_start.elapsed().as_micros() as u64;
+                telemetry::record("pool.idle_us", total_us.saturating_sub(busy_us));
             }
             out
         };

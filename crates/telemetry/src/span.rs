@@ -1,0 +1,168 @@
+//! Hierarchical spans: RAII guards recording monotonic-clock durations.
+//!
+//! Each thread keeps the id of its innermost open span in a thread-local;
+//! [`span`] parents the new span under it and restores it on drop, so
+//! nesting falls out of ordinary scoping. Crossing a thread boundary (the
+//! runtime's `WorkerPool` tasks) is explicit: capture [`current_span`] on
+//! the submitting thread, then open a [`parent_scope`] on the worker
+//! before running the task — spans opened inside the task then parent
+//! under the submitting span even though they close on another thread.
+//!
+//! When telemetry is disabled ([`crate::enabled`] is false) a guard is
+//! inert: no id is allocated, no clock is read, nothing is emitted.
+
+use crate::event::{Event, SpanEvent};
+use crate::sink;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-unique identity of a span; `SpanId(0)` means "no span".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The "no enclosing span" sentinel.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True when this is a real span (non-zero id).
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The monotonic instant all `start_us` offsets are measured from.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Innermost open span on this thread ([`SpanId::NONE`] outside any span).
+pub fn current_span() -> SpanId {
+    SpanId(CURRENT.with(|c| c.get()))
+}
+
+/// Open a span named `name`, parented under this thread's current span.
+/// The span closes (and its event is emitted) when the guard drops.
+#[must_use = "a span measures the scope of its guard; dropping it immediately records nothing"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !sink::enabled() {
+        return SpanGuard {
+            name,
+            id: 0,
+            parent: 0,
+            start: None,
+            start_us: 0,
+            fields: Vec::new(),
+        };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(|c| c.replace(id));
+    SpanGuard {
+        name,
+        id,
+        parent,
+        start_us: epoch().elapsed().as_micros() as u64,
+        start: Some(Instant::now()),
+        fields: Vec::new(),
+    }
+}
+
+/// RAII guard for an open span. See [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    /// `None` when telemetry was disabled at creation (inert guard).
+    start: Option<Instant>,
+    start_us: u64,
+    fields: Vec<(String, f64)>,
+}
+
+impl SpanGuard {
+    /// This span's id (pass into [`parent_scope`] on another thread to
+    /// parent that thread's spans under this one). [`SpanId::NONE`] when
+    /// telemetry is disabled.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.id)
+    }
+
+    /// Attach a numeric attribute, recorded on the close event.
+    pub fn field(&mut self, key: impl Into<String>, value: f64) {
+        if self.start.is_some() {
+            self.fields.push((key.into(), value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        CURRENT.with(|c| c.set(self.parent));
+        sink::emit(&Event::Span(SpanEvent {
+            name: self.name.to_string(),
+            id: self.id,
+            parent: self.parent,
+            start_us: self.start_us,
+            dur_us: start.elapsed().as_micros() as u64,
+            fields: std::mem::take(&mut self.fields),
+        }));
+    }
+}
+
+/// Adopt `parent` as this thread's current span until the guard drops
+/// (restoring whatever was current before). This is how span parentage
+/// crosses `WorkerPool` task boundaries.
+#[must_use = "the parent scope lasts only as long as its guard"]
+pub fn parent_scope(parent: SpanId) -> ParentScope {
+    if !sink::enabled() {
+        return ParentScope { prev: None };
+    }
+    ParentScope {
+        prev: Some(CURRENT.with(|c| c.replace(parent.0))),
+    }
+}
+
+/// RAII guard restoring the thread's previous current span. See
+/// [`parent_scope`].
+#[derive(Debug)]
+pub struct ParentScope {
+    prev: Option<u64>,
+}
+
+impl Drop for ParentScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            CURRENT.with(|c| c.set(prev));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        assert!(!sink::enabled());
+        let g = span("x");
+        assert_eq!(g.id(), SpanId::NONE);
+        assert_eq!(current_span(), SpanId::NONE);
+        drop(g);
+        assert_eq!(current_span(), SpanId::NONE);
+    }
+
+    #[test]
+    fn span_id_sentinel() {
+        assert!(!SpanId::NONE.is_some());
+        assert!(SpanId(3).is_some());
+    }
+}

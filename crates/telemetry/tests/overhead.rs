@@ -1,0 +1,41 @@
+//! Disabled-telemetry overhead smoke test.
+//!
+//! With no sink installed every instrumentation call must reduce to one
+//! relaxed atomic load (plus constructing an inert guard for spans). The
+//! bound below is deliberately generous — hundreds of times the expected
+//! cost — so it only trips on a real regression (e.g. someone reading the
+//! clock or allocating on the disabled path), never on machine noise.
+//! `scripts/ci.sh` runs this in release mode.
+
+use std::time::Instant;
+
+const ITERS: u32 = 200_000;
+// An uncontended relaxed load is ~1ns; an accidental Instant::now() or
+// registry lookup on the disabled path costs 20-100ns+ per call site.
+const MAX_NS_PER_OP: f64 = 2_000.0;
+
+#[test]
+fn disabled_instrumentation_is_near_free() {
+    assert!(
+        !telemetry::enabled(),
+        "overhead test must run with no sink installed"
+    );
+
+    let start = Instant::now();
+    for i in 0..ITERS {
+        let mut s = telemetry::span("overhead.probe");
+        s.field("i", i as f64);
+        telemetry::count("overhead.count", 1);
+        telemetry::record("overhead.hist", i as u64);
+    }
+    let elapsed = start.elapsed();
+
+    let ns_per_op = elapsed.as_nanos() as f64 / ITERS as f64;
+    assert!(
+        ns_per_op < MAX_NS_PER_OP,
+        "disabled telemetry cost {ns_per_op:.1}ns per span+count+record, budget {MAX_NS_PER_OP}ns"
+    );
+    // The disabled path must also leave no trace behind.
+    assert_eq!(telemetry::global().snapshot().counter("overhead.count"), 0);
+    assert_eq!(telemetry::current_span(), telemetry::SpanId::NONE);
+}

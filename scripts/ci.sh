@@ -28,4 +28,18 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> telemetry overhead smoke (release)"
+    # Disabled-telemetry instrumentation must stay near-free; the test
+    # asserts a generous per-site ceiling and only means anything with
+    # optimisations on.
+    cargo test -q -p telemetry --release --test overhead
+fi
+
+echo "==> cargo doc --no-deps (warnings denied, first-party crates)"
+# vendor/ stand-ins are workspace members but not ours to lint.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p e-afe -p telemetry -p runtime -p tabular -p learners \
+    -p minhash -p rl -p eafe -p eafe-stats -p bench
+
 echo "CI gate passed."

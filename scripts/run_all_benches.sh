@@ -9,7 +9,10 @@ cargo build --release -p bench --bins
 run() {
   local bin="$1"; shift
   echo "=== $bin ==="
-  ./target/release/"$bin" "$@" | tee "bench_results/${bin}_run.log"
+  # --quiet keeps the captured log free of progress chatter so reruns at
+  # identical settings produce byte-identical logs (timestamps live in
+  # each artifact's JSON header instead).
+  ./target/release/"$bin" --quiet "$@" | tee "bench_results/${bin}_run.log"
 }
 
 run table1 --scale 0.3 --steps 4 "$@"

@@ -93,6 +93,38 @@ fn e_afe_scores_identical_across_thread_counts() {
 }
 
 #[test]
+fn telemetry_collection_does_not_change_scores() {
+    // Instrumentation must be a pure observer: running the same
+    // fixed-seed engine with a live telemetry sink (and across thread
+    // counts) cannot move a single bit of any reported score.
+    let frame = frame();
+    let baseline = Engine::nfs(fast_config()).run(&frame).unwrap();
+
+    let sink = Arc::new(telemetry::MemorySink::new());
+    telemetry::install(Arc::clone(&sink) as Arc<dyn telemetry::Sink>);
+    runtime::set_global_threads(1);
+    let traced_single = Engine::nfs(fast_config()).run(&frame).unwrap();
+    runtime::set_global_threads(4);
+    let traced_multi = Engine::nfs(fast_config()).run(&frame).unwrap();
+    runtime::set_global_threads(0);
+    telemetry::uninstall();
+
+    assert_bit_identical(&baseline, &traced_single, "NFS untraced-vs-traced");
+    assert_bit_identical(&baseline, &traced_multi, "NFS traced 1-vs-4 threads");
+    // The trace actually observed the runs it must not perturb.
+    let engine_spans = sink
+        .events()
+        .iter()
+        .filter_map(telemetry::Event::as_span)
+        .filter(|s| s.name == "engine.run")
+        .count();
+    assert!(
+        engine_spans >= 2,
+        "expected engine.run spans from both traced runs, saw {engine_spans}"
+    );
+}
+
+#[test]
 fn shared_cache_does_not_change_scores() {
     // A shared content-addressed cache may only short-circuit evaluations
     // whose inputs fingerprint identically — so scores cannot move.
