@@ -1,0 +1,216 @@
+//! **Forest split-finding benchmark** — exact sorted-scan vs histogram
+//! training at the paper's dataset shapes (1k–10k rows, 20–100 features).
+//!
+//! For each shape the binary times `RandomForestClassifier::fit` under
+//! both [`SplitMethod`]s at the inner-loop forest settings (10 trees,
+//! depth 8, √N features per split). The histogram number is the
+//! warm-bin-cache regime — the bins were built once by an earlier fit of
+//! the same matrix, which is exactly how the engine's repeated
+//! evaluations see them — with the one-off bin-build cost reported in its
+//! own column.
+//!
+//! Regenerate: `scripts/bench_forest.sh` (or
+//! `cargo run -p bench --release --bin perf_forest`).
+//!
+//! ```text
+//! --smoke        one small shape, 1 repeat, no artifact; exit 1 if the
+//!                histogram fit is slower than exact (the CI gate)
+//! --repeats <n>  timing repeats per cell, min taken      (default 3)
+//! --trees <n>    forest size                             (default 10)
+//! --seed <n>     data + forest seed                      (default 0xEAFE)
+//! --out <dir>    artifact directory                      (default bench_results)
+//! --threads <n>  worker-thread ceiling, 0 = all cores    (default 0)
+//! --quiet        suppress per-shape progress lines
+//! ```
+
+use bench::{fmt_secs, CommonArgs, TextTable};
+use learners::{BinnedDataset, ForestConfig, RandomForestClassifier, SplitMethod, TreeConfig};
+use serde::Serialize;
+use std::time::Instant;
+use tabular::{SynthSpec, Task};
+
+/// Paper-shaped (rows, features) grid.
+const SHAPES: &[(usize, usize)] = &[(1000, 20), (2000, 30), (5000, 50), (10_000, 100)];
+const SMOKE_SHAPE: (usize, usize) = (2000, 30);
+
+#[derive(Serialize)]
+struct Row {
+    rows: usize,
+    features: usize,
+    trees: usize,
+    exact_secs: f64,
+    hist_secs: f64,
+    bin_secs: f64,
+    speedup: f64,
+}
+
+struct Args {
+    smoke: bool,
+    repeats: usize,
+    trees: usize,
+    seed: u64,
+    common: CommonArgs,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        repeats: 3,
+        trees: 10,
+        seed: 0xE_AFE,
+        common: CommonArgs::default(),
+    };
+    let mut threads = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--repeats" => args.repeats = value("--repeats").parse().expect("int repeats"),
+            "--trees" => args.trees = value("--trees").parse().expect("int trees"),
+            "--seed" => args.seed = value("--seed").parse().expect("int seed"),
+            "--out" => args.common.out = std::path::PathBuf::from(value("--out")),
+            "--threads" => threads = value("--threads").parse().expect("int threads"),
+            "--quiet" => args.common.quiet = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --smoke --repeats n --trees n --seed n --out dir --threads n --quiet"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    assert!(args.repeats >= 1, "--repeats must be >= 1");
+    runtime::set_global_threads(threads);
+    args
+}
+
+fn forest_config(split: SplitMethod, trees: usize, seed: u64) -> ForestConfig {
+    ForestConfig {
+        n_trees: trees,
+        tree: TreeConfig {
+            max_depth: 8,
+            split,
+            ..TreeConfig::default()
+        },
+        seed,
+        ..ForestConfig::default()
+    }
+}
+
+/// Minimum fit wall-clock over `repeats` runs (min filters scheduler
+/// noise; every run fits an identical forest).
+fn time_fit(
+    x: &[Vec<f64>],
+    y: &[usize],
+    n_classes: usize,
+    cfg: ForestConfig,
+    repeats: usize,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let mut f = RandomForestClassifier::new(cfg);
+        let t = Instant::now();
+        f.fit(x, y, n_classes).expect("forest fit");
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    let shapes: &[(usize, usize)] = if args.smoke { &[SMOKE_SHAPE] } else { SHAPES };
+    let repeats = if args.smoke { 1 } else { args.repeats };
+    println!("== perf_forest: exact vs histogram forest fit ==");
+    println!(
+        "settings: trees={} repeats={repeats} seed={:#x} threads={} max_bins={}",
+        args.trees,
+        args.seed,
+        runtime::global_threads(),
+        learners::DEFAULT_MAX_BINS,
+    );
+
+    let mut table = TextTable::new(vec![
+        "Shape",
+        "Exact",
+        "Hist (warm)",
+        "Bin (once)",
+        "Speedup",
+    ]);
+    let mut rows = Vec::new();
+    for &(n_rows, n_features) in shapes {
+        let frame = SynthSpec::new(
+            format!("perf-forest-{n_rows}x{n_features}"),
+            n_rows,
+            n_features,
+            Task::Classification,
+        )
+        .with_seed(args.seed)
+        .generate()
+        .expect("synthetic frame");
+        let x = learners::feature_matrix(&frame);
+        let y = frame.label().classes().expect("classification").to_vec();
+        let n_classes = frame.label().n_classes();
+
+        // One-off quantisation cost, and the warm-up that puts every
+        // column in the process-wide bin cache for the timed hist fits.
+        let t = Instant::now();
+        BinnedDataset::build_cached(&x, learners::DEFAULT_MAX_BINS).expect("bin");
+        let bin_secs = t.elapsed().as_secs_f64();
+
+        let exact_secs = time_fit(
+            &x,
+            &y,
+            n_classes,
+            forest_config(SplitMethod::Exact, args.trees, args.seed),
+            repeats,
+        );
+        let hist_secs = time_fit(
+            &x,
+            &y,
+            n_classes,
+            forest_config(SplitMethod::Histogram, args.trees, args.seed),
+            repeats,
+        );
+        let speedup = exact_secs / hist_secs;
+        if !args.common.quiet {
+            eprintln!("  {n_rows}x{n_features}: speedup {speedup:.2}x");
+        }
+        table.row(vec![
+            format!("{n_rows}x{n_features}"),
+            fmt_secs(exact_secs),
+            fmt_secs(hist_secs),
+            fmt_secs(bin_secs),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push(Row {
+            rows: n_rows,
+            features: n_features,
+            trees: args.trees,
+            exact_secs,
+            hist_secs,
+            bin_secs,
+            speedup,
+        });
+    }
+    table.print();
+
+    if args.smoke {
+        let r = &rows[0];
+        if r.hist_secs > r.exact_secs {
+            eprintln!(
+                "SMOKE FAIL: histogram fit ({}) slower than exact ({})",
+                fmt_secs(r.hist_secs),
+                fmt_secs(r.exact_secs)
+            );
+            std::process::exit(1);
+        }
+        println!("smoke ok: histogram <= exact");
+        return;
+    }
+    args.common.write_json("BENCH_forest.json", &rows);
+}

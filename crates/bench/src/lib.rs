@@ -13,6 +13,7 @@
 //! --seed <n>         master seed                             (default 0xEAFE)
 //! --out <dir>        artifact directory                      (default bench_results)
 //! --threads <n>      worker-thread ceiling, 0 = all cores    (default 0)
+//! --split-method <m> forest split finding: exact|hist        (default hist)
 //! --no-cache         disable score-cache sharing across runs
 //! --quiet            suppress per-dataset/per-epoch progress lines
 //! --metrics          print the end-of-run telemetry summary
@@ -33,7 +34,7 @@
 #![warn(missing_docs)]
 
 use eafe::{bootstrap_fpe, EafeConfig, FpeModel, FpeSearchSpace};
-use learners::Evaluator;
+use learners::{Evaluator, SplitMethod};
 use minhash::HashFamily;
 use runtime::ScoreCache;
 use serde::Serialize;
@@ -62,6 +63,9 @@ pub struct CommonArgs {
     pub out: PathBuf,
     /// Worker-thread ceiling (0 = the machine's available parallelism).
     pub threads: usize,
+    /// Forest split finding for every downstream evaluation
+    /// (`--split-method exact|hist`).
+    pub split_method: SplitMethod,
     /// Score cache shared by every run this binary launches (`None` when
     /// `--no-cache` disables sharing for A/B wall-clock comparisons).
     pub cache: Option<Arc<ScoreCache<f64>>>,
@@ -94,6 +98,7 @@ impl Default for CommonArgs {
             seed: 0xE_AFE,
             out: PathBuf::from("bench_results"),
             threads: 0,
+            split_method: SplitMethod::Histogram,
             cache: Some(Arc::new(ScoreCache::new(
                 runtime::evaluator::DEFAULT_CACHE_CAPACITY,
             ))),
@@ -137,6 +142,13 @@ impl CommonArgs {
                 "--seed" => args.seed = value("--seed").parse().expect("int seed"),
                 "--out" => args.out = PathBuf::from(value("--out")),
                 "--threads" => args.threads = value("--threads").parse().expect("int threads"),
+                "--split-method" => {
+                    args.split_method = match value("--split-method").as_str() {
+                        "exact" => SplitMethod::Exact,
+                        "hist" | "histogram" => SplitMethod::Histogram,
+                        other => panic!("--split-method must be exact|hist, got {other}"),
+                    }
+                }
                 "--no-cache" => args.cache = None,
                 "--quiet" => args.quiet = true,
                 "--metrics" => args.metrics = true,
@@ -145,7 +157,8 @@ impl CommonArgs {
                     eprintln!(
                         "flags: --scale f --datasets list|all|motivation --epochs1 n \
                          --epochs2 n --steps n --max-features n --seed n --out dir \
-                         --threads n --no-cache --quiet --metrics --trace-out path"
+                         --threads n --split-method exact|hist --no-cache --quiet \
+                         --metrics --trace-out path"
                     );
                     std::process::exit(0);
                 }
@@ -218,7 +231,8 @@ impl CommonArgs {
         cfg
     }
 
-    /// The shared downstream evaluator (5-fold RF CV, small fast forests).
+    /// The shared downstream evaluator (5-fold RF CV, small fast forests,
+    /// split finding per `--split-method`).
     pub fn evaluator(&self) -> Evaluator {
         let mut e = Evaluator {
             folds: 5,
@@ -227,6 +241,7 @@ impl CommonArgs {
         };
         e.forest.n_trees = 10;
         e.forest.tree.max_depth = 8;
+        e.forest.tree.split = self.split_method;
         e
     }
 
@@ -559,7 +574,8 @@ pub fn fmt_secs(v: f64) -> String {
 pub fn print_header(what: &str, args: &CommonArgs) {
     println!("== {what} ==");
     println!(
-        "settings: scale={} epochs={}+{} steps={} max_features={} seed={:#x} threads={} cache={}",
+        "settings: scale={} epochs={}+{} steps={} max_features={} seed={:#x} threads={} \
+         split={} cache={}",
         args.scale,
         args.epochs1,
         args.epochs2,
@@ -567,6 +583,10 @@ pub fn print_header(what: &str, args: &CommonArgs) {
         args.max_features,
         args.seed,
         runtime::global_threads(),
+        match args.split_method {
+            SplitMethod::Exact => "exact",
+            SplitMethod::Histogram => "hist",
+        },
         if args.cache.is_some() {
             "shared"
         } else {

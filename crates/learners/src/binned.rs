@@ -1,0 +1,525 @@
+//! Histogram binning for tree training — bin once, train everywhere.
+//!
+//! The exact CART splitter re-sorts every candidate feature at every node
+//! (`O(n log n)` per feature per node). The histogram path instead
+//! quantises each feature **once** into at most [`TreeConfig::max_bins`]
+//! quantile bins ([`BinnedColumn`]: per-row bin codes plus the boundary
+//! thresholds on the original value scale) and finds node splits with a
+//! single `O(n_rows)` histogram-accumulation pass per feature plus an
+//! `O(n_bins)` scan. A [`BinnedDataset`] is built one time per
+//! (dataset, feature-set) and shared — across every tree of a forest,
+//! every fold of a cross-validation, and (through the content-addressed
+//! [`bin cache`](bin_cache_stats)) every downstream evaluation that sees
+//! the same column content again.
+//!
+//! Bin-edge scheme: when a column has at most `max_bins` distinct values
+//! it gets **one bin per distinct value** with boundaries at the midpoints
+//! between adjacent distinct values — split enumeration is then exactly
+//! the sorted scan's, so histogram training reproduces the exact path's
+//! splits bit-for-bit on classification (Gini is computed from the same
+//! integer counts). Wider columns get quantile cuts: boundary candidates
+//! at ranks `b·n/max_bins`, dropped when they fall inside a run of equal
+//! values, so duplicate-heavy columns spend their bin budget on the
+//! values that actually vary.
+//!
+//! [`TreeConfig::max_bins`]: crate::tree::TreeConfig
+
+use crate::error::{LearnError, Result};
+use runtime::{fingerprint_values, Hasher128, ScoreCache};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+
+/// How a tree enumerates candidate splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SplitMethod {
+    /// Sort every candidate feature at every node (the reference path).
+    Exact,
+    /// Quantile-bin every feature once, then find splits by histogram
+    /// accumulation (LightGBM-style, with sibling subtraction).
+    Histogram,
+}
+
+/// Default per-feature bin budget: 255 boundaries fit `u8` codes, which
+/// keeps a 10k-row column's codes in ~10 KB and a node histogram scan in
+/// L1 cache.
+pub const DEFAULT_MAX_BINS: usize = 256;
+
+/// Hard ceiling on `max_bins` (codes are at most `u16`).
+pub const MAX_BINS_LIMIT: usize = 65_536;
+
+/// Per-row bin codes, sized to the bin count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinCodes {
+    /// Up to 256 bins.
+    U8(Vec<u8>),
+    /// Up to 65 536 bins.
+    U16(Vec<u16>),
+}
+
+impl BinCodes {
+    /// Bin code of one row.
+    #[inline]
+    pub fn get(&self, row: usize) -> usize {
+        match self {
+            BinCodes::U8(c) => c[row] as usize,
+            BinCodes::U16(c) => c[row] as usize,
+        }
+    }
+}
+
+/// One feature column quantised into bins.
+///
+/// Row `r` lies in bin `codes[r]`; boundary `b` (for `b` in
+/// `0..n_bins()-1`) separates bins `..=b` from `b+1..` at
+/// `threshold(b)` on the original value scale: every value encoded into
+/// bins `..=b` satisfies `v <= threshold(b)` and every value in bins
+/// `b+1..` satisfies `v > threshold(b)`, so a fitted split predicts
+/// consistently from raw values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedColumn {
+    codes: BinCodes,
+    /// Boundary thresholds, ascending; `len = n_bins - 1`.
+    thresholds: Vec<f64>,
+}
+
+impl BinnedColumn {
+    /// Quantile-bin one column into at most `max_bins` bins.
+    pub fn build(values: &[f64], max_bins: usize) -> BinnedColumn {
+        debug_assert!((2..=MAX_BINS_LIMIT).contains(&max_bins));
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let mut distinct = usize::from(n > 0);
+        for i in 1..n {
+            if sorted[i] > sorted[i - 1] {
+                distinct += 1;
+            }
+        }
+        let mut thresholds = Vec::new();
+        if distinct <= max_bins {
+            // One bin per distinct value: boundaries at every adjacent
+            // distinct pair, exactly the cut points the sorted scan sees.
+            for i in 1..n {
+                if sorted[i] > sorted[i - 1] {
+                    thresholds.push(midpoint(sorted[i - 1], sorted[i]));
+                }
+            }
+        } else {
+            // Quantile cuts at ranks b·n/max_bins; a cut falling inside a
+            // run of equal values is dropped rather than duplicated, so
+            // heavy duplicates don't waste boundaries.
+            for b in 1..max_bins {
+                let r = b * n / max_bins;
+                let (lo, hi) = (sorted[r - 1], sorted[r]);
+                if hi > lo {
+                    let t = midpoint(lo, hi);
+                    if thresholds.last() != Some(&t) {
+                        thresholds.push(t);
+                    }
+                }
+            }
+        }
+        let n_bins = thresholds.len() + 1;
+        let encode = |v: f64| thresholds.partition_point(|&t| t < v);
+        let codes = if n_bins <= 256 {
+            BinCodes::U8(values.iter().map(|&v| encode(v) as u8).collect())
+        } else {
+            BinCodes::U16(values.iter().map(|&v| encode(v) as u16).collect())
+        };
+        BinnedColumn { codes, thresholds }
+    }
+
+    /// Number of bins (≥ 1; a constant column has exactly one).
+    pub fn n_bins(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    /// Value-scale threshold of boundary `b` (splitting bins `..=b` from
+    /// the rest).
+    pub fn threshold(&self, b: usize) -> f64 {
+        self.thresholds[b]
+    }
+
+    /// The per-row bin codes.
+    pub fn codes(&self) -> &BinCodes {
+        &self.codes
+    }
+}
+
+fn midpoint(a: f64, b: f64) -> f64 {
+    a + (b - a) / 2.0
+}
+
+/// A whole feature matrix quantised column by column. Columns are
+/// individually reference-counted so overlapping feature sets can share
+/// them through the bin cache.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    columns: Vec<Arc<BinnedColumn>>,
+    n_rows: usize,
+}
+
+impl BinnedDataset {
+    /// Bin a column-major feature matrix, bypassing the cache.
+    pub fn build(x: &[Vec<f64>], max_bins: usize) -> Result<BinnedDataset> {
+        Self::from_slices(&x.iter().map(Vec::as_slice).collect::<Vec<_>>(), max_bins)
+    }
+
+    /// Bin column slices, bypassing the cache.
+    pub fn from_slices(cols: &[&[f64]], max_bins: usize) -> Result<BinnedDataset> {
+        validate_cols(cols, max_bins)?;
+        Ok(BinnedDataset {
+            columns: cols
+                .iter()
+                .map(|c| Arc::new(BinnedColumn::build(c, max_bins)))
+                .collect(),
+            n_rows: cols[0].len(),
+        })
+    }
+
+    /// Bin a column-major feature matrix through the process-wide bin
+    /// cache: a column whose (content, `max_bins`) was binned before — by
+    /// any tree, forest, fold, or evaluation — is reused instead of
+    /// re-binned.
+    pub fn build_cached(x: &[Vec<f64>], max_bins: usize) -> Result<BinnedDataset> {
+        Self::from_slices_cached(&x.iter().map(Vec::as_slice).collect::<Vec<_>>(), max_bins)
+    }
+
+    /// Cached variant of [`BinnedDataset::from_slices`].
+    pub fn from_slices_cached(cols: &[&[f64]], max_bins: usize) -> Result<BinnedDataset> {
+        validate_cols(cols, max_bins)?;
+        let cache = bin_cache();
+        let mut reused = 0u64;
+        let columns = cols
+            .iter()
+            .map(|c| {
+                let mut h = Hasher128::new();
+                h.write_str("learners::BinnedColumn");
+                h.write_u64(max_bins as u64);
+                h.write_u128(fingerprint_values(c).0);
+                let key = h.finish();
+                if let Some(hit) = cache.get(key) {
+                    reused += 1;
+                    return hit;
+                }
+                let built = Arc::new(BinnedColumn::build(c, max_bins));
+                cache.insert(key, Arc::clone(&built));
+                built
+            })
+            .collect::<Vec<_>>();
+        let built = columns.len() as u64 - reused;
+        telemetry::count("binned.columns_reused", reused);
+        telemetry::count("binned.columns_built", built);
+        Ok(BinnedDataset {
+            columns,
+            n_rows: cols[0].len(),
+        })
+    }
+
+    /// Number of rows every column covers.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// One binned column.
+    pub fn column(&self, f: usize) -> &BinnedColumn {
+        &self.columns[f]
+    }
+}
+
+fn validate_cols(cols: &[&[f64]], max_bins: usize) -> Result<()> {
+    if !(2..=MAX_BINS_LIMIT).contains(&max_bins) {
+        return Err(LearnError::InvalidParam(format!(
+            "max_bins must be in 2..={MAX_BINS_LIMIT}, got {max_bins}"
+        )));
+    }
+    if cols.is_empty() || cols[0].is_empty() {
+        return Err(LearnError::EmptyTrainingSet("binned dataset".into()));
+    }
+    let n = cols[0].len();
+    for c in cols {
+        if c.len() != n {
+            return Err(LearnError::InvalidParam(format!(
+                "binned column length {} != {n}",
+                c.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Capacity of the process-wide bin cache. Entries are per-column
+/// (codes + thresholds, roughly 1–2 bytes per row), so even at paper
+/// scale the cache stays in the tens of megabytes.
+pub const BIN_CACHE_CAPACITY: usize = 8_192;
+
+fn bin_cache() -> &'static ScoreCache<Arc<BinnedColumn>> {
+    static CACHE: OnceLock<ScoreCache<Arc<BinnedColumn>>> = OnceLock::new();
+    CACHE.get_or_init(|| ScoreCache::new(BIN_CACHE_CAPACITY))
+}
+
+/// Counters of the process-wide bin cache (hits = columns served without
+/// re-binning).
+pub fn bin_cache_stats() -> runtime::CacheStats {
+    bin_cache().stats()
+}
+
+// ---------------------------------------------------------------------
+// Histogram accumulation — the inner loop of binned split finding.
+// ---------------------------------------------------------------------
+
+/// One bin of a regression histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegBin {
+    /// Rows in the bin.
+    pub n: u32,
+    /// Sum of targets.
+    pub sum: f64,
+    /// Sum of squared targets.
+    pub sumsq: f64,
+}
+
+/// Accumulate per-bin class counts over `rows` into `out`
+/// (`out[bin * n_classes + class]`, cleared first). One `O(rows)` pass.
+pub fn accumulate_class(
+    col: &BinnedColumn,
+    rows: &[usize],
+    y: &[usize],
+    n_classes: usize,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    out.resize(col.n_bins() * n_classes, 0);
+    match &col.codes {
+        BinCodes::U8(codes) => {
+            for &r in rows {
+                out[codes[r] as usize * n_classes + y[r]] += 1;
+            }
+        }
+        BinCodes::U16(codes) => {
+            for &r in rows {
+                out[codes[r] as usize * n_classes + y[r]] += 1;
+            }
+        }
+    }
+}
+
+/// Accumulate per-bin regression stats over `rows` into `out`
+/// (cleared first). One `O(rows)` pass.
+pub fn accumulate_reg(col: &BinnedColumn, rows: &[usize], y: &[f64], out: &mut Vec<RegBin>) {
+    out.clear();
+    out.resize(col.n_bins(), RegBin::default());
+    let mut add = |bin: usize, v: f64| {
+        let b = &mut out[bin];
+        b.n += 1;
+        b.sum += v;
+        b.sumsq += v * v;
+    };
+    match &col.codes {
+        BinCodes::U8(codes) => {
+            for &r in rows {
+                add(codes[r] as usize, y[r]);
+            }
+        }
+        BinCodes::U16(codes) => {
+            for &r in rows {
+                add(codes[r] as usize, y[r]);
+            }
+        }
+    }
+}
+
+/// Sibling subtraction: the right child's histogram is the parent's minus
+/// the left child's, element-wise — `O(n_bins)` instead of `O(rows)`.
+/// Counts are integers, so the subtracted histogram is bit-identical to
+/// re-accumulation.
+pub fn subtract_class(parent: &[u32], left: &[u32]) -> Vec<u32> {
+    debug_assert_eq!(parent.len(), left.len());
+    parent.iter().zip(left).map(|(&p, &l)| p - l).collect()
+}
+
+/// Sibling subtraction for regression histograms. Counts subtract
+/// exactly; the float sums are subtracted (deterministically, but not
+/// necessarily bit-identical to re-accumulation).
+pub fn subtract_reg(parent: &[RegBin], left: &[RegBin]) -> Vec<RegBin> {
+    debug_assert_eq!(parent.len(), left.len());
+    parent
+        .iter()
+        .zip(left)
+        .map(|(p, l)| RegBin {
+            n: p.n - l.n,
+            sum: p.sum - l.sum,
+            sumsq: p.sumsq - l.sumsq,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_of(col: &BinnedColumn, n: usize) -> Vec<usize> {
+        (0..n).map(|r| col.codes().get(r)).collect()
+    }
+
+    #[test]
+    fn constant_column_is_one_bin() {
+        let col = BinnedColumn::build(&[3.5; 40], 256);
+        assert_eq!(col.n_bins(), 1);
+        assert_eq!(codes_of(&col, 40), vec![0; 40]);
+    }
+
+    #[test]
+    fn few_distinct_values_get_one_bin_each() {
+        let vals = [2.0, 1.0, 2.0, 3.0, 1.0, 3.0, 3.0];
+        let col = BinnedColumn::build(&vals, 256);
+        assert_eq!(col.n_bins(), 3);
+        assert_eq!(col.threshold(0), 1.5);
+        assert_eq!(col.threshold(1), 2.5);
+        assert_eq!(codes_of(&col, 7), vec![1, 0, 1, 2, 0, 2, 2]);
+    }
+
+    #[test]
+    fn boundary_thresholds_separate_bins_on_the_value_scale() {
+        // The defining invariant: v <= threshold(b) ⇔ code(v) <= b.
+        let vals: Vec<f64> = (0..1000).map(|i| ((i * 37) % 251) as f64 * 0.1).collect();
+        let col = BinnedColumn::build(&vals, 64);
+        assert!(col.n_bins() <= 64);
+        for (r, &v) in vals.iter().enumerate() {
+            let code = col.codes().get(r);
+            for b in 0..col.n_bins() - 1 {
+                assert_eq!(
+                    v <= col.threshold(b),
+                    code <= b,
+                    "row {r} value {v} code {code} boundary {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_column_spends_bins_on_varying_values() {
+        // 90% zeros + 100 distinct positives, budget 16: the zero run
+        // must collapse into one bin, not eat quantile cuts.
+        let mut vals = vec![0.0; 900];
+        vals.extend((1..=100).map(|i| i as f64));
+        let col = BinnedColumn::build(&vals, 16);
+        assert!(col.n_bins() > 1, "degenerated to a single bin");
+        assert!(col.n_bins() <= 16);
+        // All zeros share bin 0.
+        assert!((0..900).all(|r| col.codes().get(r) == 0));
+        // The positive tail is spread over the remaining bins.
+        let tail: std::collections::BTreeSet<usize> =
+            (900..1000).map(|r| col.codes().get(r)).collect();
+        assert!(tail.len() > 1, "tail collapsed into one bin");
+    }
+
+    #[test]
+    fn wide_column_respects_bin_budget_and_ordering() {
+        let vals: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.7).sin() * 100.0).collect();
+        let col = BinnedColumn::build(&vals, 256);
+        assert!(col.n_bins() <= 256);
+        assert!(col.n_bins() > 200, "continuous column should use budget");
+        // Codes are monotone in value.
+        let mut pairs: Vec<(f64, usize)> = vals
+            .iter()
+            .enumerate()
+            .map(|(r, &v)| (v, col.codes().get(r)))
+            .collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1, "codes must be monotone in value");
+        }
+    }
+
+    #[test]
+    fn u16_codes_kick_in_past_256_bins() {
+        let vals: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let col = BinnedColumn::build(&vals, 1024);
+        assert!(col.n_bins() > 256);
+        assert!(matches!(col.codes(), BinCodes::U16(_)));
+        let small = BinnedColumn::build(&vals, 256);
+        assert!(matches!(small.codes(), BinCodes::U8(_)));
+    }
+
+    #[test]
+    fn sibling_subtraction_identity_class() {
+        let vals: Vec<f64> = (0..200).map(|i| ((i * 13) % 17) as f64).collect();
+        let y: Vec<usize> = (0..200).map(|i| (i * 7) % 3).collect();
+        let col = BinnedColumn::build(&vals, 8);
+        let parent: Vec<usize> = (0..200).collect();
+        let (left, right): (Vec<usize>, Vec<usize>) = parent.iter().partition(|&&r| r % 3 != 0);
+        let mut hp = Vec::new();
+        let mut hl = Vec::new();
+        let mut hr = Vec::new();
+        accumulate_class(&col, &parent, &y, 3, &mut hp);
+        accumulate_class(&col, &left, &y, 3, &mut hl);
+        accumulate_class(&col, &right, &y, 3, &mut hr);
+        assert_eq!(subtract_class(&hp, &hl), hr, "parent − left == right");
+    }
+
+    #[test]
+    fn sibling_subtraction_identity_reg() {
+        let vals: Vec<f64> = (0..100).map(|i| ((i * 31) % 23) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| (i as f64).sqrt()).collect();
+        let col = BinnedColumn::build(&vals, 6);
+        let parent: Vec<usize> = (0..100).collect();
+        let (left, right): (Vec<usize>, Vec<usize>) = parent.iter().partition(|&&r| r < 40);
+        let mut hp = Vec::new();
+        let mut hl = Vec::new();
+        let mut hr = Vec::new();
+        accumulate_reg(&col, &parent, &y, &mut hp);
+        accumulate_reg(&col, &left, &y, &mut hl);
+        accumulate_reg(&col, &right, &y, &mut hr);
+        for (s, r) in subtract_reg(&hp, &hl).iter().zip(&hr) {
+            assert_eq!(s.n, r.n);
+            assert!((s.sum - r.sum).abs() < 1e-9);
+            assert!((s.sumsq - r.sumsq).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn histograms_count_bootstrap_duplicates() {
+        let vals = [1.0, 2.0, 3.0];
+        let y = [0usize, 1, 1];
+        let col = BinnedColumn::build(&vals, 8);
+        let mut h = Vec::new();
+        accumulate_class(&col, &[0, 0, 2], &y, 2, &mut h);
+        assert_eq!(h[0], 2, "row 0 drawn twice must count twice");
+        assert_eq!(h[2 * 2 + 1], 1);
+    }
+
+    #[test]
+    fn cached_build_reuses_identical_columns() {
+        let a: Vec<f64> = (0..64).map(|i| (i as f64 * 1.7).cos()).collect();
+        let b: Vec<f64> = (0..64).map(|i| (i as f64 * 2.3).sin()).collect();
+        let before = bin_cache_stats();
+        let d1 = BinnedDataset::from_slices_cached(&[&a, &b], 32).unwrap();
+        let d2 = BinnedDataset::from_slices_cached(&[&a, &b], 32).unwrap();
+        let after = bin_cache_stats();
+        assert!(
+            after.hits >= before.hits + 2,
+            "second build must reuse both columns"
+        );
+        for f in 0..2 {
+            assert_eq!(d1.column(f), d2.column(f));
+        }
+        // Different bin budget addresses different entries.
+        let d3 = BinnedDataset::from_slices_cached(&[&a, &b], 16).unwrap();
+        assert!(d3.column(0).n_bins() <= 16);
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        assert!(BinnedDataset::build(&[], 256).is_err());
+        assert!(BinnedDataset::build(&[vec![]], 256).is_err());
+        assert!(BinnedDataset::build(&[vec![1.0], vec![1.0, 2.0]], 256).is_err());
+        assert!(BinnedDataset::build(&[vec![1.0]], 1).is_err());
+        assert!(BinnedDataset::build(&[vec![1.0]], MAX_BINS_LIMIT + 1).is_err());
+    }
+}

@@ -6,6 +6,7 @@
 //! for regression. The downstream model defaults to Random Forest and can
 //! be swapped (Table V uses SVM, NB/GP and MLP on the cached features).
 
+use crate::binned::{BinnedDataset, SplitMethod};
 use crate::error::{LearnError, Result};
 use crate::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
 use crate::gp::{GaussianProcess, GpConfig};
@@ -107,20 +108,92 @@ impl Evaluator {
         }
         let splits = cv_indices(frame.label(), self.folds, self.seed)?;
         let n_folds = splits.len();
+        // When every fold trains a histogram forest, quantise the frame
+        // once here and hand all folds (and all their trees) the same
+        // bins — the "bin once, train everywhere" regime. Non-forest
+        // model kinds keep the gather-per-fold path.
+        let binned = if self.uses_binned_forest(frame.task()) {
+            let cols: Vec<&[f64]> = frame
+                .columns()
+                .iter()
+                .map(|c| c.values.as_slice())
+                .collect();
+            Some(BinnedDataset::from_slices_cached(
+                &cols,
+                self.forest.tree.max_bins,
+            )?)
+        } else {
+            None
+        };
         // Folds are independent given their index-derived seeds, so they can
         // run on the shared pool; summing in fold order afterwards keeps the
         // result bit-identical to a sequential run.
         let pool = runtime::WorkerPool::new().with_seed(self.seed);
-        let fold_scores = pool.map(splits, |ctx, split| {
-            let train = frame.take_rows(&split.train)?;
-            let test = frame.take_rows(&split.test)?;
-            self.fit_score(&train, &test, ctx.index as u64)
+        let fold_scores = pool.map(splits, |ctx, split| match &binned {
+            Some(b) => self.fit_score_binned(b, frame, &split, ctx.index as u64),
+            None => {
+                let train = frame.take_rows(&split.train)?;
+                let test = frame.take_rows(&split.test)?;
+                self.fit_score(&train, &test, ctx.index as u64)
+            }
         });
         let mut total = 0.0;
         for score in fold_scores {
             total += score?;
         }
         Ok(total / n_folds as f64)
+    }
+
+    /// Whether `evaluate` trains a histogram forest on every fold (and so
+    /// should bin the frame once up front): the forest kind, plus SVM's
+    /// regression fallback, with [`SplitMethod::Histogram`] configured.
+    fn uses_binned_forest(&self, task: Task) -> bool {
+        self.forest.tree.split == SplitMethod::Histogram
+            && match self.kind {
+                ModelKind::RandomForest => true,
+                ModelKind::Svm => task == Task::Regression,
+                ModelKind::NaiveBayesGp | ModelKind::Mlp => false,
+            }
+    }
+
+    /// One fold against the shared pre-binned frame: train the forest on
+    /// the fold's train rows straight from the bin codes, gather only the
+    /// test sub-matrix for prediction.
+    fn fit_score_binned(
+        &self,
+        binned: &BinnedDataset,
+        frame: &DataFrame,
+        split: &tabular::split::Split,
+        fold_seed: u64,
+    ) -> Result<f64> {
+        let seed = self.seed ^ fold_seed.wrapping_mul(0x9E37);
+        let xte: Vec<Vec<f64>> = frame
+            .columns()
+            .iter()
+            .map(|c| split.test.iter().map(|&r| c.values[r]).collect())
+            .collect();
+        match frame.label() {
+            Label::Class { y, n_classes } => {
+                let mut m = RandomForestClassifier::new(ForestConfig {
+                    seed,
+                    ..self.forest
+                });
+                m.fit_binned(binned, &split.train, y, *n_classes)?;
+                let preds = m.predict(&xte)?;
+                let yte: Vec<usize> = split.test.iter().map(|&r| y[r]).collect();
+                f1_score(&yte, &preds, *n_classes)
+            }
+            Label::Reg(y) => {
+                let mut m = RandomForestRegressor::new(ForestConfig {
+                    seed,
+                    ..self.forest
+                });
+                m.fit_binned(binned, &split.train, y)?;
+                let preds = m.predict(&xte)?;
+                let yte: Vec<f64> = split.test.iter().map(|&r| y[r]).collect();
+                one_minus_rae(&yte, &preds)
+            }
+        }
     }
 
     /// Fit on `train`, score on `test` (one fold).

@@ -7,6 +7,7 @@
 //! seeds and bootstrap rows are drawn sequentially up front, so the fitted
 //! forest is bit-identical under any thread count.
 
+use crate::binned::{BinnedDataset, SplitMethod};
 use crate::error::{LearnError, Result};
 use crate::tree::{argmax, DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
 use rand::rngs::StdRng;
@@ -34,13 +35,7 @@ impl Default for ForestConfig {
     fn default() -> Self {
         Self {
             n_trees: 20,
-            tree: TreeConfig {
-                max_depth: 10,
-                min_samples_split: 2,
-                min_samples_leaf: 1,
-                max_features: None,
-                seed: 0,
-            },
+            tree: TreeConfig::default(),
             bootstrap: true,
             seed: 0,
             n_threads: 0,
@@ -50,11 +45,15 @@ impl Default for ForestConfig {
 
 impl ForestConfig {
     /// A smaller, faster configuration for inner-loop feature evaluation.
+    /// Uses histogram split finding: the engine's and FPE's inner loops
+    /// re-evaluate overlapping feature sets constantly, exactly the
+    /// bin-once-train-everywhere regime.
     pub fn fast() -> Self {
         Self {
             n_trees: 10,
             tree: TreeConfig {
                 max_depth: 8,
+                split: SplitMethod::Histogram,
                 ..TreeConfig::default()
             },
             ..Self::default()
@@ -79,6 +78,37 @@ fn sample_rows(n_rows: usize, bootstrap: bool, rng: &mut StdRng) -> Vec<usize> {
 fn gather(x: &[Vec<f64>], rows: &[usize]) -> Vec<Vec<f64>> {
     x.iter()
         .map(|col| rows.iter().map(|&r| col[r]).collect())
+        .collect()
+}
+
+/// Quantise the training matrix through the process-wide bin cache,
+/// timing the build under `forest.bin_us`.
+fn bin_features(x: &[Vec<f64>], max_bins: usize) -> Result<BinnedDataset> {
+    let _span = telemetry::span("forest.bin");
+    let start = telemetry::enabled().then(std::time::Instant::now);
+    let binned = BinnedDataset::build_cached(x, max_bins)?;
+    if let Some(t) = start {
+        telemetry::record("forest.bin_us", t.elapsed().as_micros() as u64);
+    }
+    Ok(binned)
+}
+
+/// Per-tree (seed, rows) draws, drawn sequentially up front so the fitted
+/// forest never depends on worker scheduling. `rows` maps each draw into
+/// the caller's training subset (identity for a full-dataset fit), so the
+/// histogram path consumes the RNG exactly like the exact path does.
+fn draw_trees(
+    n_trees: usize,
+    rows: &[usize],
+    bootstrap: bool,
+    rng: &mut StdRng,
+) -> Vec<(u64, Vec<usize>)> {
+    (0..n_trees)
+        .map(|_| {
+            let seed = rng.gen::<u64>();
+            let draw = sample_rows(rows.len(), bootstrap, rng);
+            (seed, draw.into_iter().map(|i| rows[i]).collect())
+        })
         .collect()
 }
 
@@ -120,10 +150,17 @@ impl RandomForestClassifier {
         }
     }
 
-    /// Fit on column-major features and class labels.
+    /// Fit on column-major features and class labels. With
+    /// [`SplitMethod::Histogram`] the matrix is quantised once and shared
+    /// (as an [`BinnedDataset`]) by every per-tree job.
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Result<()> {
         if x.is_empty() || y.is_empty() {
             return Err(LearnError::EmptyTrainingSet("random forest".into()));
+        }
+        if self.config.tree.split == SplitMethod::Histogram {
+            let binned = bin_features(x, self.config.tree.max_bins)?;
+            let all: Vec<usize> = (0..y.len()).collect();
+            return self.fit_binned(&binned, &all, y, n_classes);
         }
         let n_rows = y.len();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -131,14 +168,8 @@ impl RandomForestClassifier {
         if tree_cfg.max_features.is_none() {
             tree_cfg.max_features = Some(self.config.sqrt_features(x.len()));
         }
-        let draws: Vec<(u64, Vec<usize>)> = (0..self.config.n_trees)
-            .map(|_| {
-                (
-                    rng.gen::<u64>(),
-                    sample_rows(n_rows, self.config.bootstrap, &mut rng),
-                )
-            })
-            .collect();
+        let all: Vec<usize> = (0..n_rows).collect();
+        let draws = draw_trees(self.config.n_trees, &all, self.config.bootstrap, &mut rng);
         self.trees = fit_trees(self.config.n_threads, draws, |seed, rows| {
             let cfg = TreeConfig { seed, ..tree_cfg };
             let xb = gather(x, rows);
@@ -149,6 +180,37 @@ impl RandomForestClassifier {
         })?;
         self.n_classes = n_classes;
         self.n_features = x.len();
+        Ok(())
+    }
+
+    /// Fit on an already-binned dataset, training only on `rows` (e.g. a
+    /// CV fold's train rows). Bootstrap draws are taken within `rows`;
+    /// labels span the full dataset. No sub-matrix is gathered — every
+    /// tree reads the shared bin codes directly.
+    pub fn fit_binned(
+        &mut self,
+        binned: &BinnedDataset,
+        rows: &[usize],
+        y: &[usize],
+        n_classes: usize,
+    ) -> Result<()> {
+        if binned.n_features() == 0 || rows.is_empty() || y.is_empty() {
+            return Err(LearnError::EmptyTrainingSet("random forest".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut tree_cfg = self.config.tree;
+        if tree_cfg.max_features.is_none() {
+            tree_cfg.max_features = Some(self.config.sqrt_features(binned.n_features()));
+        }
+        let draws = draw_trees(self.config.n_trees, rows, self.config.bootstrap, &mut rng);
+        self.trees = fit_trees(self.config.n_threads, draws, |seed, tree_rows| {
+            let cfg = TreeConfig { seed, ..tree_cfg };
+            let mut t = DecisionTreeClassifier::new(cfg);
+            t.fit_binned(binned, tree_rows, y, n_classes)?;
+            Ok(t)
+        })?;
+        self.n_classes = n_classes;
+        self.n_features = binned.n_features();
         Ok(())
     }
 
@@ -216,10 +278,17 @@ impl RandomForestRegressor {
         }
     }
 
-    /// Fit on column-major features and real targets.
+    /// Fit on column-major features and real targets. With
+    /// [`SplitMethod::Histogram`] the matrix is quantised once and shared
+    /// (as an [`BinnedDataset`]) by every per-tree job.
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
         if x.is_empty() || y.is_empty() {
             return Err(LearnError::EmptyTrainingSet("random forest".into()));
+        }
+        if self.config.tree.split == SplitMethod::Histogram {
+            let binned = bin_features(x, self.config.tree.max_bins)?;
+            let all: Vec<usize> = (0..y.len()).collect();
+            return self.fit_binned(&binned, &all, y);
         }
         let n_rows = y.len();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -228,14 +297,8 @@ impl RandomForestRegressor {
             // Regression forests conventionally use N/3 features.
             tree_cfg.max_features = Some((x.len() / 3).clamp(1, x.len()));
         }
-        let draws: Vec<(u64, Vec<usize>)> = (0..self.config.n_trees)
-            .map(|_| {
-                (
-                    rng.gen::<u64>(),
-                    sample_rows(n_rows, self.config.bootstrap, &mut rng),
-                )
-            })
-            .collect();
+        let all: Vec<usize> = (0..n_rows).collect();
+        let draws = draw_trees(self.config.n_trees, &all, self.config.bootstrap, &mut rng);
         self.trees = fit_trees(self.config.n_threads, draws, |seed, rows| {
             let cfg = TreeConfig { seed, ..tree_cfg };
             let xb = gather(x, rows);
@@ -245,6 +308,30 @@ impl RandomForestRegressor {
             Ok(t)
         })?;
         self.n_features = x.len();
+        Ok(())
+    }
+
+    /// Fit on an already-binned dataset, training only on `rows` (e.g. a
+    /// CV fold's train rows). Bootstrap draws are taken within `rows`;
+    /// targets span the full dataset.
+    pub fn fit_binned(&mut self, binned: &BinnedDataset, rows: &[usize], y: &[f64]) -> Result<()> {
+        if binned.n_features() == 0 || rows.is_empty() || y.is_empty() {
+            return Err(LearnError::EmptyTrainingSet("random forest".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut tree_cfg = self.config.tree;
+        if tree_cfg.max_features.is_none() {
+            let n_features = binned.n_features();
+            tree_cfg.max_features = Some((n_features / 3).clamp(1, n_features));
+        }
+        let draws = draw_trees(self.config.n_trees, rows, self.config.bootstrap, &mut rng);
+        self.trees = fit_trees(self.config.n_threads, draws, |seed, tree_rows| {
+            let cfg = TreeConfig { seed, ..tree_cfg };
+            let mut t = DecisionTreeRegressor::new(cfg);
+            t.fit_binned(binned, tree_rows, y)?;
+            Ok(t)
+        })?;
+        self.n_features = binned.n_features();
         Ok(())
     }
 

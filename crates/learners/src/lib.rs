@@ -5,7 +5,10 @@
 //! dependencies:
 //!
 //! - [`forest`] — Random Forests, the paper's downstream evaluation task;
-//! - [`tree`] — the underlying CART trees;
+//! - [`tree`] — the underlying CART trees (exact and histogram split
+//!   finding);
+//! - [`binned`] — quantile feature binning shared by trees, forests, and
+//!   CV folds;
 //! - [`linear`] — logistic regression (the FPE binary classifier) and a
 //!   linear SVM (Table V);
 //! - [`nb`] — Gaussian Naive Bayes (Table V);
@@ -17,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod binned;
 pub mod cv;
 pub mod error;
 pub mod forest;
@@ -31,6 +35,7 @@ pub mod preprocess;
 pub mod resnet;
 pub mod tree;
 
+pub use binned::{BinnedColumn, BinnedDataset, SplitMethod, DEFAULT_MAX_BINS};
 pub use cv::{feature_matrix, Evaluator, ModelKind};
 pub use error::{LearnError, Result};
 pub use forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};

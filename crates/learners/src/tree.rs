@@ -4,7 +4,25 @@
 //!
 //! Features are accessed column-major (`x[feature][row]`), matching
 //! `tabular::DataFrame`'s layout so forests can train without transposing.
+//!
+//! Two split-finding paths share one builder, selected by
+//! [`TreeConfig::split`]:
+//!
+//! - [`SplitMethod::Exact`] — the reference path: sort every candidate
+//!   feature at every node and scan the sorted boundary positions.
+//! - [`SplitMethod::Histogram`] — quantise each feature once into a
+//!   [`BinnedDataset`] (see [`crate::binned`]), then find node splits by
+//!   an `O(n_rows)` histogram-accumulation pass per feature plus an
+//!   `O(n_bins)` scan, with the sibling-subtraction trick (a right
+//!   child's histogram is its parent's minus its left sibling's).
+//!
+//! Both paths run node rows through a single in-place stably-partitioned
+//! row-index buffer and reuse scratch sort/count buffers across nodes, so
+//! steady-state split finding allocates only per-node leaf payloads and
+//! (histogram path) the per-feature histograms that the subtraction trick
+//! hands from parent to child.
 
+use crate::binned::{self, BinnedDataset, RegBin, SplitMethod, DEFAULT_MAX_BINS, MAX_BINS_LIMIT};
 use crate::error::{LearnError, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -25,6 +43,11 @@ pub struct TreeConfig {
     pub max_features: Option<usize>,
     /// Seed for the per-split feature subsampling.
     pub seed: u64,
+    /// How candidate splits are enumerated.
+    pub split: SplitMethod,
+    /// Per-feature bin budget for [`SplitMethod::Histogram`] (ignored by
+    /// the exact path).
+    pub max_bins: usize,
 }
 
 impl Default for TreeConfig {
@@ -35,7 +58,21 @@ impl Default for TreeConfig {
             min_samples_leaf: 1,
             max_features: None,
             seed: 0,
+            split: SplitMethod::Exact,
+            max_bins: DEFAULT_MAX_BINS,
         }
+    }
+}
+
+impl TreeConfig {
+    fn validate(&self) -> Result<()> {
+        if self.split == SplitMethod::Histogram && !(2..=MAX_BINS_LIMIT).contains(&self.max_bins) {
+            return Err(LearnError::InvalidParam(format!(
+                "max_bins must be in 2..={MAX_BINS_LIMIT}, got {}",
+                self.max_bins
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -64,6 +101,33 @@ enum Node {
 enum Labels<'a> {
     Class { y: &'a [usize], n_classes: usize },
     Reg(&'a [f64]),
+}
+
+impl Labels<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Labels::Class { y, .. } => y.len(),
+            Labels::Reg(y) => y.len(),
+        }
+    }
+}
+
+/// Feature view the builder trains against.
+#[derive(Clone, Copy)]
+enum Data<'a> {
+    /// Raw column-major values; splits found by per-node sorting.
+    Exact(&'a [Vec<f64>]),
+    /// Pre-quantised columns; splits found by histogram scans.
+    Binned(&'a BinnedDataset),
+}
+
+impl Data<'_> {
+    fn n_features(&self) -> usize {
+        match self {
+            Data::Exact(x) => x.len(),
+            Data::Binned(b) => b.n_features(),
+        }
+    }
 }
 
 /// A fitted CART tree. Construct through [`DecisionTreeClassifier`] or
@@ -114,8 +178,44 @@ impl Tree {
     }
 }
 
+/// Per-feature node histogram handed between siblings by the subtraction
+/// trick.
+enum Hist {
+    Class(Vec<u32>),
+    Reg(Vec<RegBin>),
+}
+
+/// A chosen split: `bin` is the boundary index in the histogram path
+/// (unused by the exact path); `threshold` is always on the raw value
+/// scale so prediction never needs the bins.
+struct Candidate {
+    feature: usize,
+    threshold: f64,
+    bin: usize,
+    gain: f64,
+}
+
+/// Scratch buffers reused across every node of a build — the exact path's
+/// per-node heap traffic lives (and dies) here.
+#[derive(Default)]
+struct Scratch {
+    /// Right-side rows during the in-place stable partition.
+    partition: Vec<usize>,
+    /// (value, row) pairs for the exact path's per-feature sort.
+    sortable: Vec<(f64, usize)>,
+    /// Class counts of the current node (impurity).
+    node_counts: Vec<usize>,
+    /// Class counts left of the scanned boundary.
+    left_counts: Vec<usize>,
+    /// Class counts right of the scanned boundary.
+    right_counts: Vec<usize>,
+    /// (bin code, class) pairs for the histogram path's small-node
+    /// sorted-codes scan.
+    codes: Vec<(usize, usize)>,
+}
+
 struct Builder<'a> {
-    x: &'a [Vec<f64>],
+    data: Data<'a>,
     labels: Labels<'a>,
     cfg: TreeConfig,
     nodes: Vec<Node>,
@@ -123,45 +223,91 @@ struct Builder<'a> {
     rng: StdRng,
     n_total: usize,
     feature_pool: Vec<usize>,
+    /// The single row-index buffer; `grow` works on `lo..hi` ranges of it
+    /// and partitions in place.
+    rows: Vec<usize>,
+    scratch: Scratch,
+    /// Histograms obtained by sibling subtraction instead of
+    /// re-accumulation (flushed to telemetry once per tree).
+    hists_subtracted: u64,
+    /// Small nodes split via the sorted-codes scan instead of a dense
+    /// histogram (flushed to telemetry once per tree).
+    sparse_scans: u64,
 }
 
 impl<'a> Builder<'a> {
-    fn build(x: &'a [Vec<f64>], labels: Labels<'a>, cfg: TreeConfig) -> Result<Tree> {
-        let n_rows = match labels {
-            Labels::Class { y, .. } => y.len(),
-            Labels::Reg(y) => y.len(),
-        };
-        if x.is_empty() || n_rows == 0 {
+    fn build(
+        data: Data<'a>,
+        rows: Vec<usize>,
+        labels: Labels<'a>,
+        cfg: TreeConfig,
+    ) -> Result<Tree> {
+        let n_rows = labels.len();
+        if data.n_features() == 0 || n_rows == 0 || rows.is_empty() {
             return Err(LearnError::EmptyTrainingSet("decision tree".into()));
         }
-        for col in x {
-            if col.len() != n_rows {
-                return Err(LearnError::InvalidParam(format!(
-                    "feature column length {} != label length {n_rows}",
-                    col.len()
-                )));
+        match data {
+            Data::Exact(x) => {
+                for col in x {
+                    if col.len() != n_rows {
+                        return Err(LearnError::InvalidParam(format!(
+                            "feature column length {} != label length {n_rows}",
+                            col.len()
+                        )));
+                    }
+                }
+            }
+            Data::Binned(b) => {
+                if b.n_rows() != n_rows {
+                    return Err(LearnError::InvalidParam(format!(
+                        "binned dataset rows {} != label length {n_rows}",
+                        b.n_rows()
+                    )));
+                }
             }
         }
+        if rows.iter().any(|&r| r >= n_rows) {
+            return Err(LearnError::InvalidParam(
+                "training row index out of bounds".into(),
+            ));
+        }
+        let n_features = data.n_features();
+        let n_train = rows.len();
         let mut b = Builder {
-            x,
+            data,
             labels,
             cfg,
             nodes: Vec::new(),
-            importances: vec![0.0; x.len()],
+            importances: vec![0.0; n_features],
             rng: StdRng::seed_from_u64(cfg.seed),
-            n_total: n_rows,
-            feature_pool: (0..x.len()).collect(),
+            n_total: n_train,
+            feature_pool: (0..n_features).collect(),
+            rows,
+            scratch: Scratch::default(),
+            hists_subtracted: 0,
+            sparse_scans: 0,
         };
-        let rows: Vec<usize> = (0..n_rows).collect();
-        b.grow(&rows, 0);
+        let timed = matches!(data, Data::Binned(_)) && telemetry::enabled();
+        let start = timed.then(std::time::Instant::now);
+        b.grow(0, n_train, 0, Vec::new());
+        if let Some(t) = start {
+            telemetry::record("tree.hist_us", t.elapsed().as_micros() as u64);
+        }
+        if b.hists_subtracted > 0 {
+            telemetry::count("tree.hist_subtracted", b.hists_subtracted);
+        }
+        if b.sparse_scans > 0 {
+            telemetry::count("tree.hist_sparse_scans", b.sparse_scans);
+        }
         Ok(Tree {
             nodes: b.nodes,
-            n_features: x.len(),
+            n_features,
             importances: b.importances,
         })
     }
 
-    fn leaf_target(&self, rows: &[usize]) -> Target {
+    fn leaf_target(&self, lo: usize, hi: usize) -> Target {
+        let rows = &self.rows[lo..hi];
         match self.labels {
             Labels::Class { y, n_classes } => {
                 let mut counts = vec![0.0; n_classes];
@@ -177,14 +323,17 @@ impl<'a> Builder<'a> {
         }
     }
 
-    fn impurity(&self, rows: &[usize]) -> f64 {
+    fn impurity(&mut self, lo: usize, hi: usize) -> f64 {
+        let rows = &self.rows[lo..hi];
         match self.labels {
             Labels::Class { y, n_classes } => {
-                let mut counts = vec![0usize; n_classes];
+                let counts = &mut self.scratch.node_counts;
+                counts.clear();
+                counts.resize(n_classes, 0);
                 for &r in rows {
                     counts[y[r]] += 1;
                 }
-                gini(&counts, rows.len())
+                gini(counts, rows.len())
             }
             Labels::Reg(y) => {
                 let n = rows.len() as f64;
@@ -195,29 +344,75 @@ impl<'a> Builder<'a> {
         }
     }
 
-    /// Recursively grow the subtree for `rows`; returns the node index.
-    fn grow(&mut self, rows: &[usize], depth: usize) -> usize {
-        let node_impurity = self.impurity(rows);
-        let stop = depth >= self.cfg.max_depth
-            || rows.len() < self.cfg.min_samples_split
-            || node_impurity <= 1e-12;
+    /// Rows of `lo..hi` that the candidate sends left, without reordering
+    /// anything — the leaf fallback must see rows in their original order.
+    fn count_left(&self, lo: usize, hi: usize, c: &Candidate) -> usize {
+        let rows = &self.rows[lo..hi];
+        match self.data {
+            Data::Exact(x) => {
+                let col = &x[c.feature];
+                rows.iter().filter(|&&r| col[r] <= c.threshold).count()
+            }
+            Data::Binned(b) => {
+                let codes = b.column(c.feature).codes();
+                rows.iter().filter(|&&r| codes.get(r) <= c.bin).count()
+            }
+        }
+    }
+
+    /// Stable in-place partition of `rows[lo..hi]` by the candidate's
+    /// predicate; returns the left-side length. Preserves the relative
+    /// order of both sides, exactly like `Iterator::partition` did.
+    fn partition(&mut self, lo: usize, hi: usize, c: &Candidate) -> usize {
+        let data = self.data;
+        let rows = &mut self.rows[lo..hi];
+        let scratch = &mut self.scratch.partition;
+        match data {
+            Data::Exact(x) => {
+                let col = &x[c.feature];
+                stable_partition(rows, scratch, |r| col[r] <= c.threshold)
+            }
+            Data::Binned(b) => {
+                let codes = b.column(c.feature).codes();
+                stable_partition(rows, scratch, |r| codes.get(r) <= c.bin)
+            }
+        }
+    }
+
+    /// Recursively grow the subtree for `rows[lo..hi]`; returns the node
+    /// index and (histogram path) the per-feature histograms this node
+    /// accumulated, which the caller turns into the right sibling's via
+    /// subtraction.
+    fn grow(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        mut inherited: Vec<(usize, Hist)>,
+    ) -> (usize, Vec<(usize, Hist)>) {
+        let n = hi - lo;
+        let node_impurity = self.impurity(lo, hi);
+        let stop =
+            depth >= self.cfg.max_depth || n < self.cfg.min_samples_split || node_impurity <= 1e-12;
+        let mut node_hists = Vec::new();
         if !stop {
-            if let Some((feature, threshold, gain)) = self.best_split(rows, node_impurity) {
-                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-                    rows.iter().partition(|&&r| self.x[feature][r] <= threshold);
-                if left_rows.len() >= self.cfg.min_samples_leaf
-                    && right_rows.len() >= self.cfg.min_samples_leaf
-                {
-                    self.importances[feature] += gain * rows.len() as f64 / self.n_total as f64;
+            let (cand, hists) = self.best_split(lo, hi, node_impurity, &mut inherited);
+            node_hists = hists;
+            if let Some(c) = cand {
+                let nl = self.count_left(lo, hi, &c);
+                if nl >= self.cfg.min_samples_leaf && n - nl >= self.cfg.min_samples_leaf {
+                    self.partition(lo, hi, &c);
+                    self.importances[c.feature] += c.gain * n as f64 / self.n_total as f64;
                     let idx = self.nodes.len();
                     self.nodes.push(Node::Split {
-                        feature,
-                        threshold,
+                        feature: c.feature,
+                        threshold: c.threshold,
                         left: usize::MAX,
                         right: usize::MAX,
                     });
-                    let left = self.grow(&left_rows, depth + 1);
-                    let right = self.grow(&right_rows, depth + 1);
+                    let (left, left_hists) = self.grow(lo, lo + nl, depth + 1, Vec::new());
+                    let right_inherited = subtract_siblings(&node_hists, left_hists);
+                    let (right, _) = self.grow(lo + nl, hi, depth + 1, right_inherited);
                     if let Node::Split {
                         left: l, right: r, ..
                     } = &mut self.nodes[idx]
@@ -225,110 +420,458 @@ impl<'a> Builder<'a> {
                         *l = left;
                         *r = right;
                     }
-                    return idx;
+                    return (idx, node_hists);
                 }
             }
         }
         let idx = self.nodes.len();
-        let target = self.leaf_target(rows);
+        let target = self.leaf_target(lo, hi);
         self.nodes.push(Node::Leaf(target));
-        idx
+        (idx, node_hists)
     }
 
-    /// Best (feature, threshold, impurity decrease) over a random feature
-    /// subset, or `None` if no valid split exists.
-    fn best_split(&mut self, rows: &[usize], node_impurity: f64) -> Option<(usize, f64, f64)> {
+    /// Best candidate split over a random feature subset, or `None` if no
+    /// valid split exists. Also returns (histogram path) every candidate
+    /// feature's node histogram for sibling reuse.
+    fn best_split(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        node_impurity: f64,
+        inherited: &mut Vec<(usize, Hist)>,
+    ) -> (Option<Candidate>, Vec<(usize, Hist)>) {
         let k = self
             .cfg
             .max_features
-            .unwrap_or(self.x.len())
-            .clamp(1, self.x.len());
+            .unwrap_or(self.feature_pool.len())
+            .clamp(1, self.feature_pool.len());
         self.feature_pool.shuffle(&mut self.rng);
-        let candidates: Vec<usize> = self.feature_pool[..k].to_vec();
+        match self.data {
+            Data::Exact(x) => (
+                self.best_split_exact(x, lo, hi, k, node_impurity),
+                Vec::new(),
+            ),
+            Data::Binned(b) => self.best_split_hist(b, lo, hi, k, node_impurity, inherited),
+        }
+    }
 
-        let mut best: Option<(usize, f64, f64)> = None;
-        let mut sortable: Vec<(f64, usize)> = Vec::with_capacity(rows.len());
-        for feature in candidates {
+    fn best_split_exact(
+        &mut self,
+        x: &[Vec<f64>],
+        lo: usize,
+        hi: usize,
+        k: usize,
+        node_impurity: f64,
+    ) -> Option<Candidate> {
+        let rows = &self.rows[lo..hi];
+        let labels = self.labels;
+        let msl = self.cfg.min_samples_leaf;
+        let sortable = &mut self.scratch.sortable;
+        let left = &mut self.scratch.left_counts;
+        let right = &mut self.scratch.right_counts;
+        let mut best: Option<Candidate> = None;
+        for i in 0..k {
+            let feature = self.feature_pool[i];
             sortable.clear();
-            sortable.extend(rows.iter().map(|&r| (self.x[feature][r], r)));
+            sortable.extend(rows.iter().map(|&r| (x[feature][r], r)));
             sortable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             if sortable[0].0 == sortable[sortable.len() - 1].0 {
                 continue; // constant within node
             }
-            if let Some((threshold, child_impurity)) = self.scan_feature(&sortable) {
+            if let Some((threshold, child_impurity)) =
+                scan_sorted(labels, msl, sortable, left, right)
+            {
                 let gain = node_impurity - child_impurity;
-                if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
-                    best = Some((feature, threshold, gain));
+                if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(Candidate {
+                        feature,
+                        threshold,
+                        bin: 0,
+                        gain,
+                    });
                 }
             }
         }
         best
     }
 
-    /// Scan sorted (value, row) pairs, returning the boundary threshold with
-    /// minimum weighted child impurity.
-    fn scan_feature(&self, sorted: &[(f64, usize)]) -> Option<(f64, f64)> {
-        let n = sorted.len();
-        match self.labels {
-            Labels::Class { y, n_classes } => {
-                let mut left = vec![0usize; n_classes];
-                let mut right = vec![0usize; n_classes];
-                for &(_, r) in sorted {
-                    right[y[r]] += 1;
-                }
-                let mut best: Option<(f64, f64)> = None;
-                for i in 0..n - 1 {
-                    let c = y[sorted[i].1];
-                    left[c] += 1;
-                    right[c] -= 1;
-                    if sorted[i].0 == sorted[i + 1].0 {
-                        continue; // can't split between equal values
-                    }
-                    let nl = i + 1;
-                    let nr = n - nl;
-                    if nl < self.cfg.min_samples_leaf || nr < self.cfg.min_samples_leaf {
-                        continue;
-                    }
-                    let w = (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr)) / n as f64;
-                    if best.is_none_or(|(_, bw)| w < bw) {
-                        best = Some((midpoint(sorted[i].0, sorted[i + 1].0), w));
-                    }
-                }
-                best
-            }
-            Labels::Reg(y) => {
-                let total_sum: f64 = sorted.iter().map(|&(_, r)| y[r]).sum();
-                let total_sumsq: f64 = sorted.iter().map(|&(_, r)| y[r] * y[r]).sum();
-                let mut lsum = 0.0;
-                let mut lsumsq = 0.0;
-                let mut best: Option<(f64, f64)> = None;
-                for i in 0..n - 1 {
-                    let v = y[sorted[i].1];
-                    lsum += v;
-                    lsumsq += v * v;
-                    if sorted[i].0 == sorted[i + 1].0 {
-                        continue;
-                    }
-                    let nl = (i + 1) as f64;
-                    let nr = (n - i - 1) as f64;
-                    if (i + 1) < self.cfg.min_samples_leaf
-                        || (n - i - 1) < self.cfg.min_samples_leaf
+    fn best_split_hist(
+        &mut self,
+        binned: &BinnedDataset,
+        lo: usize,
+        hi: usize,
+        k: usize,
+        node_impurity: f64,
+        inherited: &mut Vec<(usize, Hist)>,
+    ) -> (Option<Candidate>, Vec<(usize, Hist)>) {
+        let rows = &self.rows[lo..hi];
+        let labels = self.labels;
+        let msl = self.cfg.min_samples_leaf;
+        let left = &mut self.scratch.left_counts;
+        let right = &mut self.scratch.right_counts;
+        let codes_buf = &mut self.scratch.codes;
+        let mut node_hists: Vec<(usize, Hist)> = Vec::with_capacity(k);
+        let mut best: Option<Candidate> = None;
+        for i in 0..k {
+            let feature = self.feature_pool[i];
+            let col = binned.column(feature);
+            let inherited_pos = inherited.iter().position(|(f, _)| *f == feature);
+            // Small nodes: a dense histogram costs O(n_bins) to allocate,
+            // zero and scan no matter how few rows the node has. When the
+            // node is smaller than the bin count (and no subtracted
+            // histogram is already on hand), sort the node's codes and
+            // scan the runs instead — bit-identical boundaries and gains
+            // (integer counts), O(rows log rows), nothing stored for the
+            // children (they are even smaller and take this path too).
+            if inherited_pos.is_none() && rows.len() < col.n_bins() {
+                if let Labels::Class { y, n_classes } = labels {
+                    codes_buf.clear();
+                    codes_buf.extend(rows.iter().map(|&r| (col.codes().get(r), y[r])));
+                    self.sparse_scans += 1;
+                    if let Some((bin, threshold, child_impurity)) =
+                        scan_codes_class(codes_buf, n_classes, col, msl, left, right)
                     {
-                        continue;
+                        let gain = node_impurity - child_impurity;
+                        if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                            best = Some(Candidate {
+                                feature,
+                                threshold,
+                                bin,
+                                gain,
+                            });
+                        }
                     }
-                    let lvar = (lsumsq / nl - (lsum / nl) * (lsum / nl)).max(0.0);
-                    let rsum = total_sum - lsum;
-                    let rsumsq = total_sumsq - lsumsq;
-                    let rvar = (rsumsq / nr - (rsum / nr) * (rsum / nr)).max(0.0);
-                    let w = (nl * lvar + nr * rvar) / n as f64;
-                    if best.is_none_or(|(_, bw)| w < bw) {
-                        best = Some((midpoint(sorted[i].0, sorted[i + 1].0), w));
-                    }
+                    continue;
                 }
-                best
+            }
+            // Sibling subtraction already produced this feature's node
+            // histogram — skip the O(n_rows) accumulation pass.
+            let hist = match inherited_pos {
+                Some(p) => {
+                    self.hists_subtracted += 1;
+                    inherited.swap_remove(p).1
+                }
+                None => match labels {
+                    Labels::Class { y, n_classes } => {
+                        let mut h = Vec::new();
+                        binned::accumulate_class(col, rows, y, n_classes, &mut h);
+                        Hist::Class(h)
+                    }
+                    Labels::Reg(y) => {
+                        let mut h = Vec::new();
+                        binned::accumulate_reg(col, rows, y, &mut h);
+                        Hist::Reg(h)
+                    }
+                },
+            };
+            let scanned = match (&hist, labels) {
+                (Hist::Class(h), Labels::Class { n_classes, .. }) => {
+                    scan_hist_class(h, n_classes, col, msl, left, right)
+                }
+                (Hist::Reg(h), _) => scan_hist_reg(h, col, msl),
+                _ => unreachable!("histogram kind matches label kind"),
+            };
+            if let Some((bin, threshold, child_impurity)) = scanned {
+                let gain = node_impurity - child_impurity;
+                if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(Candidate {
+                        feature,
+                        threshold,
+                        bin,
+                        gain,
+                    });
+                }
+            }
+            node_hists.push((feature, hist));
+        }
+        (best, node_hists)
+    }
+}
+
+/// Stable in-place partition: left-side rows keep their order at the
+/// front, right-side rows (staged through `scratch`) keep theirs at the
+/// back. Returns the left-side length.
+fn stable_partition(
+    rows: &mut [usize],
+    scratch: &mut Vec<usize>,
+    mut pred: impl FnMut(usize) -> bool,
+) -> usize {
+    scratch.clear();
+    let mut write = 0;
+    for i in 0..rows.len() {
+        let r = rows[i];
+        if pred(r) {
+            rows[write] = r;
+            write += 1;
+        } else {
+            scratch.push(r);
+        }
+    }
+    rows[write..].copy_from_slice(scratch);
+    write
+}
+
+/// Right sibling's histograms = parent's − left sibling's, for every
+/// feature both nodes computed. Exact for class counts; deterministic for
+/// regression sums.
+fn subtract_siblings(parent: &[(usize, Hist)], left: Vec<(usize, Hist)>) -> Vec<(usize, Hist)> {
+    let mut out = Vec::new();
+    for (feature, lh) in left {
+        if let Some((_, ph)) = parent.iter().find(|(f, _)| *f == feature) {
+            match (ph, lh) {
+                (Hist::Class(p), Hist::Class(l)) => {
+                    out.push((feature, Hist::Class(binned::subtract_class(p, &l))));
+                }
+                (Hist::Reg(p), Hist::Reg(l)) => {
+                    out.push((feature, Hist::Reg(binned::subtract_reg(p, &l))));
+                }
+                _ => unreachable!("sibling histograms share a kind"),
             }
         }
     }
+    out
+}
+
+/// Scan sorted (value, row) pairs, returning the boundary threshold with
+/// minimum weighted child impurity.
+fn scan_sorted(
+    labels: Labels,
+    min_samples_leaf: usize,
+    sorted: &[(f64, usize)],
+    left: &mut Vec<usize>,
+    right: &mut Vec<usize>,
+) -> Option<(f64, f64)> {
+    let n = sorted.len();
+    match labels {
+        Labels::Class { y, n_classes } => {
+            left.clear();
+            left.resize(n_classes, 0);
+            right.clear();
+            right.resize(n_classes, 0);
+            for &(_, r) in sorted {
+                right[y[r]] += 1;
+            }
+            let mut best: Option<(f64, f64)> = None;
+            for i in 0..n - 1 {
+                let c = y[sorted[i].1];
+                left[c] += 1;
+                right[c] -= 1;
+                if sorted[i].0 == sorted[i + 1].0 {
+                    continue; // can't split between equal values
+                }
+                let nl = i + 1;
+                let nr = n - nl;
+                if nl < min_samples_leaf || nr < min_samples_leaf {
+                    continue;
+                }
+                let w = (nl as f64 * gini(left, nl) + nr as f64 * gini(right, nr)) / n as f64;
+                if best.is_none_or(|(_, bw)| w < bw) {
+                    best = Some((midpoint(sorted[i].0, sorted[i + 1].0), w));
+                }
+            }
+            best
+        }
+        Labels::Reg(y) => {
+            let total_sum: f64 = sorted.iter().map(|&(_, r)| y[r]).sum();
+            let total_sumsq: f64 = sorted.iter().map(|&(_, r)| y[r] * y[r]).sum();
+            let mut lsum = 0.0;
+            let mut lsumsq = 0.0;
+            let mut best: Option<(f64, f64)> = None;
+            for i in 0..n - 1 {
+                let v = y[sorted[i].1];
+                lsum += v;
+                lsumsq += v * v;
+                if sorted[i].0 == sorted[i + 1].0 {
+                    continue;
+                }
+                let nl = (i + 1) as f64;
+                let nr = (n - i - 1) as f64;
+                if (i + 1) < min_samples_leaf || (n - i - 1) < min_samples_leaf {
+                    continue;
+                }
+                let lvar = (lsumsq / nl - (lsum / nl) * (lsum / nl)).max(0.0);
+                let rsum = total_sum - lsum;
+                let rsumsq = total_sumsq - lsumsq;
+                let rvar = (rsumsq / nr - (rsum / nr) * (rsum / nr)).max(0.0);
+                let w = (nl * lvar + nr * rvar) / n as f64;
+                if best.is_none_or(|(_, bw)| w < bw) {
+                    best = Some((midpoint(sorted[i].0, sorted[i + 1].0), w));
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Scan a class histogram's bin boundaries, returning `(bin, threshold,
+/// weighted child impurity)` of the best boundary.
+///
+/// Boundary enumeration mirrors the sorted scan exactly: a boundary is
+/// considered only after a non-empty bin with rows remaining on the
+/// right, Gini is computed from the same integer counts through the same
+/// float expressions, and ties keep the first minimum — so with one bin
+/// per distinct value this chooses bit-identical splits.
+/// Scan a class histogram's bin boundaries, returning `(bin, threshold,
+/// weighted child impurity)` of the best boundary.
+///
+/// Boundary enumeration mirrors the sorted scan exactly: a boundary is
+/// considered only after a non-empty bin with rows remaining on the
+/// right, Gini is computed from the same integer counts through the same
+/// float expressions, and ties keep the first minimum — so with one bin
+/// per distinct value this path chooses bit-identical splits.
+fn scan_hist_class(
+    hist: &[u32],
+    n_classes: usize,
+    col: &binned::BinnedColumn,
+    min_samples_leaf: usize,
+    left: &mut Vec<usize>,
+    right: &mut Vec<usize>,
+) -> Option<(usize, f64, f64)> {
+    let n_bins = col.n_bins();
+    debug_assert_eq!(hist.len(), n_bins * n_classes);
+    left.clear();
+    left.resize(n_classes, 0);
+    right.clear();
+    right.resize(n_classes, 0);
+    let mut n = 0usize;
+    for b in 0..n_bins {
+        for c in 0..n_classes {
+            let v = hist[b * n_classes + c] as usize;
+            right[c] += v;
+            n += v;
+        }
+    }
+    let mut best: Option<(usize, f64, f64)> = None;
+    let mut nl = 0usize;
+    for b in 0..n_bins - 1 {
+        let mut bin_n = 0usize;
+        for c in 0..n_classes {
+            let v = hist[b * n_classes + c] as usize;
+            left[c] += v;
+            right[c] -= v;
+            bin_n += v;
+        }
+        nl += bin_n;
+        if bin_n == 0 {
+            continue; // empty bin: same partition as the previous boundary
+        }
+        let nr = n - nl;
+        if nr == 0 {
+            break; // nothing right of here; no further boundary is valid
+        }
+        if nl < min_samples_leaf || nr < min_samples_leaf {
+            continue;
+        }
+        let w = (nl as f64 * gini(left, nl) + nr as f64 * gini(right, nr)) / n as f64;
+        if best.is_none_or(|(_, _, bw)| w < bw) {
+            best = Some((b, col.threshold(b), w));
+        }
+    }
+    best
+}
+
+/// Sorted-codes boundary scan for nodes smaller than the bin count:
+/// instead of allocating, zeroing and walking a dense `n_bins ×
+/// n_classes` histogram, sort the node's `(code, class)` pairs and walk
+/// the runs. Each run end is exactly a boundary the dense scan finds
+/// non-empty, the integer count state there is identical, and the `w`
+/// expression is shared — so the result is bit-identical to
+/// [`scan_hist_class`] at `O(rows log rows)` instead of `O(n_bins)`.
+/// (Classification only: regression sums are order-sensitive floats,
+/// so the dense accumulation stays the one canonical order.)
+fn scan_codes_class(
+    codes: &mut [(usize, usize)],
+    n_classes: usize,
+    col: &binned::BinnedColumn,
+    min_samples_leaf: usize,
+    left: &mut Vec<usize>,
+    right: &mut Vec<usize>,
+) -> Option<(usize, f64, f64)> {
+    let n = codes.len();
+    left.clear();
+    left.resize(n_classes, 0);
+    right.clear();
+    right.resize(n_classes, 0);
+    for &(_, c) in codes.iter() {
+        right[c] += 1;
+    }
+    // Unstable sort is fine: equal (code, class) pairs are
+    // indistinguishable to the integer counts.
+    codes.sort_unstable();
+    let mut best: Option<(usize, f64, f64)> = None;
+    let mut nl = 0usize;
+    let mut i = 0;
+    while i < n {
+        let b = codes[i].0;
+        while i < n && codes[i].0 == b {
+            let c = codes[i].1;
+            left[c] += 1;
+            right[c] -= 1;
+            nl += 1;
+            i += 1;
+        }
+        let nr = n - nl;
+        if nr == 0 {
+            break; // last run; boundary n_bins-1 is never a split
+        }
+        if nl < min_samples_leaf || nr < min_samples_leaf {
+            continue;
+        }
+        let w = (nl as f64 * gini(left, nl) + nr as f64 * gini(right, nr)) / n as f64;
+        if best.is_none_or(|(_, _, bw)| w < bw) {
+            best = Some((b, col.threshold(b), w));
+        }
+    }
+    best
+}
+
+/// Scan a regression histogram's bin boundaries, returning `(bin,
+/// threshold, weighted child variance)` of the best boundary.
+fn scan_hist_reg(
+    hist: &[RegBin],
+    col: &binned::BinnedColumn,
+    min_samples_leaf: usize,
+) -> Option<(usize, f64, f64)> {
+    let n_bins = col.n_bins();
+    debug_assert_eq!(hist.len(), n_bins);
+    let mut n = 0usize;
+    let mut total_sum = 0.0;
+    let mut total_sumsq = 0.0;
+    for b in hist {
+        n += b.n as usize;
+        total_sum += b.sum;
+        total_sumsq += b.sumsq;
+    }
+    let mut best: Option<(usize, f64, f64)> = None;
+    let mut nl = 0usize;
+    let mut lsum = 0.0;
+    let mut lsumsq = 0.0;
+    for (b, bin) in hist.iter().enumerate().take(n_bins - 1) {
+        nl += bin.n as usize;
+        lsum += bin.sum;
+        lsumsq += bin.sumsq;
+        if bin.n == 0 {
+            continue;
+        }
+        let nr = n - nl;
+        if nr == 0 {
+            break;
+        }
+        if nl < min_samples_leaf || nr < min_samples_leaf {
+            continue;
+        }
+        let nlf = nl as f64;
+        let nrf = nr as f64;
+        let lvar = (lsumsq / nlf - (lsum / nlf) * (lsum / nlf)).max(0.0);
+        let rsum = total_sum - lsum;
+        let rsumsq = total_sumsq - lsumsq;
+        let rvar = (rsumsq / nrf - (rsum / nrf) * (rsum / nrf)).max(0.0);
+        let w = (nlf * lvar + nrf * rvar) / n as f64;
+        if best.is_none_or(|(_, _, bw)| w < bw) {
+            best = Some((b, col.threshold(b), w));
+        }
+    }
+    best
 }
 
 fn gini(counts: &[usize], n: usize) -> f64 {
@@ -369,12 +912,48 @@ impl DecisionTreeClassifier {
     }
 
     /// Fit on column-major features and class labels in `0..n_classes`.
+    /// With [`SplitMethod::Histogram`] the features are quantised first
+    /// (through the process-wide bin cache).
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Result<()> {
         if n_classes == 0 {
             return Err(LearnError::InvalidParam("n_classes must be > 0".into()));
         }
+        self.config.validate()?;
+        let labels = Labels::Class { y, n_classes };
+        self.tree = Some(match self.config.split {
+            SplitMethod::Exact => {
+                Builder::build(Data::Exact(x), (0..y.len()).collect(), labels, self.config)?
+            }
+            SplitMethod::Histogram => {
+                let binned = BinnedDataset::build_cached(x, self.config.max_bins)?;
+                Builder::build(
+                    Data::Binned(&binned),
+                    (0..y.len()).collect(),
+                    labels,
+                    self.config,
+                )?
+            }
+        });
+        self.n_classes = n_classes;
+        Ok(())
+    }
+
+    /// Fit on a pre-binned dataset, training only on `rows` (which may
+    /// repeat indices — bootstrap draws count multiply, exactly as they
+    /// would in a gathered sub-matrix). `y` spans the full dataset.
+    pub fn fit_binned(
+        &mut self,
+        binned: &BinnedDataset,
+        rows: &[usize],
+        y: &[usize],
+        n_classes: usize,
+    ) -> Result<()> {
+        if n_classes == 0 {
+            return Err(LearnError::InvalidParam("n_classes must be > 0".into()));
+        }
         self.tree = Some(Builder::build(
-            x,
+            Data::Binned(binned),
+            rows.to_vec(),
             Labels::Class { y, n_classes },
             self.config,
         )?);
@@ -432,9 +1011,40 @@ impl DecisionTreeRegressor {
         Self { config, tree: None }
     }
 
-    /// Fit on column-major features and real-valued targets.
+    /// Fit on column-major features and real-valued targets. With
+    /// [`SplitMethod::Histogram`] the features are quantised first
+    /// (through the process-wide bin cache).
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
-        self.tree = Some(Builder::build(x, Labels::Reg(y), self.config)?);
+        self.config.validate()?;
+        self.tree = Some(match self.config.split {
+            SplitMethod::Exact => Builder::build(
+                Data::Exact(x),
+                (0..y.len()).collect(),
+                Labels::Reg(y),
+                self.config,
+            )?,
+            SplitMethod::Histogram => {
+                let binned = BinnedDataset::build_cached(x, self.config.max_bins)?;
+                Builder::build(
+                    Data::Binned(&binned),
+                    (0..y.len()).collect(),
+                    Labels::Reg(y),
+                    self.config,
+                )?
+            }
+        });
+        Ok(())
+    }
+
+    /// Fit on a pre-binned dataset, training only on `rows` (duplicates
+    /// count multiply). `y` spans the full dataset.
+    pub fn fit_binned(&mut self, binned: &BinnedDataset, rows: &[usize], y: &[f64]) -> Result<()> {
+        self.tree = Some(Builder::build(
+            Data::Binned(binned),
+            rows.to_vec(),
+            Labels::Reg(y),
+            self.config,
+        )?);
         Ok(())
     }
 
@@ -501,12 +1111,91 @@ mod tests {
         (vec![a, b], y)
     }
 
+    fn hist_config() -> TreeConfig {
+        TreeConfig {
+            split: SplitMethod::Histogram,
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn classifier_learns_xor() {
         let (x, y) = xor_data(64);
         let mut t = DecisionTreeClassifier::new(TreeConfig::default());
         t.fit(&x, &y, 2).unwrap();
         assert_eq!(t.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn hist_classifier_learns_xor() {
+        let (x, y) = xor_data(64);
+        let mut t = DecisionTreeClassifier::new(hist_config());
+        t.fit(&x, &y, 2).unwrap();
+        assert_eq!(t.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn hist_matches_exact_when_bins_cover_distinct_values() {
+        // Every feature has far fewer distinct values than max_bins, so
+        // histogram split finding sees exactly the exact path's boundaries
+        // and must grow an identical tree (same splits, same train
+        // predictions, bit-identical importances).
+        let (x, y) = xor_data(128);
+        let mut exact = DecisionTreeClassifier::new(TreeConfig::default());
+        exact.fit(&x, &y, 2).unwrap();
+        let mut hist = DecisionTreeClassifier::new(hist_config());
+        hist.fit(&x, &y, 2).unwrap();
+        assert_eq!(exact.predict(&x).unwrap(), hist.predict(&x).unwrap());
+        let ei = exact.tree().unwrap().feature_importances();
+        let hi = hist.tree().unwrap().feature_importances();
+        for (a, b) in ei.iter().zip(&hi) {
+            assert_eq!(a.to_bits(), b.to_bits(), "importances must be bit-equal");
+        }
+        assert_eq!(
+            exact.tree().unwrap().n_nodes(),
+            hist.tree().unwrap().n_nodes()
+        );
+    }
+
+    #[test]
+    fn fit_binned_duplicate_rows_match_gathered_fit() {
+        // Training on rows [0,0,1,2,...] through fit_binned must equal
+        // exact training on the gathered (duplicated) sub-matrix.
+        let (x, y) = xor_data(32);
+        let rows: Vec<usize> = (0..32).chain(0..8).collect();
+        let gx: Vec<Vec<f64>> = x
+            .iter()
+            .map(|c| rows.iter().map(|&r| c[r]).collect())
+            .collect();
+        let gy: Vec<usize> = rows.iter().map(|&r| y[r]).collect();
+        let mut exact = DecisionTreeClassifier::new(TreeConfig::default());
+        exact.fit(&gx, &gy, 2).unwrap();
+        let binned = BinnedDataset::build(&x, DEFAULT_MAX_BINS).unwrap();
+        let mut hist = DecisionTreeClassifier::new(hist_config());
+        hist.fit_binned(&binned, &rows, &y, 2).unwrap();
+        assert_eq!(exact.predict(&gx).unwrap(), hist.predict(&gx).unwrap());
+    }
+
+    #[test]
+    fn hist_regressor_fits_step_function() {
+        let x = vec![(0..100).map(|i| i as f64).collect::<Vec<_>>()];
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let mut t = DecisionTreeRegressor::new(hist_config());
+        t.fit(&x, &y).unwrap();
+        let preds = t.predict(&x).unwrap();
+        for (p, t) in preds.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hist_rejects_invalid_max_bins() {
+        let (x, y) = xor_data(16);
+        let mut t = DecisionTreeClassifier::new(TreeConfig {
+            max_bins: 1,
+            ..hist_config()
+        });
+        assert!(t.fit(&x, &y, 2).is_err());
     }
 
     #[test]

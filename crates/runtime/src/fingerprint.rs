@@ -82,6 +82,20 @@ const TAG_FRAME: u8 = 0xF0;
 const TAG_COLUMN: u8 = 0xF1;
 const TAG_LABEL_CLASS: u8 = 0xF2;
 const TAG_LABEL_REG: u8 = 0xF3;
+const TAG_VALUES: u8 = 0xF4;
+
+/// Fingerprint a bare value slice (length-prefixed, bit-exact). Used to
+/// content-address derived per-column artifacts — e.g. the learners bin
+/// cache keys quantised columns by the raw values they were built from.
+pub fn fingerprint_values(values: &[f64]) -> Fingerprint {
+    let mut h = Hasher128::new();
+    h.write_byte(TAG_VALUES);
+    h.write_u64(values.len() as u64);
+    for &v in values {
+        h.write_f64(v);
+    }
+    h.finish()
+}
 
 /// Fingerprint a frame's full content: name, shape, every column name and
 /// value bit pattern, and the label.

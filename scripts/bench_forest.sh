@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate bench_results/BENCH_forest.json: exact vs histogram forest
+# training wall-clock at the paper's dataset shapes.
+# Usage: scripts/bench_forest.sh [extra flags passed to perf_forest]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin perf_forest
+
+echo "=== perf_forest ==="
+./target/release/perf_forest --quiet "$@" | tee bench_results/perf_forest_run.log
+echo "artifact written to bench_results/BENCH_forest.json"

@@ -28,7 +28,14 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> split-method parity suite"
+cargo test -q --test hist_parity
+
 if [[ "$quick" -eq 0 ]]; then
+    echo "==> perf_forest smoke (release): histogram must not lose to exact"
+    cargo build --release -q -p bench --bin perf_forest
+    ./target/release/perf_forest --smoke --quiet
+
     echo "==> telemetry overhead smoke (release)"
     # Disabled-telemetry instrumentation must stay near-free; the test
     # asserts a generous per-site ceiling and only means anything with

@@ -1,0 +1,211 @@
+//! Parity of the histogram (binned) split-finding path against the exact
+//! sorted-scan reference (proptest): on low-cardinality data — where the
+//! bin budget covers every distinct value — binned training must be
+//! **bit-identical** to exact training; on continuous data the two
+//! forests must agree within a tolerance on the training task. Plus unit
+//! checks of the bin-edge construction and the sibling-subtraction
+//! identity the per-node histograms rely on.
+
+use learners::binned::{accumulate_class, accumulate_reg, subtract_class, subtract_reg};
+use learners::{
+    BinnedColumn, BinnedDataset, ForestConfig, RandomForestClassifier, SplitMethod, TreeConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn forest_config(split: SplitMethod, seed: u64) -> ForestConfig {
+    // No bootstrap: every predicted row is then a training row, whose
+    // path through the tree is pinned by the identical train partitions.
+    // (With bootstrap, an out-of-bag row may legitimately fall between an
+    // exact node-local midpoint and the corresponding global bin
+    // boundary and land on different sides.)
+    ForestConfig {
+        n_trees: 5,
+        tree: TreeConfig {
+            max_depth: 6,
+            split,
+            ..TreeConfig::default()
+        },
+        bootstrap: false,
+        seed,
+        ..ForestConfig::default()
+    }
+}
+
+/// Column-major matrix with `n_features` columns; values drawn by `gen`.
+fn matrix(
+    rng: &mut StdRng,
+    n_rows: usize,
+    n_features: usize,
+    mut gen: impl FnMut(&mut StdRng) -> f64,
+) -> Vec<Vec<f64>> {
+    (0..n_features)
+        .map(|_| (0..n_rows).map(|_| gen(rng)).collect())
+        .collect()
+}
+
+/// A learnable label: does the first feature pair sum above its median?
+fn threshold_labels(x: &[Vec<f64>]) -> Vec<usize> {
+    let sums: Vec<f64> = (0..x[0].len()).map(|r| x[0][r] + x[1][r]).collect();
+    let mut sorted = sums.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    sums.iter().map(|&s| usize::from(s > median)).collect()
+}
+
+fn train_accuracy(f: &RandomForestClassifier, x: &[Vec<f64>], y: &[usize]) -> f64 {
+    let pred = f.predict(x).expect("predict");
+    let hits = pred.iter().zip(y).filter(|(p, t)| p == t).count();
+    hits as f64 / y.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// With ≤ 12 distinct values per column and the default 256-bin
+    /// budget, every distinct value gets its own bin, so the histogram
+    /// scan enumerates exactly the boundaries the sorted scan does:
+    /// the two forests must be the same tree ensemble, bit for bit.
+    #[test]
+    fn hist_forest_bit_identical_on_low_cardinality_data(
+        seed in 0u64..1_000_000,
+        n_rows in 50usize..120,
+        n_features in 3usize..7,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = matrix(&mut rng, n_rows, n_features, |r| r.gen_range(0..12) as f64);
+        let y = threshold_labels(&x);
+
+        let mut exact = RandomForestClassifier::new(forest_config(SplitMethod::Exact, seed));
+        exact.fit(&x, &y, 2).expect("exact fit");
+        let mut hist = RandomForestClassifier::new(forest_config(SplitMethod::Histogram, seed));
+        hist.fit(&x, &y, 2).expect("hist fit");
+
+        let (pe, ph) = (exact.predict(&x).unwrap(), hist.predict(&x).unwrap());
+        prop_assert_eq!(pe, ph);
+        let (ie, ih) = (
+            exact.feature_importances().unwrap(),
+            hist.feature_importances().unwrap(),
+        );
+        prop_assert_eq!(ie.len(), ih.len());
+        for (a, b) in ie.iter().zip(&ih) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "importances differ: {} vs {}", a, b);
+        }
+    }
+
+    /// On continuous data the bin boundaries quantise split thresholds,
+    /// so the ensembles differ — but both must learn the same easy
+    /// threshold concept to comparable training accuracy.
+    #[test]
+    fn hist_forest_within_tolerance_on_continuous_data(
+        seed in 0u64..1_000_000,
+        n_rows in 60usize..140,
+        n_features in 3usize..7,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = matrix(&mut rng, n_rows, n_features, |r| r.gen_range(-3.0f64..3.0));
+        let y = threshold_labels(&x);
+
+        let mut exact = RandomForestClassifier::new(forest_config(SplitMethod::Exact, seed));
+        exact.fit(&x, &y, 2).expect("exact fit");
+        let mut hist = RandomForestClassifier::new(forest_config(SplitMethod::Histogram, seed));
+        hist.fit(&x, &y, 2).expect("hist fit");
+
+        let (acc_e, acc_h) = (train_accuracy(&exact, &x, &y), train_accuracy(&hist, &x, &y));
+        prop_assert!(
+            (acc_e - acc_h).abs() <= 0.15,
+            "train accuracy diverged: exact {} vs hist {}",
+            acc_e,
+            acc_h
+        );
+    }
+
+    /// Sibling subtraction is exact: for any parent row set and any
+    /// left/right split of it, `parent − left == right` on both the
+    /// class-count and the regression-sum histograms.
+    #[test]
+    fn sibling_subtraction_identity(
+        seed in 0u64..1_000_000,
+        n_rows in 20usize..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..n_rows).map(|_| rng.gen_range(-5.0f64..5.0)).collect();
+        let col = BinnedColumn::build(&values, 16);
+        let rows: Vec<usize> = (0..n_rows).collect();
+        let cut = rng.gen_range(0..=n_rows);
+        let (left, right) = rows.split_at(cut);
+
+        let yc: Vec<usize> = (0..n_rows).map(|_| rng.gen_range(0..3)).collect();
+        let (mut hp, mut hl, mut hr) = (Vec::new(), Vec::new(), Vec::new());
+        accumulate_class(&col, &rows, &yc, 3, &mut hp);
+        accumulate_class(&col, left, &yc, 3, &mut hl);
+        accumulate_class(&col, right, &yc, 3, &mut hr);
+        prop_assert_eq!(subtract_class(&hp, &hl), hr);
+
+        let yr: Vec<f64> = (0..n_rows).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+        let (mut gp, mut gl, mut gr) = (Vec::new(), Vec::new(), Vec::new());
+        accumulate_reg(&col, &rows, &yr, &mut gp);
+        accumulate_reg(&col, left, &yr, &mut gl);
+        accumulate_reg(&col, right, &yr, &mut gr);
+        let sub = subtract_reg(&gp, &gl);
+        prop_assert_eq!(sub.len(), gr.len());
+        for (s, r) in sub.iter().zip(&gr) {
+            prop_assert_eq!(s.n, r.n);
+            // Sums come out of a subtraction, not a re-accumulation, so
+            // compare to the float tolerance the scan itself tolerates.
+            prop_assert!((s.sum - r.sum).abs() <= 1e-9 * (1.0 + r.sum.abs()));
+            prop_assert!((s.sumsq - r.sumsq).abs() <= 1e-9 * (1.0 + r.sumsq.abs()));
+        }
+    }
+
+    /// Bin-edge invariant on arbitrary finite columns: codes are
+    /// monotone in the value, and `v <= threshold(b) ⇔ code(v) <= b`
+    /// for every (value, boundary) pair — the property the histogram
+    /// scan needs for its thresholds to mean what the tree thinks.
+    #[test]
+    fn bin_codes_respect_thresholds(
+        values in prop::collection::vec(-100.0f64..100.0, 2..200),
+        max_bins in 2usize..32,
+    ) {
+        let col = BinnedColumn::build(&values, max_bins);
+        prop_assert!(col.n_bins() >= 1 && col.n_bins() <= max_bins);
+        for (row, &v) in values.iter().enumerate() {
+            let code = col.codes().get(row);
+            prop_assert!(code < col.n_bins());
+            for b in 0..col.n_bins() - 1 {
+                prop_assert_eq!(
+                    v <= col.threshold(b),
+                    code <= b,
+                    "value {} code {} disagrees with threshold({}) = {}",
+                    v, code, b, col.threshold(b)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn constant_column_gets_single_bin() {
+    let col = BinnedColumn::build(&[7.5; 40], 256);
+    assert_eq!(col.n_bins(), 1);
+    assert!((0..40).all(|r| col.codes().get(r) == 0));
+}
+
+#[test]
+fn duplicate_heavy_column_stays_within_budget_with_distinct_codes() {
+    // 1000 rows, 5 distinct values: one bin per distinct value, and
+    // equal values always share a code.
+    let values: Vec<f64> = (0..1000).map(|i| (i % 5) as f64).collect();
+    let col = BinnedColumn::build(&values, 8);
+    assert_eq!(col.n_bins(), 5);
+    for (i, &v) in values.iter().enumerate() {
+        assert_eq!(col.codes().get(i), v as usize);
+    }
+}
+
+#[test]
+fn binned_dataset_rejects_ragged_matrix() {
+    let x = vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0]];
+    assert!(BinnedDataset::build(&x, 16).is_err());
+}

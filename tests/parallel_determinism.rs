@@ -93,6 +93,58 @@ fn e_afe_scores_identical_across_thread_counts() {
 }
 
 #[test]
+fn binned_forest_identical_across_thread_counts() {
+    // The histogram (binned) training path must be as schedule-oblivious
+    // as the exact path: per-tree seeds and bootstrap draws are fixed up
+    // front and the pool returns trees in submission order, so a 1-thread
+    // and a 4-thread fit of the same forest are the same ensemble —
+    // checked at both the raw-forest and the CV-evaluator level.
+    use learners::{Evaluator, ForestConfig, RandomForestClassifier, SplitMethod};
+
+    let frame = frame();
+    let x = learners::feature_matrix(&frame);
+    let y = frame.label().classes().unwrap().to_vec();
+    let n_classes = frame.label().n_classes();
+
+    let cfg = ForestConfig {
+        n_trees: 12,
+        tree: learners::TreeConfig {
+            split: SplitMethod::Histogram,
+            ..learners::TreeConfig::default()
+        },
+        seed: 17,
+        ..ForestConfig::default()
+    };
+    let mut evaluator = Evaluator::default();
+    evaluator.forest.tree.split = SplitMethod::Histogram;
+
+    runtime::set_global_threads(1);
+    let mut single = RandomForestClassifier::new(cfg);
+    single.fit(&x, &y, n_classes).unwrap();
+    let score_single = evaluator.evaluate(&frame).unwrap();
+    runtime::set_global_threads(4);
+    let mut multi = RandomForestClassifier::new(cfg);
+    multi.fit(&x, &y, n_classes).unwrap();
+    let score_multi = evaluator.evaluate(&frame).unwrap();
+    runtime::set_global_threads(0);
+
+    assert_eq!(single.predict(&x).unwrap(), multi.predict(&x).unwrap());
+    for (a, b) in single
+        .feature_importances()
+        .unwrap()
+        .iter()
+        .zip(&multi.feature_importances().unwrap())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "binned importances: {a} vs {b}");
+    }
+    assert_eq!(
+        score_single.to_bits(),
+        score_multi.to_bits(),
+        "binned CV score 1-vs-4 threads: {score_single} vs {score_multi}"
+    );
+}
+
+#[test]
 fn telemetry_collection_does_not_change_scores() {
     // Instrumentation must be a pure observer: running the same
     // fixed-seed engine with a live telemetry sink (and across thread
