@@ -177,8 +177,9 @@ impl CommonArgs {
     /// Install the telemetry sink when `--metrics` or `--trace-out` asked
     /// for it: an in-memory collector (for the end-of-run summary and the
     /// artifact `telemetry` block), fanned out to a JSON-lines file when
-    /// `--trace-out` names one.
-    fn install_telemetry(&mut self) {
+    /// `--trace-out` names one. Public so bins with bespoke flag parsers
+    /// (`perf_forest`, `perf_minhash`) can opt in after setting the fields.
+    pub fn install_telemetry(&mut self) {
         if !self.metrics && self.trace_out.is_none() {
             return;
         }
@@ -359,22 +360,35 @@ impl CommonArgs {
     }
 
     /// Mirror the score cache's per-shard counters into the metrics
-    /// registry under `score_cache.shardNN.*`, so the artifact block and
-    /// `--metrics` summary carry the shard-level breakdown.
+    /// registry under `score_cache.shardNN.*` — and the process-wide
+    /// signature cache's totals under `sig_cache.*` — so the artifact
+    /// block and `--metrics` summary carry the cache breakdowns.
     fn export_shard_counters(&self) {
-        let Some(cache) = &self.cache else { return };
         let registry = telemetry::global();
-        for (i, s) in cache.shard_stats().iter().enumerate() {
+        if let Some(cache) = &self.cache {
+            for (i, s) in cache.shard_stats().iter().enumerate() {
+                let set = |what: &str, v: u64| {
+                    registry
+                        .counter(&format!("score_cache.shard{i:02}.{what}"))
+                        .set(v);
+                };
+                set("hits", s.hits);
+                set("misses", s.misses);
+                set("inserts", s.inserts);
+                set("evictions", s.evictions);
+                set("len", s.len as u64);
+            }
+        }
+        let sig = runtime::sig_cache_stats();
+        if sig.hits + sig.misses > 0 {
             let set = |what: &str, v: u64| {
-                registry
-                    .counter(&format!("score_cache.shard{i:02}.{what}"))
-                    .set(v);
+                registry.counter(&format!("sig_cache.{what}")).set(v);
             };
-            set("hits", s.hits);
-            set("misses", s.misses);
-            set("inserts", s.inserts);
-            set("evictions", s.evictions);
-            set("len", s.len as u64);
+            set("hits", sig.hits);
+            set("misses", sig.misses);
+            set("inserts", sig.inserts);
+            set("evictions", sig.evictions);
+            set("len", sig.len as u64);
         }
     }
 
@@ -426,6 +440,17 @@ impl CommonArgs {
                 }
                 t.print();
             }
+        }
+        let sig = runtime::sig_cache_stats();
+        if sig.hits + sig.misses > 0 {
+            println!(
+                "sig cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {} live",
+                sig.hits,
+                sig.misses,
+                sig.hit_rate() * 100.0,
+                sig.evictions,
+                sig.len,
+            );
         }
         let Some(collector) = &self.collector else {
             return;

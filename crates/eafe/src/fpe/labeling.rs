@@ -47,19 +47,28 @@ pub fn label_dataset(
     let mut span = telemetry::span("fpe.label_dataset");
     span.field("features", frame.n_cols() as f64);
     let a0 = evaluator.evaluate(frame)?;
+    // Compress every column up front in one batch+cache pass (one table
+    // walk for all columns; repeats across corpus sweeps are cache hits).
+    let cols: Vec<&[f64]> = (0..frame.n_cols())
+        .map(|j| Ok(frame.column(j)?.values.as_slice()))
+        .collect::<Result<_>>()?;
+    let compressed = runtime::compress_normalized_batch(compressor, &cols)?;
     // The residual evaluations are independent: fan them out on the
     // runtime pool (each one is a full CV run, the dominant cost here).
     let labels: Result<Vec<LabeledFeature>> = WorkerPool::new()
-        .map((0..frame.n_cols()).collect(), |_ctx, j| {
-            let residual = frame.drop_column(j)?;
-            let aj = evaluator.evaluate(&residual)?;
-            let gain = a0 - aj;
-            Ok(LabeledFeature {
-                compressed: compressor.compress_normalized(&frame.column(j)?.values)?,
-                label: usize::from(gain > thre),
-                score_gain: gain,
-            })
-        })
+        .map(
+            compressed.into_iter().enumerate().collect(),
+            |_ctx, (j, compressed)| {
+                let residual = frame.drop_column(j)?;
+                let aj = evaluator.evaluate(&residual)?;
+                let gain = a0 - aj;
+                Ok(LabeledFeature {
+                    compressed,
+                    label: usize::from(gain > thre),
+                    score_gain: gain,
+                })
+            },
+        )
         .into_iter()
         .collect();
     if let Ok(labels) = &labels {

@@ -53,12 +53,32 @@ impl FeatureRepr {
     }
 
     /// Represent a feature column as a fixed-size vector. Non-finite inputs
-    /// are tolerated (treated as missing).
+    /// are tolerated (treated as missing). The MinHash arm goes through the
+    /// runtime's content-addressed signature cache, so re-representing a
+    /// column already sketched under this `(family, d, seed)` is a gather.
     pub fn represent(&self, values: &[f64]) -> Result<Vec<f64>> {
         match self {
-            FeatureRepr::MinHash(c) => Ok(c.compress_normalized(values)?),
+            FeatureRepr::MinHash(c) => Ok(runtime::compress_normalized_cached(c, values)?),
             FeatureRepr::QuantileSketch { d } => Ok(quantile_sketch(values, *d)),
             FeatureRepr::MetaFeatures => Ok(meta_features(values)),
+        }
+    }
+
+    /// Represent many columns at once, bit-identical per column to
+    /// [`represent`](Self::represent). MinHash columns share one cache
+    /// probe + batch table pass; quantile sketches share one scratch
+    /// buffer across columns.
+    pub fn represent_batch(&self, cols: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
+        match self {
+            FeatureRepr::MinHash(c) => Ok(runtime::compress_normalized_batch(c, cols)?),
+            FeatureRepr::QuantileSketch { d } => {
+                let mut scratch = Vec::new();
+                Ok(cols
+                    .iter()
+                    .map(|v| quantile_sketch_into(v, *d, &mut scratch))
+                    .collect())
+            }
+            FeatureRepr::MetaFeatures => Ok(cols.iter().map(|v| meta_features(v)).collect()),
         }
     }
 }
@@ -67,12 +87,24 @@ impl FeatureRepr {
 /// with different raw scales are comparable. All-constant or empty inputs
 /// yield zeros.
 pub fn quantile_sketch(values: &[f64], d: usize) -> Vec<f64> {
+    quantile_sketch_into(values, d, &mut Vec::new())
+}
+
+/// [`quantile_sketch`] with a caller-provided scratch buffer, so batch
+/// callers sort into one allocation instead of cloning per column. The
+/// sort is an unstable total-order sort (`f64::total_cmp`), which both
+/// skips the stable sort's temp allocation and removes the
+/// `partial_cmp(..).expect(..)` panic path — NaNs are filtered before the
+/// sort, but a total order keeps the function panic-free by construction.
+pub fn quantile_sketch_into(values: &[f64], d: usize, scratch: &mut Vec<f64>) -> Vec<f64> {
     let d = d.max(1);
-    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    scratch.clear();
+    scratch.extend(values.iter().copied().filter(|v| v.is_finite()));
+    let finite = &mut *scratch;
     if finite.is_empty() {
         return vec![0.0; d];
     }
-    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    finite.sort_unstable_by(f64::total_cmp);
     let mut sketch: Vec<f64> = (0..d)
         .map(|i| {
             let q = if d == 1 {
@@ -123,7 +155,7 @@ pub fn meta_features(values: &[f64]) -> Vec<f64> {
             / nf
     };
     let mut sorted = finite.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_unstable_by(f64::total_cmp);
     let quant = |q: f64| sorted[((q * (n - 1) as f64).round() as usize).min(n - 1)];
     let (min, max) = (sorted[0], sorted[n - 1]);
     let iqr = quant(0.75) - quant(0.25);
@@ -191,6 +223,55 @@ mod tests {
         assert_eq!(quantile_sketch(&[7.0; 10], 4), vec![0.0; 4]);
         assert_eq!(quantile_sketch(&[f64::NAN, 1.0], 3).len(), 3);
         assert_eq!(quantile_sketch(&[1.0], 1).len(), 1);
+    }
+
+    #[test]
+    fn quantile_sketch_ignores_nan_and_infinities() {
+        // NaN/±∞ are dropped before the sort — the sketch of a polluted
+        // column equals the sketch of its finite values, with no panic.
+        let clean = vec![3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0];
+        let mut dirty = clean.clone();
+        dirty.insert(2, f64::NAN);
+        dirty.insert(5, f64::INFINITY);
+        dirty.push(f64::NEG_INFINITY);
+        dirty.push(f64::NAN);
+        assert_eq!(quantile_sketch(&dirty, 8), quantile_sketch(&clean, 8));
+        assert_eq!(quantile_sketch(&[f64::NAN; 6], 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn quantile_sketch_into_reuses_scratch_across_columns() {
+        let a = vec![5.0, 1.0, 3.0, f64::NAN, 2.0];
+        let b = vec![9.0, 8.0];
+        let mut scratch = Vec::new();
+        let sa = quantile_sketch_into(&a, 4, &mut scratch);
+        let sb = quantile_sketch_into(&b, 4, &mut scratch);
+        assert_eq!(sa, quantile_sketch(&a, 4));
+        assert_eq!(sb, quantile_sketch(&b, 4));
+    }
+
+    #[test]
+    fn represent_batch_matches_per_column_represent() {
+        let cols: Vec<Vec<f64>> = (0..6)
+            .map(|s| {
+                (0..90)
+                    .map(|i| ((i + s * 17) as f64 * 0.21).sin() * 4.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let reprs = vec![
+            FeatureRepr::MinHash(SampleCompressor::new(HashFamily::Ccws, 16, 77).unwrap()),
+            FeatureRepr::QuantileSketch { d: 16 },
+            FeatureRepr::MetaFeatures,
+        ];
+        for r in &reprs {
+            let batch = r.represent_batch(&refs).unwrap();
+            assert_eq!(batch.len(), cols.len(), "{}", r.name());
+            for (col, out) in cols.iter().zip(&batch) {
+                assert_eq!(out, &r.represent(col).unwrap(), "{}", r.name());
+            }
+        }
     }
 
     #[test]

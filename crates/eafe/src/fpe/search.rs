@@ -146,22 +146,26 @@ impl RawLabels {
         self.represent(&crate::fpe::repr::FeatureRepr::MinHash(*compressor), thre)
     }
 
-    /// Materialise labelled examples for an arbitrary representation.
+    /// Materialise labelled examples for an arbitrary representation. All
+    /// columns are represented in one batch, so a MinHash sweep re-visiting
+    /// this corpus under an already-seen `(family, d, seed)` is served
+    /// entirely from the runtime's signature cache.
     pub fn represent(
         &self,
         repr: &crate::fpe::repr::FeatureRepr,
         thre: f64,
     ) -> Result<Vec<LabeledFeature>> {
-        self.features
-            .iter()
-            .map(|(values, gain)| {
-                Ok(LabeledFeature {
-                    compressed: repr.represent(values)?,
-                    label: usize::from(*gain > thre),
-                    score_gain: *gain,
-                })
+        let cols: Vec<&[f64]> = self.features.iter().map(|(v, _)| v.as_slice()).collect();
+        let compressed = repr.represent_batch(&cols)?;
+        Ok(compressed
+            .into_iter()
+            .zip(&self.features)
+            .map(|(compressed, (_, gain))| LabeledFeature {
+                compressed,
+                label: usize::from(*gain > thre),
+                score_gain: *gain,
             })
-            .collect()
+            .collect())
     }
 
     /// Number of labelled features.

@@ -12,6 +12,7 @@
 
 use crate::error::{MinHashError, Result};
 use crate::families::{HashFamily, WeightedMinHasher};
+use crate::signature::Signature;
 use serde::{Deserialize, Serialize};
 
 /// Compresses feature columns of arbitrary length into `d` values.
@@ -39,6 +40,12 @@ impl SampleCompressor {
         self.hasher.family
     }
 
+    /// The seed shared by all hash functions (part of any content-addressed
+    /// cache key for this compressor's output).
+    pub fn seed(&self) -> u64 {
+        self.hasher.seed
+    }
+
     /// Turn raw (possibly negative / non-finite) feature values into the
     /// non-negative weights weighted MinHash requires: min-shift to zero,
     /// scale to [0, 1] and add a small floor so every sample stays in the
@@ -64,16 +71,38 @@ impl SampleCompressor {
             .collect()
     }
 
-    /// Compress one feature column to exactly `d` values: the column's
-    /// values at the `d` consistently-sampled indices.
-    pub fn compress(&self, values: &[f64]) -> Result<Vec<f64>> {
+    /// The column's MinHash signature over [`to_weights`](Self::to_weights)
+    /// weights — the content-addressed unit the runtime's `SignatureCache`
+    /// stores, from which [`compress_with_signature`] /
+    /// [`compress_normalized_with_signature`] rebuild the compressed vector
+    /// with a plain gather.
+    ///
+    /// [`compress_with_signature`]: Self::compress_with_signature
+    /// [`compress_normalized_with_signature`]: Self::compress_normalized_with_signature
+    pub fn signature(&self, values: &[f64]) -> Result<Signature> {
         if values.is_empty() {
             return Err(MinHashError::EmptyInput);
         }
         let weights = Self::to_weights(values);
-        let sig = self.hasher.signature(&weights)?;
-        Ok(sig
-            .keys()
+        self.hasher.signature_tabled(&weights)
+    }
+
+    /// Signatures for many columns in one batch table pass (each column's
+    /// signature bit-identical to [`signature`](Self::signature)).
+    pub fn signature_batch(&self, columns: &[&[f64]]) -> Result<Vec<Signature>> {
+        if columns.iter().any(|c| c.is_empty()) {
+            return Err(MinHashError::EmptyInput);
+        }
+        let weights: Vec<Vec<f64>> = columns.iter().map(|c| Self::to_weights(c)).collect();
+        let refs: Vec<&[f64]> = weights.iter().map(|w| w.as_slice()).collect();
+        self.hasher.signature_batch(&refs)
+    }
+
+    /// Gather the compressed vector for a column from its precomputed
+    /// signature: the column's values at the `d` selected indices
+    /// (non-finite values map to 0).
+    pub fn compress_with_signature(&self, values: &[f64], sig: &Signature) -> Vec<f64> {
+        sig.keys()
             .map(|k| {
                 let v = values[k];
                 if v.is_finite() {
@@ -82,7 +111,23 @@ impl SampleCompressor {
                     0.0
                 }
             })
-            .collect())
+            .collect()
+    }
+
+    /// [`compress_with_signature`](Self::compress_with_signature) followed
+    /// by the z-score normalisation of
+    /// [`compress_normalized`](Self::compress_normalized).
+    pub fn compress_normalized_with_signature(&self, values: &[f64], sig: &Signature) -> Vec<f64> {
+        let mut out = self.compress_with_signature(values, sig);
+        Self::normalize(&mut out);
+        out
+    }
+
+    /// Compress one feature column to exactly `d` values: the column's
+    /// values at the `d` consistently-sampled indices.
+    pub fn compress(&self, values: &[f64]) -> Result<Vec<f64>> {
+        let sig = self.signature(values)?;
+        Ok(self.compress_with_signature(values, &sig))
     }
 
     /// Compress and then z-score normalise, producing the fixed-size input
@@ -90,18 +135,23 @@ impl SampleCompressor {
     /// with different raw scales are comparable across datasets).
     pub fn compress_normalized(&self, values: &[f64]) -> Result<Vec<f64>> {
         let mut out = self.compress(values)?;
+        Self::normalize(&mut out);
+        Ok(out)
+    }
+
+    /// In-place z-score normalisation; near-constant vectors flatten to 0.
+    fn normalize(out: &mut [f64]) {
         let n = out.len() as f64;
         let mean = out.iter().sum::<f64>() / n;
         let var = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
         let std = var.sqrt();
         if std > 1e-12 {
-            for v in &mut out {
+            for v in out.iter_mut() {
                 *v = (*v - mean) / std;
             }
         } else {
             out.fill(0.0);
         }
-        Ok(out)
     }
 }
 

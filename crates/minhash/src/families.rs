@@ -12,7 +12,21 @@
 use crate::error::{MinHashError, Result};
 use crate::rng::{beta21, gamma21, mix, uniform_open};
 use crate::signature::{SigElement, Signature};
+use crate::tables;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Discretise a CWS `t = ⌊…⌋` value into the compact `i32` stored in
+/// [`SigElement`]. The `as` cast saturates at the `i32` bounds (and maps
+/// NaN, which the floor of a finite expression never produces, to 0), so
+/// the astronomically rare out-of-range draw — requiring `r < |ln w| / 2³¹`,
+/// probability below ~10⁻¹⁶ per draw at compressor weight scales — collapses
+/// into the boundary bucket instead of wrapping. Both the scalar reference
+/// and the table-driven kernels funnel through this one function, which is
+/// part of why they are bit-identical.
+pub(crate) fn discretize_t(t: f64) -> i32 {
+    t as i32
+}
 
 /// Which hashing scheme to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -85,10 +99,12 @@ impl WeightedMinHasher {
         Ok(Self { family, d, seed })
     }
 
-    /// Compute the signature of a non-negative weight vector. Weights that
-    /// are zero (or negative, which are clamped to zero) are outside the
-    /// weighted set's support and never win.
-    pub fn signature(&self, weights: &[f64]) -> Result<Signature> {
+    /// Extract the weighted set's support: `(dimension, weight)` pairs for
+    /// every strictly positive, finite weight. Zero, negative, and
+    /// non-finite (NaN/±∞) weights are **filtered out** — they carry no
+    /// support mass and can never win a hash. Errors on an empty input or
+    /// an empty support.
+    pub(crate) fn support(weights: &[f64]) -> Result<Vec<(usize, f64)>> {
         if weights.is_empty() {
             return Err(MinHashError::EmptyInput);
         }
@@ -102,6 +118,20 @@ impl WeightedMinHasher {
                 "weight vector has empty support (all weights zero)".into(),
             ));
         }
+        Ok(support)
+    }
+
+    /// Compute the signature of a non-negative weight vector via the scalar
+    /// reference path, re-deriving every per-hash draw on the fly. Weights
+    /// that are zero, negative, or non-finite are filtered out of the
+    /// support and never win. Prefer [`signature_tabled`] /
+    /// [`signature_batch`] in hot loops — they are bit-identical and
+    /// amortise the draw derivations into a precomputed table.
+    ///
+    /// [`signature_tabled`]: WeightedMinHasher::signature_tabled
+    /// [`signature_batch`]: WeightedMinHasher::signature_batch
+    pub fn signature(&self, weights: &[f64]) -> Result<Signature> {
+        let support = Self::support(weights)?;
         let mut elements = Vec::with_capacity(self.d);
         for i in 0..self.d as u64 {
             elements.push(match self.family {
@@ -113,6 +143,43 @@ impl WeightedMinHasher {
             });
         }
         Ok(Signature::new(elements))
+    }
+
+    /// Compute the signature via the precomputed [`tables::DrawTables`]
+    /// fast path — bit-identical to [`signature`](WeightedMinHasher::signature)
+    /// (pinned by the `table_parity` proptest suite) but with the per-`(i, k)`
+    /// draw derivations replaced by table lookups. The table for this
+    /// `(family, d, seed)` is created/grown lazily and shared process-wide.
+    pub fn signature_tabled(&self, weights: &[f64]) -> Result<Signature> {
+        let support = Self::support(weights)?;
+        let start = telemetry::enabled().then(Instant::now);
+        let elements = tables::draw_tables(self).sketch(&support);
+        if let Some(start) = start {
+            telemetry::record("minhash.sig_us", start.elapsed().as_micros() as u64);
+        }
+        Ok(Signature::new(elements))
+    }
+
+    /// Sketch many weight vectors in one pass, sharing a single table
+    /// growth check and read acquisition across all columns. Bit-identical
+    /// to calling [`signature`](WeightedMinHasher::signature) per column;
+    /// errors if any column is empty or has an empty support.
+    pub fn signature_batch(&self, columns: &[&[f64]]) -> Result<Vec<Signature>> {
+        let supports = columns
+            .iter()
+            .map(|w| Self::support(w))
+            .collect::<Result<Vec<_>>>()?;
+        let start = telemetry::enabled().then(Instant::now);
+        let sigs = tables::draw_tables(self)
+            .sketch_many(&supports)
+            .into_iter()
+            .map(Signature::new)
+            .collect();
+        if let Some(start) = start {
+            telemetry::record("minhash.sig_us", start.elapsed().as_micros() as u64);
+            telemetry::count("minhash.batch_cols", columns.len() as u64);
+        }
+        Ok(sigs)
     }
 
     /// Classic MinHash: the support dimension with the minimum hash value.
@@ -134,7 +201,7 @@ impl WeightedMinHasher {
     /// The minimum `a` wins; the signature element is (k*, t*).
     /// With `keep_t = false` this degenerates to 0-bit CWS.
     fn icws_element(&self, i: u64, support: &[(usize, f64)], keep_t: bool) -> SigElement {
-        let mut best = (0usize, 0i64, f64::INFINITY);
+        let mut best = (0usize, 0i32, f64::INFINITY);
         for &(k, w) in support {
             let kk = k as u64;
             let r = gamma21(self.seed, i, kk, 1);
@@ -144,7 +211,7 @@ impl WeightedMinHasher {
             let y = (r * (t - beta)).exp();
             let a = c / (y * r.exp());
             if a < best.2 {
-                best = (k, t as i64, a);
+                best = (k, discretize_t(t), a);
             }
         }
         SigElement {
@@ -156,7 +223,7 @@ impl WeightedMinHasher {
     /// PCWS (Wu et al. 2017): ICWS with the second gamma replaced by a
     /// uniform: a = −ln x / (y·eʳ), x ~ U(0,1).
     fn pcws_element(&self, i: u64, support: &[(usize, f64)]) -> SigElement {
-        let mut best = (0usize, 0i64, f64::INFINITY);
+        let mut best = (0usize, 0i32, f64::INFINITY);
         for &(k, w) in support {
             let kk = k as u64;
             let r = gamma21(self.seed, i, kk, 1);
@@ -166,7 +233,7 @@ impl WeightedMinHasher {
             let y = (r * (t - beta)).exp();
             let a = -(x.ln()) / (y * r.exp());
             if a < best.2 {
-                best = (k, t as i64, a);
+                best = (k, discretize_t(t), a);
             }
         }
         SigElement {
@@ -179,7 +246,7 @@ impl WeightedMinHasher {
     /// logarithms: r ~ Beta(2,1), c ~ Gamma(2,1), β ~ U(0,1);
     /// t = ⌊w / r + β⌋, y = r(t − β), a = c / y (y > 0 given w > 0).
     fn ccws_element(&self, i: u64, support: &[(usize, f64)]) -> SigElement {
-        let mut best = (0usize, 0i64, f64::INFINITY);
+        let mut best = (0usize, 0i32, f64::INFINITY);
         for &(k, w) in support {
             let kk = k as u64;
             let r = beta21(self.seed, i, kk, 1);
@@ -189,7 +256,7 @@ impl WeightedMinHasher {
             let y = (r * (t - beta)).max(f64::MIN_POSITIVE);
             let a = c / y;
             if a < best.2 {
-                best = (k, t as i64, a);
+                best = (k, discretize_t(t), a);
             }
         }
         SigElement {
@@ -253,6 +320,36 @@ mod tests {
                 assert!(weights_a()[key] > 0.0, "{family:?} picked zero-weight dim");
             }
         }
+    }
+
+    #[test]
+    fn negative_and_non_finite_weights_never_win() {
+        // The support filter drops (not clamps) anything that is not a
+        // strictly positive finite weight: negatives, NaN, and ±∞ must be
+        // unreachable as winning dimensions for every family.
+        let w = vec![
+            1.0,
+            -5.0,
+            f64::NAN,
+            2.0,
+            f64::INFINITY,
+            0.5,
+            f64::NEG_INFINITY,
+            -0.0,
+            3.0,
+        ];
+        let valid: Vec<usize> = vec![0, 3, 5, 8];
+        for family in HashFamily::ALL {
+            let h = WeightedMinHasher::new(family, 128, 41).unwrap();
+            for sig in [h.signature(&w).unwrap(), h.signature_tabled(&w).unwrap()] {
+                for key in sig.keys() {
+                    assert!(valid.contains(&key), "{family:?} picked filtered dim {key}");
+                }
+            }
+        }
+        // A vector with no positive finite weight has an empty support.
+        let h = WeightedMinHasher::new(HashFamily::Ccws, 8, 41).unwrap();
+        assert!(h.signature(&[-1.0, f64::NAN, f64::INFINITY]).is_err());
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   of arbitrary length onto a fixed `d`-dimensional vector (paper §III-B,
 //!   Eq. 2), enabling one pre-trained FPE classifier to serve any dataset;
 //! - [`rng`] — counter-based deterministic Gamma/Beta/Uniform variates so
-//!   no `d × M` random matrix is ever materialised.
+//!   no `d × M` random matrix is ever materialised;
+//! - [`tables`] — precomputed per-`(seed, i, k)` draw tables behind the
+//!   table-driven and batch sketch kernels (bit-identical to the scalar
+//!   reference, pinned by the `table_parity` proptest suite).
 
 #![warn(missing_docs)]
 
@@ -20,8 +23,10 @@ pub mod error;
 pub mod families;
 pub mod rng;
 pub mod signature;
+pub mod tables;
 
 pub use compressor::SampleCompressor;
 pub use error::{MinHashError, Result};
 pub use families::{HashFamily, WeightedMinHasher};
 pub use signature::{generalized_jaccard, SigElement, Signature};
+pub use tables::{clear_draw_tables, draw_tables, DrawTables};

@@ -6,13 +6,23 @@ use serde::{Deserialize, Serialize};
 /// One signature element: which input dimension won the minimum, plus the
 /// family-specific discretised value (`t` in the CWS literature; 0 for
 /// 0-bit CWS and plain MinHash, which only keep the winning dimension).
+///
+/// `t` is stored as an `i32` to keep cached signatures and the serialised
+/// wire format compact (8 bytes per element instead of 16 with padding).
+/// Range argument: `t = ⌊ln w / r + β⌋` (or `⌊w / r + β⌋` for CCWS), so
+/// `|t|` exceeds `i32` range only when the Gamma/Beta draw `r` is smaller
+/// than `|ln w| / 2³¹` — for the O(1)-scale weights the sample compressor
+/// produces that event has probability below ~10⁻¹⁶ per draw, and the
+/// conversion saturates (see `families::discretize_t`) rather than wraps,
+/// so the rare overflow can only merge two already-astronomical `t` values
+/// into one collision bucket, never corrupt a signature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SigElement {
     /// Index of the winning input dimension (sample index for E-AFE's
     /// sample compressor).
     pub key: u32,
     /// Discretised auxiliary value; collision requires both fields to match.
-    pub t: i64,
+    pub t: i32,
 }
 
 /// A fixed-length MinHash signature.
@@ -102,7 +112,7 @@ pub fn generalized_jaccard(a: &[f64], b: &[f64]) -> Result<f64> {
 mod tests {
     use super::*;
 
-    fn sig(pairs: &[(u32, i64)]) -> Signature {
+    fn sig(pairs: &[(u32, i32)]) -> Signature {
         Signature::new(
             pairs
                 .iter()
@@ -156,5 +166,22 @@ mod tests {
     fn keys_iterates_winning_dimensions() {
         let s = sig(&[(7, 0), (9, 2)]);
         assert_eq!(s.keys().collect::<Vec<_>>(), vec![7, 9]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_compact_t() {
+        // The wire format must survive the i64 → i32 shrink of `t`,
+        // including the saturation boundary values.
+        let s = sig(&[
+            (0, 0),
+            (7, -3),
+            (u32::MAX, i32::MAX),
+            (42, i32::MIN),
+            (9, 1),
+        ]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Signature = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.similarity(&s).unwrap(), 1.0);
     }
 }

@@ -1,0 +1,336 @@
+//! Precomputed CWS draw tables — the table-driven fast path behind
+//! [`WeightedMinHasher::signature_tabled`] and
+//! [`WeightedMinHasher::signature_batch`].
+//!
+//! Every weighted-MinHash family consumes, per `(hash index i, input
+//! dimension k)` pair, a fixed set of random draws (`r`, `c`, `β`, …) that
+//! depend **only on `(seed, i, k)` — never on the weights**. The naive
+//! scalar path re-derives them on every call: each draw is a chain of
+//! SplitMix64 rounds plus `ln`/`exp`/`sqrt`, repeated for every column of
+//! every candidate feature, every epoch. A [`DrawTables`] materialises the
+//! draws once per `(family, d, seed)` — together with the derived `eʳ`
+//! factor the log-domain families divide by — and turns the per-element
+//! inner loop into four table loads and a couple of flops.
+//!
+//! **Bit-identity.** The tables store exactly the values the scalar path
+//! computes (`gamma21`/`beta21`/`uniform_open` at the same `(seed, i, k,
+//! slot)` counters; `eʳ` as the same `r.exp()` the scalar path evaluates),
+//! and the kernels apply the remaining per-weight arithmetic with the same
+//! operations in the same order. Hoisting is limited to values — `ln w`
+//! per support element, `eʳ` per `(i, k)` — never to algebraic rewrites
+//! (`w.ln() / r` stays a division; it is *not* replaced by a `1/r`
+//! multiply, whose rounding differs). The proptest suite in
+//! `tests/table_parity.rs` pins all five families bit-identical to the
+//! scalar reference.
+//!
+//! **Layout & growth.** A table is a structure of arrays indexed
+//! `[k * d + i]` (row per input dimension `k`, `d` entries per row), grown
+//! geometrically and lazily as larger `k` appear: appending rows never
+//! relocates existing entries' logical positions, so a grown table serves
+//! old and new columns alike. Growth is interior-mutable behind `&self`
+//! (an `RwLock`; sketches take the read side and run concurrently).
+//!
+//! **Memory.** One table costs `K × d × 4 × 8` bytes where `K` is the
+//! largest input length seen (≈ 15 MB at `K = 10 000`, `d = 48`). Tables
+//! are registered process-wide per `(family, d, seed)`; the engine and the
+//! FPE search use a handful of such combinations, so the registry is
+//! deliberately unbounded — [`clear_draw_tables`] exists for long-lived
+//! processes that rotate seeds.
+
+use crate::families::{discretize_t, HashFamily, WeightedMinHasher};
+use crate::rng::{beta21, gamma21, mix, uniform_open};
+use crate::signature::SigElement;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Lazily grown draw table for one `(family, d, seed)` combination.
+#[derive(Debug)]
+pub struct DrawTables {
+    family: HashFamily,
+    d: usize,
+    seed: u64,
+    store: RwLock<Store>,
+}
+
+/// Structure-of-arrays storage, row-major by input dimension `k`
+/// (`[k * d + i]`). Which arrays are populated depends on the family.
+#[derive(Debug, Default)]
+struct Store {
+    /// Input dimensions (rows) materialised so far.
+    k_cap: usize,
+    /// Primary draw: `r ~ Gamma(2,1)` (ICWS/0-bit/PCWS), `r ~ Beta(2,1)`
+    /// (CCWS). Empty for classic MinHash.
+    r: Vec<f64>,
+    /// Numerator draw: `c ~ Gamma(2,1)` (ICWS/0-bit/CCWS), `−ln x` with
+    /// `x ~ U(0,1)` (PCWS). Empty for classic MinHash.
+    c: Vec<f64>,
+    /// `β ~ U(0,1)`. Empty for classic MinHash.
+    beta: Vec<f64>,
+    /// Derived `eʳ` — the exact `r.exp()` the scalar path divides by.
+    /// Populated for the log-domain families (ICWS/0-bit/PCWS) only.
+    er: Vec<f64>,
+    /// Raw 64-bit hash values for classic MinHash. Empty otherwise.
+    h: Vec<u64>,
+}
+
+impl DrawTables {
+    fn new(hasher: &WeightedMinHasher) -> Self {
+        DrawTables {
+            family: hasher.family,
+            d: hasher.d,
+            seed: hasher.seed,
+            store: RwLock::new(Store::default()),
+        }
+    }
+
+    /// Input dimensions currently materialised (test/introspection hook).
+    pub fn rows(&self) -> usize {
+        self.store.read().unwrap().k_cap
+    }
+
+    /// Grow the table (geometrically) until it covers dimensions
+    /// `0..k_needed`. No-op when already large enough.
+    fn ensure(&self, k_needed: usize) {
+        if self.store.read().unwrap().k_cap >= k_needed {
+            return;
+        }
+        let mut store = self.store.write().unwrap();
+        if store.k_cap >= k_needed {
+            return; // another thread grew it between our locks
+        }
+        let start = telemetry::enabled().then(Instant::now);
+        let old = store.k_cap;
+        let new = k_needed.next_power_of_two().max(old * 2).max(64);
+        let (d, seed) = (self.d as u64, self.seed);
+        match self.family {
+            HashFamily::MinHash => {
+                store.h.reserve((new - old) * self.d);
+                for k in old as u64..new as u64 {
+                    for i in 0..d {
+                        store.h.push(mix(seed, i, k, 0));
+                    }
+                }
+            }
+            HashFamily::Icws | HashFamily::ZeroBitCws => {
+                for k in old as u64..new as u64 {
+                    for i in 0..d {
+                        let r = gamma21(seed, i, k, 1);
+                        store.r.push(r);
+                        store.c.push(gamma21(seed, i, k, 2));
+                        store.beta.push(uniform_open(seed, i, k, 3));
+                        store.er.push(r.exp());
+                    }
+                }
+            }
+            HashFamily::Pcws => {
+                for k in old as u64..new as u64 {
+                    for i in 0..d {
+                        let r = gamma21(seed, i, k, 1);
+                        store.r.push(r);
+                        store.c.push(-(uniform_open(seed, i, k, 2).ln()));
+                        store.beta.push(uniform_open(seed, i, k, 3));
+                        store.er.push(r.exp());
+                    }
+                }
+            }
+            HashFamily::Ccws => {
+                for k in old as u64..new as u64 {
+                    for i in 0..d {
+                        store.r.push(beta21(seed, i, k, 1));
+                        store.c.push(gamma21(seed, i, k, 2));
+                        store.beta.push(uniform_open(seed, i, k, 3));
+                    }
+                }
+            }
+        }
+        store.k_cap = new;
+        if let Some(start) = start {
+            telemetry::record("minhash.table_build_us", start.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// Sketch one support (pairs of `(dimension, weight)`, weights > 0 and
+    /// finite) into `d` signature elements via table lookups.
+    pub fn sketch(&self, support: &[(usize, f64)]) -> Vec<SigElement> {
+        let k_needed = support.iter().map(|&(k, _)| k + 1).max().unwrap_or(0);
+        self.ensure(k_needed);
+        let store = self.store.read().unwrap();
+        self.sketch_with(&store, support)
+    }
+
+    /// Sketch many supports sharing one growth check and one read-lock
+    /// acquisition — the batch kernel behind
+    /// [`WeightedMinHasher::signature_batch`].
+    pub fn sketch_many(&self, supports: &[Vec<(usize, f64)>]) -> Vec<Vec<SigElement>> {
+        let k_needed = supports
+            .iter()
+            .flat_map(|s| s.iter().map(|&(k, _)| k + 1))
+            .max()
+            .unwrap_or(0);
+        self.ensure(k_needed);
+        let store = self.store.read().unwrap();
+        supports
+            .iter()
+            .map(|s| self.sketch_with(&store, s))
+            .collect()
+    }
+
+    /// The per-column kernel: loop support outer (hoisting `ln w`), hash
+    /// index inner (stride-1 over the table row), tracking the running
+    /// minimum per hash index. Candidate order per hash index matches the
+    /// scalar path's support order, and the comparison is the same strict
+    /// `<`, so ties resolve identically.
+    fn sketch_with(&self, store: &Store, support: &[(usize, f64)]) -> Vec<SigElement> {
+        let d = self.d;
+        match self.family {
+            HashFamily::MinHash => {
+                let mut best_h = vec![u64::MAX; d];
+                let mut best_k = vec![0u32; d];
+                let mut first = true;
+                for &(k, _) in support {
+                    let row = &store.h[k * d..k * d + d];
+                    for (i, &h) in row.iter().enumerate() {
+                        if first || h < best_h[i] {
+                            best_h[i] = h;
+                            best_k[i] = k as u32;
+                        }
+                    }
+                    first = false;
+                }
+                best_k
+                    .into_iter()
+                    .map(|key| SigElement { key, t: 0 })
+                    .collect()
+            }
+            HashFamily::Icws | HashFamily::ZeroBitCws | HashFamily::Pcws => {
+                let keep_t = self.family != HashFamily::ZeroBitCws;
+                let mut best_a = vec![f64::INFINITY; d];
+                let mut best_k = vec![0u32; d];
+                let mut best_t = vec![0i32; d];
+                for &(k, w) in support {
+                    let lnw = w.ln();
+                    let base = k * d;
+                    for i in 0..d {
+                        let r = store.r[base + i];
+                        let beta = store.beta[base + i];
+                        let t = (lnw / r + beta).floor();
+                        let y = (r * (t - beta)).exp();
+                        let a = store.c[base + i] / (y * store.er[base + i]);
+                        if a < best_a[i] {
+                            best_a[i] = a;
+                            best_k[i] = k as u32;
+                            best_t[i] = discretize_t(t);
+                        }
+                    }
+                }
+                best_k
+                    .into_iter()
+                    .zip(best_t)
+                    .map(|(key, t)| SigElement {
+                        key,
+                        t: if keep_t { t } else { 0 },
+                    })
+                    .collect()
+            }
+            HashFamily::Ccws => {
+                let mut best_a = vec![f64::INFINITY; d];
+                let mut best_k = vec![0u32; d];
+                let mut best_t = vec![0i32; d];
+                for &(k, w) in support {
+                    let base = k * d;
+                    for i in 0..d {
+                        let r = store.r[base + i];
+                        let beta = store.beta[base + i];
+                        let t = (w / r + beta).floor();
+                        let y = (r * (t - beta)).max(f64::MIN_POSITIVE);
+                        let a = store.c[base + i] / y;
+                        if a < best_a[i] {
+                            best_a[i] = a;
+                            best_k[i] = k as u32;
+                            best_t[i] = discretize_t(t);
+                        }
+                    }
+                }
+                best_k
+                    .into_iter()
+                    .zip(best_t)
+                    .map(|(key, t)| SigElement { key, t })
+                    .collect()
+            }
+        }
+    }
+}
+
+type Registry = Mutex<HashMap<(HashFamily, usize, u64), Arc<DrawTables>>>;
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The process-wide draw table for a hasher's `(family, d, seed)`,
+/// creating it (empty) on first request.
+pub fn draw_tables(hasher: &WeightedMinHasher) -> Arc<DrawTables> {
+    let key = (hasher.family, hasher.d, hasher.seed);
+    let mut reg = registry().lock().unwrap();
+    Arc::clone(
+        reg.entry(key)
+            .or_insert_with(|| Arc::new(DrawTables::new(hasher))),
+    )
+}
+
+/// Drop every registered draw table (memory release hook for long-lived
+/// processes that rotate seeds; in-flight `Arc`s keep their tables alive).
+pub fn clear_draw_tables() {
+    registry().lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_grow_geometrically_and_serve_old_rows() {
+        let hasher = WeightedMinHasher::new(HashFamily::Ccws, 8, 0xABCD).unwrap();
+        let tables = DrawTables::new(&hasher);
+        let small: Vec<(usize, f64)> = (0..10).map(|k| (k, 1.0 + k as f64)).collect();
+        let first = tables.sketch(&small);
+        assert_eq!(tables.rows(), 64);
+        // Growing for a larger support must not disturb earlier rows.
+        let large: Vec<(usize, f64)> = (0..300).map(|k| (k, 1.0 + k as f64)).collect();
+        tables.sketch(&large);
+        assert!(tables.rows() >= 300);
+        assert_eq!(tables.sketch(&small), first);
+    }
+
+    #[test]
+    fn registry_shares_one_table_per_combination() {
+        let a = WeightedMinHasher::new(HashFamily::Icws, 16, 7).unwrap();
+        let b = WeightedMinHasher::new(HashFamily::Icws, 16, 7).unwrap();
+        let c = WeightedMinHasher::new(HashFamily::Icws, 16, 8).unwrap();
+        assert!(Arc::ptr_eq(&draw_tables(&a), &draw_tables(&b)));
+        assert!(!Arc::ptr_eq(&draw_tables(&a), &draw_tables(&c)));
+    }
+
+    #[test]
+    fn concurrent_growth_is_consistent() {
+        let hasher = WeightedMinHasher::new(HashFamily::Pcws, 12, 3).unwrap();
+        let tables = Arc::new(DrawTables::new(&hasher));
+        let support: Vec<(usize, f64)> = (0..200).map(|k| (k, 0.5 + k as f64)).collect();
+        let expected = tables.sketch(&support);
+        let fresh = Arc::new(DrawTables::new(&hasher));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let fresh = Arc::clone(&fresh);
+                let support = support.clone();
+                let expected = expected.clone();
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        assert_eq!(fresh.sketch(&support), expected);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,109 @@
+//! Bit-identity of the table-driven and batch sketch kernels against the
+//! scalar reference (`WeightedMinHasher::signature`), for all five hash
+//! families, across random weights (including zeros, negatives, and
+//! non-finite values the support filter must drop), dimensions, and seeds.
+//!
+//! This is the contract that lets the engine swap sketch paths freely:
+//! table lookups hoist values (`r`, `c`, `β`, `eʳ`, `ln w`) but never
+//! rewrite the arithmetic, so every signature element — winner index and
+//! discretised `t` alike — must match the scalar path exactly.
+
+use minhash::{HashFamily, SampleCompressor, WeightedMinHasher};
+use proptest::prelude::*;
+
+/// Weight generator: mostly positive values across several magnitudes,
+/// with zeros, negatives, and non-finite values sprinkled in so the
+/// support filter gets exercised.
+fn weight() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 1e-6f64..1e6,
+        2 => Just(0.0),
+        1 => -10.0f64..0.0,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+    ]
+}
+
+fn weight_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(weight(), 1..200)
+}
+
+fn has_support(w: &[f64]) -> bool {
+    w.iter().any(|&v| v > 0.0 && v.is_finite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// signature() == signature_tabled() == signature_batch([w])[0],
+    /// element for element, for every family.
+    #[test]
+    fn tabled_and_batch_match_scalar_reference(
+        weights in weight_vec(),
+        d in 1usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(has_support(&weights));
+        for family in HashFamily::ALL {
+            let h = WeightedMinHasher::new(family, d, seed).unwrap();
+            let scalar = h.signature(&weights).unwrap();
+            let tabled = h.signature_tabled(&weights).unwrap();
+            prop_assert_eq!(
+                scalar.elements(), tabled.elements(),
+                "{:?} tabled diverges", family
+            );
+            let batch = h.signature_batch(&[&weights]).unwrap();
+            prop_assert_eq!(
+                scalar.elements(), batch[0].elements(),
+                "{:?} batch diverges", family
+            );
+        }
+    }
+
+    /// Batch sketching many columns at once returns exactly the per-column
+    /// scalar signatures, independent of batch composition (table growth
+    /// triggered by one column must not disturb another's sketch).
+    #[test]
+    fn batch_matches_per_column_scalar(
+        cols in prop::collection::vec(weight_vec(), 1..8),
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(cols.iter().all(|c| has_support(c)));
+        for family in HashFamily::ALL {
+            let h = WeightedMinHasher::new(family, 16, seed).unwrap();
+            let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+            let batch = h.signature_batch(&refs).unwrap();
+            prop_assert_eq!(batch.len(), cols.len());
+            for (col, sig) in cols.iter().zip(&batch) {
+                let scalar = h.signature(col).unwrap();
+                prop_assert_eq!(
+                    scalar.elements(), sig.elements(),
+                    "{:?} batch column diverges", family
+                );
+            }
+        }
+    }
+
+    /// The compressor's cached-path decomposition (signature + gather +
+    /// normalise) reproduces compress()/compress_normalized() exactly.
+    #[test]
+    fn compressor_signature_path_matches_direct(
+        values in prop::collection::vec(-1e4f64..1e4, 2..150),
+        seed in 0u64..100_000,
+    ) {
+        for family in HashFamily::ALL {
+            let c = SampleCompressor::new(family, 24, seed).unwrap();
+            let sig = c.signature(&values).unwrap();
+            prop_assert_eq!(
+                c.compress(&values).unwrap(),
+                c.compress_with_signature(&values, &sig)
+            );
+            prop_assert_eq!(
+                c.compress_normalized(&values).unwrap(),
+                c.compress_normalized_with_signature(&values, &sig)
+            );
+            let batch = c.signature_batch(&[&values]).unwrap();
+            prop_assert_eq!(&batch[0], &sig);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Process-wide content-addressed **signature cache** for weighted-MinHash
+//! sketches — the PR-3 bin-cache pattern applied to the FPE sketch path.
+//!
+//! The FPE gate, `RawLabels` labelling, and FPE model selection all sketch
+//! feature columns through a [`SampleCompressor`], and the same column
+//! content recurs constantly: corpus columns are re-sketched for every
+//! candidate `(family, d)` pair sharing a family, across train/val splits,
+//! and generated columns repeat across epochs and agents. A signature
+//! depends only on `(column content, family, d, seed)`, so it is cached
+//! content-addressed: the key is a 128-bit FNV-1a digest over a domain
+//! tag, the hash family, `d`, the seed, and the IEEE-754 bit patterns of
+//! the raw column ([`fingerprint_values`]). Two differently-derived
+//! pipelines producing bit-identical columns share one entry; the
+//! collision analysis in the crate root applies unchanged.
+//!
+//! Two key domains keep the addressing honest: [`signature_cached`] hashes
+//! the weight vector it sketches directly, while the compressor-path entry
+//! points hash the **raw** column and cache the signature of
+//! `SampleCompressor::to_weights(column)` — the same float vector seen
+//! through the two paths must not collide.
+//!
+//! Cached values are `Arc<Signature>` (`d` × 8 bytes each, ~12 MB at the
+//! default capacity and `d = 48`); the compressed vector is rebuilt from
+//! the signature with a plain gather, which keeps the cache insensitive to
+//! normalisation flavour.
+
+use crate::cache::{CacheStats, ScoreCache, ShardStats};
+use crate::fingerprint::{fingerprint_values, Fingerprint, Hasher128};
+use crate::pool::WorkerPool;
+use minhash::{SampleCompressor, Signature, WeightedMinHasher};
+use std::sync::{Arc, OnceLock};
+
+/// Capacity of the process-wide signature cache. Entries are one
+/// `d`-element signature each (8 bytes per element), so the default stays
+/// in the tens of megabytes even at paper scale.
+pub const SIG_CACHE_CAPACITY: usize = 32_768;
+
+/// Columns per [`WorkerPool`] task when batch-sketching misses: large
+/// enough to amortise task dispatch, small enough to load-balance.
+const BATCH_CHUNK: usize = 32;
+
+/// The signature cache's value type.
+pub type SignatureCache = ScoreCache<Arc<Signature>>;
+
+fn sig_cache() -> &'static SignatureCache {
+    static CACHE: OnceLock<SignatureCache> = OnceLock::new();
+    CACHE.get_or_init(|| ScoreCache::new(SIG_CACHE_CAPACITY))
+}
+
+/// Counters of the process-wide signature cache (hits = columns served
+/// without re-sketching).
+pub fn sig_cache_stats() -> CacheStats {
+    sig_cache().stats()
+}
+
+/// Per-shard counters of the signature cache (for `--metrics` surfacing).
+pub fn sig_cache_shard_stats() -> Vec<ShardStats> {
+    sig_cache().shard_stats()
+}
+
+fn raw_key(hasher: &WeightedMinHasher, weights: &[f64]) -> Fingerprint {
+    let mut h = Hasher128::new();
+    h.write_str("runtime::SignatureCache");
+    h.write_str("raw");
+    h.write_str(hasher.family.name());
+    h.write_u64(hasher.d as u64);
+    h.write_u64(hasher.seed);
+    h.write_u128(fingerprint_values(weights).0);
+    h.finish()
+}
+
+fn compressor_key(c: &SampleCompressor, values: &[f64]) -> Fingerprint {
+    let mut h = Hasher128::new();
+    h.write_str("runtime::SignatureCache");
+    h.write_str("compressor");
+    h.write_str(c.family().name());
+    h.write_u64(c.d() as u64);
+    h.write_u64(c.seed());
+    h.write_u128(fingerprint_values(values).0);
+    h.finish()
+}
+
+/// Sketch a weight vector through the cache: a weight vector whose
+/// `(content, family, d, seed)` was sketched before is served without
+/// recomputation; misses go through the table-driven kernel.
+pub fn signature_cached(
+    hasher: &WeightedMinHasher,
+    weights: &[f64],
+) -> minhash::Result<Arc<Signature>> {
+    let cache = sig_cache();
+    let key = raw_key(hasher, weights);
+    if let Some(hit) = cache.get(key) {
+        telemetry::count("minhash.sig_cache_hits", 1);
+        return Ok(hit);
+    }
+    let sig = Arc::new(hasher.signature_tabled(weights)?);
+    cache.insert(key, Arc::clone(&sig));
+    Ok(sig)
+}
+
+/// A column's compressor signature through the cache (the raw column is
+/// the address; the cached value is the sketch of its `to_weights`).
+pub fn compressor_signature_cached(
+    c: &SampleCompressor,
+    values: &[f64],
+) -> minhash::Result<Arc<Signature>> {
+    let cache = sig_cache();
+    let key = compressor_key(c, values);
+    if let Some(hit) = cache.get(key) {
+        telemetry::count("minhash.sig_cache_hits", 1);
+        return Ok(hit);
+    }
+    let sig = Arc::new(c.signature(values)?);
+    cache.insert(key, Arc::clone(&sig));
+    Ok(sig)
+}
+
+/// Cached drop-in for `SampleCompressor::compress_normalized`: signature
+/// from the cache (sketching on miss), compressed vector rebuilt by
+/// gather + z-score. Bit-identical to the uncached call.
+pub fn compress_normalized_cached(
+    c: &SampleCompressor,
+    values: &[f64],
+) -> minhash::Result<Vec<f64>> {
+    let sig = compressor_signature_cached(c, values)?;
+    Ok(c.compress_normalized_with_signature(values, &sig))
+}
+
+/// Compress many columns through cache + batch kernel: one cache probe per
+/// column, then all missing columns sketched via
+/// `SampleCompressor::signature_batch` in [`WorkerPool`] chunks (telemetry
+/// spans carry over to worker threads via the pool's `parent_scope`).
+/// Per-column output is bit-identical to
+/// `SampleCompressor::compress_normalized`.
+pub fn compress_normalized_batch(
+    c: &SampleCompressor,
+    cols: &[&[f64]],
+) -> minhash::Result<Vec<Vec<f64>>> {
+    let cache = sig_cache();
+    let mut sigs: Vec<Option<Arc<Signature>>> = Vec::with_capacity(cols.len());
+    let mut misses: Vec<usize> = Vec::new();
+    let mut keys: Vec<Fingerprint> = Vec::with_capacity(cols.len());
+    for (j, col) in cols.iter().enumerate() {
+        let key = compressor_key(c, col);
+        keys.push(key);
+        match cache.get(key) {
+            Some(hit) => {
+                telemetry::count("minhash.sig_cache_hits", 1);
+                sigs.push(Some(hit));
+            }
+            None => {
+                misses.push(j);
+                sigs.push(None);
+            }
+        }
+    }
+    if !misses.is_empty() {
+        let chunks: Vec<Vec<usize>> = misses.chunks(BATCH_CHUNK).map(|c| c.to_vec()).collect();
+        let sketched = WorkerPool::new().map(chunks, |_ctx, chunk| {
+            let chunk_cols: Vec<&[f64]> = chunk.iter().map(|&j| cols[j]).collect();
+            let sigs = c.signature_batch(&chunk_cols)?;
+            Ok::<_, minhash::MinHashError>((chunk, sigs))
+        });
+        for result in sketched {
+            let (chunk, chunk_sigs) = result?;
+            for (j, sig) in chunk.into_iter().zip(chunk_sigs) {
+                let sig = Arc::new(sig);
+                cache.insert(keys[j], Arc::clone(&sig));
+                sigs[j] = Some(sig);
+            }
+        }
+    }
+    Ok(cols
+        .iter()
+        .zip(&sigs)
+        .map(|(col, sig)| {
+            c.compress_normalized_with_signature(col, sig.as_ref().expect("all signatures filled"))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minhash::HashFamily;
+
+    fn col(seed: u64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as f64) * 0.7 + seed as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn cached_compress_matches_direct_and_hits_on_repeat() {
+        let c = SampleCompressor::new(HashFamily::Ccws, 32, 0xF00D).unwrap();
+        let values = col(1, 300);
+        let direct = c.compress_normalized(&values).unwrap();
+        let cached = compress_normalized_cached(&c, &values).unwrap();
+        assert_eq!(direct, cached);
+        let before = sig_cache_stats();
+        let again = compress_normalized_cached(&c, &values).unwrap();
+        let after = sig_cache_stats();
+        assert_eq!(direct, again);
+        assert!(after.hits > before.hits, "repeat sketch must hit the cache");
+        assert_eq!(after.misses, before.misses, "repeat sketch must not miss");
+    }
+
+    #[test]
+    fn batch_matches_per_column_and_warm_batch_is_all_hits() {
+        let c = SampleCompressor::new(HashFamily::Icws, 24, 0xBEEF).unwrap();
+        let cols: Vec<Vec<f64>> = (0..40).map(|s| col(s, 120)).collect();
+        let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let batch = compress_normalized_batch(&c, &refs).unwrap();
+        for (col, out) in cols.iter().zip(&batch) {
+            assert_eq!(out, &c.compress_normalized(col).unwrap());
+        }
+        let before = sig_cache_stats();
+        let warm = compress_normalized_batch(&c, &refs).unwrap();
+        let after = sig_cache_stats();
+        assert_eq!(batch, warm);
+        assert_eq!(after.misses, before.misses, "warm batch must be miss-free");
+        assert!(after.hits >= before.hits + cols.len() as u64);
+    }
+
+    #[test]
+    fn raw_and_compressor_domains_do_not_collide() {
+        // The same float vector addressed as raw weights vs as a raw
+        // column must produce different keys (the compressor path sketches
+        // to_weights(values), not values).
+        let h = WeightedMinHasher::new(HashFamily::Ccws, 16, 9).unwrap();
+        let c = SampleCompressor::new(HashFamily::Ccws, 16, 9).unwrap();
+        let v: Vec<f64> = (0..50).map(|i| 0.1 + i as f64).collect();
+        assert_ne!(raw_key(&h, &v), compressor_key(&c, &v));
+        let raw = signature_cached(&h, &v).unwrap();
+        let comp = compressor_signature_cached(&c, &v).unwrap();
+        assert_eq!(*raw, h.signature(&v).unwrap());
+        assert_eq!(*comp, c.signature(&v).unwrap());
+    }
+
+    #[test]
+    fn batch_propagates_column_errors() {
+        let c = SampleCompressor::new(HashFamily::Ccws, 8, 1).unwrap();
+        let good = col(3, 50);
+        let empty: Vec<f64> = vec![];
+        assert!(compress_normalized_batch(&c, &[&good, &empty]).is_err());
+    }
+}

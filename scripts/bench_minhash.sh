@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate bench_results/BENCH_minhash.json: naive vs table-driven vs
+# batch MinHash sketching wall-clock (plus signature-cache cold/warm) at
+# the paper's shapes (d=48, 1k-10k rows, 100-1000 columns).
+# Usage: scripts/bench_minhash.sh [extra flags passed to perf_minhash]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin perf_minhash
+
+echo "=== perf_minhash ==="
+# --threads 1: the committed speedups are single-thread kernel numbers
+# (the acceptance criterion), not pool-parallel ones.
+./target/release/perf_minhash --quiet --threads 1 "$@" | tee bench_results/perf_minhash_run.log
+echo "artifact written to bench_results/BENCH_minhash.json"

@@ -31,10 +31,17 @@ cargo test --workspace -q
 echo "==> split-method parity suite"
 cargo test -q --test hist_parity
 
+echo "==> minhash table/batch parity suite"
+cargo test -q -p minhash --test table_parity
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> perf_forest smoke (release): histogram must not lose to exact"
     cargo build --release -q -p bench --bin perf_forest
     ./target/release/perf_forest --smoke --quiet
+
+    echo "==> perf_minhash smoke (release): table path must not lose to naive"
+    cargo build --release -q -p bench --bin perf_minhash
+    ./target/release/perf_minhash --smoke --quiet
 
     echo "==> telemetry overhead smoke (release)"
     # Disabled-telemetry instrumentation must stay near-free; the test

@@ -29,4 +29,8 @@ run fig9   --epochs1 2 --epochs2 4 "$@"
 run ablation_replay --scale 0.2 "$@"
 run ablation_lambda --scale 0.2 "$@"
 run ablation_representation --scale 0.2 --epochs1 2 --epochs2 4 "$@"
+# perf_minhash takes its own flag set (see scripts/bench_minhash.sh), so the
+# forwarded "$@" (table/figure flags) is deliberately not passed through.
+echo "=== perf_minhash ==="
+./target/release/perf_minhash --quiet --threads 1 | tee bench_results/perf_minhash_run.log
 echo "all artifacts written to bench_results/"

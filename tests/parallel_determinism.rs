@@ -93,6 +93,40 @@ fn e_afe_scores_identical_across_thread_counts() {
 }
 
 #[test]
+fn fpe_gated_engine_identical_with_warm_signature_cache() {
+    // The FPE gate now sketches through the table-driven kernels and the
+    // process-wide signature cache. Two invariants: (1) a warm-cache
+    // 4-thread re-run of the fixed-seed FPE-gated engine is bit-identical
+    // to the cold 1-thread run, and (2) the re-run re-sketches nothing —
+    // every column of the identical run is already cached, so the sketch
+    // path contributes zero cache misses (mirroring the PR-1 score-cache
+    // zero-miss rerun test).
+    let frame = frame();
+    let fpe = fpe();
+    runtime::set_global_threads(1);
+    let cold = Engine::e_afe(fast_config(), fpe.clone())
+        .run(&frame)
+        .unwrap();
+    let before = runtime::sig_cache_stats();
+    runtime::set_global_threads(4);
+    let warm = Engine::e_afe(fast_config(), fpe).run(&frame).unwrap();
+    runtime::set_global_threads(0);
+    let after = runtime::sig_cache_stats();
+    assert_bit_identical(&cold, &warm, "E-AFE warm-sig-cache 1-vs-4 threads");
+    // Note: the sig cache is process-global and other tests in this binary
+    // sketch the *same* fixed-seed columns, so concurrent tests can only
+    // add hits here, not misses.
+    assert_eq!(
+        after.misses, before.misses,
+        "warm re-run must serve every sketch from the signature cache"
+    );
+    assert!(
+        after.hits > before.hits,
+        "warm re-run should actually exercise the signature cache"
+    );
+}
+
+#[test]
 fn binned_forest_identical_across_thread_counts() {
     // The histogram (binned) training path must be as schedule-oblivious
     // as the exact path: per-tree seeds and bootstrap draws are fixed up

@@ -69,6 +69,66 @@ macro_rules! range_strategy {
 
 range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
 
+pub mod strategy {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy that always yields a clone of one value (`Just(x)`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Box a strategy so heterogeneous arms can share one element type
+    /// (used by `prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Weighted union of strategies (`prop_oneof!`): each case picks one
+    /// arm with probability proportional to its weight.
+    pub struct OneOf<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u32,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof!: no arms");
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof!: zero total weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("pick exceeded total weight")
+        }
+    }
+}
+
 pub mod collection {
     use super::Strategy;
     use rand::rngs::StdRng;
@@ -139,8 +199,21 @@ pub mod runner {
 
 pub mod prelude {
     pub use crate as prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::strategy::Just;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
     pub use crate::{ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 #[macro_export]
@@ -276,6 +349,14 @@ mod tests {
         fn assume_rejects_without_failing(x in 0usize..100) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_draws_only_from_arms(x in prop_oneof![
+            4 => 10.0f64..20.0,
+            1 => Just(-1.0),
+        ]) {
+            prop_assert!((10.0..20.0).contains(&x) || x == -1.0, "x = {}", x);
         }
     }
 
