@@ -1,0 +1,564 @@
+//! **Neural-learner kernel benchmark** — flat batched dense kernels vs
+//! the retained per-sample scalar reference, at paper-shaped dataset
+//! sizes.
+//!
+//! Four sections, selectable with `--learner`:
+//!
+//! - `mlp` / `resnet` — time a full `fit` under both [`NnBackend`]s at
+//!   each shape; the two backends train bit-identical networks (the
+//!   trainer pins the summation order), so the speedup column compares
+//!   like for like.
+//! - `gp` — time the row-slice kernel fill + row-slice Cholesky against a
+//!   straight-line reference built from `Vec<Vec<f64>>` rows, per-element
+//!   `set` fills, and the scalar `cholesky_ref`; posterior means are
+//!   asserted bit-equal before the numbers are reported.
+//! - `rtdl` — end-to-end `run_rtdl_n` (ResNet train + RF re-heading)
+//!   under both backends on a Table-1-sized synthetic dataset, asserting
+//!   the reported score does not move a bit.
+//!
+//! Regenerate: `scripts/bench_nn.sh` (or
+//! `cargo run -p bench --release --bin perf_nn`).
+//!
+//! ```text
+//! --learner <which>  mlp|resnet|gp|rtdl|all                 (default all)
+//! --batched          time only the batched backend
+//! --scalar           time only the scalar reference
+//! --smoke            one ResNet shape, 1 repeat, no artifact; exit 1 if
+//!                    batched training is slower than scalar (the CI gate)
+//! --repeats <n>      timing repeats per cell, min taken     (default 3)
+//! --seed <n>         data + init seed                       (default 0xEAFE)
+//! --out <dir>        artifact directory                     (default bench_results)
+//! --threads <n>      worker-thread ceiling, 0 = all cores   (default 0)
+//! --quiet            suppress per-shape progress lines
+//! --metrics          print the end-of-run telemetry summary
+//! --trace-out <p>    stream telemetry events to a JSON-lines file
+//! ```
+
+use bench::{fmt_secs, CommonArgs, TextTable};
+use eafe::baselines::{run_rtdl_n, DlBaselineConfig};
+use learners::linalg::{sq_dist, SquareMatrix};
+use learners::preprocess::{to_row_major, Standardizer};
+use learners::{
+    GaussianProcess, GpConfig, MlpClassifier, MlpConfig, NnBackend, ResNetClassifier, ResNetConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+use tabular::{SynthSpec, Task};
+
+/// Paper-shaped (rows, features, epochs) grid for the training timings;
+/// epochs taper so the large shapes stay in bench-suite budget.
+const SHAPES: &[(usize, usize, usize)] = &[(1000, 20, 10), (2000, 30, 8), (5000, 50, 4)];
+/// The `--smoke` / CI-gate shape (ResNet only): the shape the ≥2×
+/// acceptance bar is stated at.
+const SMOKE_SHAPE: (usize, usize, usize) = (2000, 30, 3);
+/// GP kernel sizes (training rows after the cap; features fixed at 8).
+const GP_SIZES: &[usize] = &[256, 512];
+const GP_FEATURES: usize = 8;
+/// Table-1-sized synthetic dataset for the end-to-end RTDL_N run.
+const RTDL_SHAPE: (usize, usize) = (768, 8);
+
+#[derive(Serialize)]
+struct KernelRow {
+    learner: String,
+    rows: usize,
+    features: usize,
+    epochs: usize,
+    scalar_secs: f64,
+    batched_secs: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct RtdlRow {
+    rows: usize,
+    features: usize,
+    resnet_epochs: usize,
+    scalar_secs: f64,
+    batched_secs: f64,
+    speedup: f64,
+    score: f64,
+}
+
+#[derive(Serialize)]
+struct Data {
+    kernels: Vec<KernelRow>,
+    rtdl: Vec<RtdlRow>,
+}
+
+struct Args {
+    learner: String,
+    run_batched: bool,
+    run_scalar: bool,
+    smoke: bool,
+    repeats: usize,
+    seed: u64,
+    common: CommonArgs,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        learner: "all".into(),
+        run_batched: false,
+        run_scalar: false,
+        smoke: false,
+        repeats: 3,
+        seed: 0xE_AFE,
+        common: CommonArgs::default(),
+    };
+    let mut threads = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--learner" => args.learner = value("--learner"),
+            "--batched" => args.run_batched = true,
+            "--scalar" => args.run_scalar = true,
+            "--smoke" => args.smoke = true,
+            "--repeats" => args.repeats = value("--repeats").parse().expect("int repeats"),
+            "--seed" => args.seed = value("--seed").parse().expect("int seed"),
+            "--out" => args.common.out = std::path::PathBuf::from(value("--out")),
+            "--threads" => threads = value("--threads").parse().expect("int threads"),
+            "--quiet" => args.common.quiet = true,
+            "--metrics" => args.common.metrics = true,
+            "--trace-out" => {
+                args.common.trace_out = Some(std::path::PathBuf::from(value("--trace-out")))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --learner mlp|resnet|gp|rtdl|all --batched --scalar --smoke \
+                     --repeats n --seed n --out dir --threads n --quiet --metrics \
+                     --trace-out path"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    assert!(args.repeats >= 1, "--repeats must be >= 1");
+    assert!(
+        matches!(
+            args.learner.as_str(),
+            "mlp" | "resnet" | "gp" | "rtdl" | "all"
+        ),
+        "--learner must be mlp|resnet|gp|rtdl|all, got {}",
+        args.learner
+    );
+    // Neither flag = both backends (the interesting comparison).
+    if !args.run_batched && !args.run_scalar {
+        args.run_batched = true;
+        args.run_scalar = true;
+    }
+    runtime::set_global_threads(threads);
+    args.common.install_telemetry();
+    args
+}
+
+impl Args {
+    fn wants(&self, learner: &str) -> bool {
+        self.learner == "all" || self.learner == learner
+    }
+}
+
+fn class_data(
+    name: &str,
+    rows: usize,
+    features: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<usize>, usize) {
+    let frame = SynthSpec::new(name, rows, features, Task::Classification)
+        .with_seed(seed)
+        .generate()
+        .expect("synthetic frame");
+    let x = learners::feature_matrix(&frame);
+    let y = frame.label().classes().expect("classification").to_vec();
+    let n_classes = frame.label().n_classes();
+    (x, y, n_classes)
+}
+
+/// Minimum fit wall-clock over `repeats` identical runs.
+fn time_min(repeats: usize, mut run: impl FnMut() -> f64) -> f64 {
+    (0..repeats).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+fn time_mlp(x: &[Vec<f64>], y: &[usize], n_classes: usize, cfg: MlpConfig, repeats: usize) -> f64 {
+    time_min(repeats, || {
+        let mut m = MlpClassifier::new(cfg);
+        let t = Instant::now();
+        m.fit(x, y, n_classes).expect("mlp fit");
+        t.elapsed().as_secs_f64()
+    })
+}
+
+fn time_resnet(
+    x: &[Vec<f64>],
+    y: &[usize],
+    n_classes: usize,
+    cfg: ResNetConfig,
+    repeats: usize,
+) -> f64 {
+    time_min(repeats, || {
+        let mut m = ResNetClassifier::new(cfg);
+        let t = Instant::now();
+        m.fit(x, y, n_classes).expect("resnet fit");
+        t.elapsed().as_secs_f64()
+    })
+}
+
+/// Time the learner's row-slice GP fit (kernel fill + Cholesky + solve).
+fn time_gp_batched(x: &[Vec<f64>], y: &[f64], cfg: GpConfig, repeats: usize) -> (f64, Vec<f64>) {
+    let mut preds = Vec::new();
+    let secs = time_min(repeats, || {
+        let mut gp = GaussianProcess::new(cfg);
+        let t = Instant::now();
+        gp.fit(x, y).expect("gp fit");
+        let secs = t.elapsed().as_secs_f64();
+        preds = gp.predict(x).expect("gp predict");
+        secs
+    });
+    (secs, preds)
+}
+
+/// Time the pre-refactor reference: `Vec<Vec<f64>>` training rows, a
+/// per-element `get`/`set` kernel fill, and the scalar `cholesky_ref` —
+/// returning its posterior means for the bit-equality check.
+fn time_gp_scalar(x: &[Vec<f64>], y: &[f64], cfg: GpConfig, repeats: usize) -> (f64, Vec<f64>) {
+    let ls2 = cfg.length_scale * cfg.length_scale;
+    let kernel = |a: &[f64], b: &[f64]| (-sq_dist(a, b) / (2.0 * ls2)).exp();
+    let mut preds = Vec::new();
+    let secs = time_min(repeats, || {
+        let t = Instant::now();
+        let scaler = Standardizer::fit(x);
+        let rows = to_row_major(&scaler.transform(x));
+        let n = rows.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / n as f64;
+        let y_std = var.sqrt().max(1e-12);
+        let yz: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+        let mut k = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel(&rows[i], &rows[j]);
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+        }
+        k.add_diagonal(cfg.noise.max(1e-10));
+        let l = k.cholesky_ref().expect("reference cholesky");
+        let alpha = l.cholesky_solve(&yz).expect("reference solve");
+        let secs = t.elapsed().as_secs_f64();
+        preds = rows
+            .iter()
+            .map(|r| {
+                let kz: f64 = rows.iter().zip(&alpha).map(|(t, a)| kernel(r, t) * a).sum();
+                kz * y_std + y_mean
+            })
+            .collect();
+        secs
+    });
+    (secs, preds)
+}
+
+fn speedup_cell(scalar: f64, batched: f64) -> String {
+    if scalar > 0.0 && batched > 0.0 {
+        format!("{:.2}x", scalar / batched)
+    } else {
+        "-".into()
+    }
+}
+
+fn fmt_opt_secs(v: f64) -> String {
+    if v > 0.0 {
+        fmt_secs(v)
+    } else {
+        "-".into()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let repeats = if args.smoke { 1 } else { args.repeats };
+    println!("== perf_nn: batched dense kernels vs scalar reference ==");
+    println!(
+        "settings: repeats={repeats} seed={:#x} threads={} backends={}{}",
+        args.seed,
+        runtime::global_threads(),
+        if args.run_scalar { "scalar " } else { "" },
+        if args.run_batched { "batched" } else { "" },
+    );
+
+    if args.smoke {
+        // CI gate: batched ResNet training must not lose to the scalar
+        // reference at the acceptance shape, and the two fits must be the
+        // same network bit for bit.
+        let (n_rows, n_features, epochs) = SMOKE_SHAPE;
+        let (x, y, n_classes) = class_data("perf-nn-smoke", n_rows, n_features, args.seed);
+        let base = ResNetConfig {
+            epochs,
+            seed: args.seed,
+            ..ResNetConfig::default()
+        };
+        let mut scalar = ResNetClassifier::new(ResNetConfig {
+            backend: NnBackend::Scalar,
+            ..base
+        });
+        let t = Instant::now();
+        scalar.fit(&x, &y, n_classes).expect("scalar fit");
+        let scalar_secs = t.elapsed().as_secs_f64();
+        let mut batched = ResNetClassifier::new(base);
+        let t = Instant::now();
+        batched.fit(&x, &y, n_classes).expect("batched fit");
+        let batched_secs = t.elapsed().as_secs_f64();
+        for (a, b) in batched
+            .trained_params()
+            .expect("fitted")
+            .iter()
+            .zip(scalar.trained_params().expect("fitted"))
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "smoke: backends diverged");
+        }
+        println!(
+            "resnet {n_rows}x{n_features}: scalar {} batched {} ({:.2}x)",
+            fmt_secs(scalar_secs),
+            fmt_secs(batched_secs),
+            scalar_secs / batched_secs,
+        );
+        if batched_secs > scalar_secs {
+            eprintln!(
+                "SMOKE FAIL: batched fit ({}) slower than scalar ({})",
+                fmt_secs(batched_secs),
+                fmt_secs(scalar_secs)
+            );
+            std::process::exit(1);
+        }
+        println!("smoke ok: batched <= scalar, networks bit-identical");
+        return;
+    }
+
+    let mut kernels = Vec::new();
+    let mut rtdl = Vec::new();
+    let mut table = TextTable::new(vec![
+        "Learner", "Shape", "Epochs", "Scalar", "Batched", "Speedup",
+    ]);
+
+    for learner in ["mlp", "resnet"] {
+        if !args.wants(learner) {
+            continue;
+        }
+        for &(n_rows, n_features, epochs) in SHAPES {
+            let (x, y, n_classes) = class_data(
+                &format!("perf-nn-{n_rows}x{n_features}"),
+                n_rows,
+                n_features,
+                args.seed,
+            );
+            let time_backend = |backend: NnBackend| match learner {
+                "mlp" => time_mlp(
+                    &x,
+                    &y,
+                    n_classes,
+                    MlpConfig {
+                        epochs,
+                        seed: args.seed,
+                        backend,
+                        ..MlpConfig::default()
+                    },
+                    repeats,
+                ),
+                _ => time_resnet(
+                    &x,
+                    &y,
+                    n_classes,
+                    ResNetConfig {
+                        epochs,
+                        seed: args.seed,
+                        backend,
+                        ..ResNetConfig::default()
+                    },
+                    repeats,
+                ),
+            };
+            let scalar_secs = if args.run_scalar {
+                time_backend(NnBackend::Scalar)
+            } else {
+                0.0
+            };
+            let batched_secs = if args.run_batched {
+                time_backend(NnBackend::Batched)
+            } else {
+                0.0
+            };
+            if !args.common.quiet {
+                eprintln!(
+                    "  {learner} {n_rows}x{n_features}: {}",
+                    speedup_cell(scalar_secs, batched_secs)
+                );
+            }
+            table.row(vec![
+                learner.to_string(),
+                format!("{n_rows}x{n_features}"),
+                epochs.to_string(),
+                fmt_opt_secs(scalar_secs),
+                fmt_opt_secs(batched_secs),
+                speedup_cell(scalar_secs, batched_secs),
+            ]);
+            kernels.push(KernelRow {
+                learner: learner.to_string(),
+                rows: n_rows,
+                features: n_features,
+                epochs,
+                scalar_secs,
+                batched_secs,
+                speedup: if scalar_secs > 0.0 && batched_secs > 0.0 {
+                    scalar_secs / batched_secs
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+
+    if args.wants("gp") {
+        for &n in GP_SIZES {
+            let mut rng = StdRng::seed_from_u64(args.seed ^ n as u64);
+            let x: Vec<Vec<f64>> = (0..GP_FEATURES)
+                .map(|_| (0..n).map(|_| rng.gen_range(-2.0f64..2.0)).collect())
+                .collect();
+            let y: Vec<f64> = (0..n)
+                .map(|r| x.iter().map(|c| c[r]).sum::<f64>().sin())
+                .collect();
+            let cfg = GpConfig {
+                max_train_rows: n,
+                ..GpConfig::default()
+            };
+            let (scalar_secs, ref_preds) = if args.run_scalar {
+                time_gp_scalar(&x, &y, cfg, repeats)
+            } else {
+                (0.0, Vec::new())
+            };
+            let (batched_secs, preds) = if args.run_batched {
+                time_gp_batched(&x, &y, cfg, repeats)
+            } else {
+                (0.0, Vec::new())
+            };
+            if args.run_scalar && args.run_batched {
+                for (p, q) in preds.iter().zip(&ref_preds) {
+                    assert_eq!(p.to_bits(), q.to_bits(), "gp n={n}: backends diverged");
+                }
+            }
+            if !args.common.quiet {
+                eprintln!(
+                    "  gp {n}x{GP_FEATURES}: {}",
+                    speedup_cell(scalar_secs, batched_secs)
+                );
+            }
+            table.row(vec![
+                "gp".to_string(),
+                format!("{n}x{GP_FEATURES}"),
+                "-".to_string(),
+                fmt_opt_secs(scalar_secs),
+                fmt_opt_secs(batched_secs),
+                speedup_cell(scalar_secs, batched_secs),
+            ]);
+            kernels.push(KernelRow {
+                learner: "gp".to_string(),
+                rows: n,
+                features: GP_FEATURES,
+                epochs: 0,
+                scalar_secs,
+                batched_secs,
+                speedup: if scalar_secs > 0.0 && batched_secs > 0.0 {
+                    scalar_secs / batched_secs
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+
+    if args.wants("rtdl") {
+        let (n_rows, n_features) = RTDL_SHAPE;
+        let frame = SynthSpec::new("perf-nn-rtdl", n_rows, n_features, Task::Classification)
+            .with_seed(args.seed)
+            .generate()
+            .expect("synthetic frame");
+        let resnet_epochs = 15;
+        let run = |backend: NnBackend| {
+            let cfg = DlBaselineConfig {
+                resnet: ResNetConfig {
+                    epochs: resnet_epochs,
+                    backend,
+                    ..ResNetConfig::default()
+                },
+                seed: args.seed,
+                ..DlBaselineConfig::default()
+            };
+            let mut score = 0.0;
+            let secs = time_min(repeats, || {
+                let t = Instant::now();
+                let r = run_rtdl_n(&cfg, &frame).expect("run_rtdl_n");
+                score = r.best_score;
+                t.elapsed().as_secs_f64()
+            });
+            (secs, score)
+        };
+        let (scalar_secs, scalar_score) = if args.run_scalar {
+            run(NnBackend::Scalar)
+        } else {
+            (0.0, 0.0)
+        };
+        let (batched_secs, batched_score) = if args.run_batched {
+            run(NnBackend::Batched)
+        } else {
+            (0.0, 0.0)
+        };
+        if args.run_scalar && args.run_batched {
+            assert_eq!(
+                scalar_score.to_bits(),
+                batched_score.to_bits(),
+                "rtdl: backends reported different scores ({scalar_score} vs {batched_score})"
+            );
+        }
+        let score = if args.run_batched {
+            batched_score
+        } else {
+            scalar_score
+        };
+        if !args.common.quiet {
+            eprintln!(
+                "  rtdl {n_rows}x{n_features}: {} (score {score:.3})",
+                speedup_cell(scalar_secs, batched_secs)
+            );
+        }
+        table.row(vec![
+            "rtdl_n".to_string(),
+            format!("{n_rows}x{n_features}"),
+            resnet_epochs.to_string(),
+            fmt_opt_secs(scalar_secs),
+            fmt_opt_secs(batched_secs),
+            speedup_cell(scalar_secs, batched_secs),
+        ]);
+        rtdl.push(RtdlRow {
+            rows: n_rows,
+            features: n_features,
+            resnet_epochs,
+            scalar_secs,
+            batched_secs,
+            speedup: if scalar_secs > 0.0 && batched_secs > 0.0 {
+                scalar_secs / batched_secs
+            } else {
+                0.0
+            },
+            score,
+        });
+    }
+
+    table.print();
+    args.common
+        .write_json("BENCH_nn.json", &Data { kernels, rtdl });
+    args.common.finish();
+}

@@ -5,11 +5,37 @@
 //! deterministically) so wide experiment sweeps stay tractable. The cap is a
 //! documented substitution (DESIGN.md §2): the paper's scikit-learn GP has
 //! the same cubic wall and its Table V datasets are small.
+//!
+//! Perf notes (DESIGN.md §10): training rows live in a contiguous
+//! row-major [`Mat`], the kernel matrix is filled from row slices, the
+//! factorisation uses the row-slice Cholesky with a bounded
+//! jitter-escalation retry for numerically non-PD kernels, and posterior
+//! mean prediction is chunked over the worker pool for large test sets
+//! (each row's kernel sum keeps its ascending train-row order, so the
+//! result is thread-count invariant).
 
+use crate::dense::Mat;
 use crate::error::{LearnError, Result};
 use crate::linalg::{sq_dist, SquareMatrix};
 use crate::preprocess::{to_row_major, Standardizer};
+use runtime::WorkerPool;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Rows per worker-pool task when predicting.
+const PREDICT_CHUNK: usize = 256;
+
+/// Minimum `test rows × train rows` product before prediction is worth
+/// shipping to the worker pool.
+const PARALLEL_GRAIN: usize = 262_144;
+
+/// Starting diagonal jitter for the Cholesky retry (escalates ×10 per
+/// attempt, on top of the configured observation noise).
+const INITIAL_JITTER: f64 = 1e-10;
+
+/// Bounded number of jitter-escalation retries (largest jitter tried:
+/// `INITIAL_JITTER × 10^(JITTER_ATTEMPTS-1)` = 1e-4).
+const JITTER_ATTEMPTS: usize = 7;
 
 /// GP hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,7 +65,7 @@ pub struct GaussianProcess {
     /// Hyper-parameters used at fit time.
     pub config: GpConfig,
     scaler: Option<Standardizer>,
-    train_rows: Vec<Vec<f64>>,
+    train: Mat,
     alpha: Vec<f64>,
     y_mean: f64,
     y_std: f64,
@@ -51,7 +77,7 @@ impl GaussianProcess {
         Self {
             config,
             scaler: None,
-            train_rows: Vec::new(),
+            train: Mat::zeros(0, 0),
             alpha: Vec::new(),
             y_mean: 0.0,
             y_std: 1.0,
@@ -93,8 +119,9 @@ impl GaussianProcess {
             rows = picked.iter().map(|&i| rows[i].clone()).collect();
             targets = picked.iter().map(|&i| targets[i]).collect();
         }
+        let train = Mat::from_rows(&rows);
 
-        let n = rows.len();
+        let n = train.rows();
         self.y_mean = targets.iter().sum::<f64>() / n as f64;
         let var = targets
             .iter()
@@ -107,22 +134,39 @@ impl GaussianProcess {
             .map(|t| (t - self.y_mean) / self.y_std)
             .collect();
 
+        // Symmetric RBF fill from contiguous row slices.
         let mut k = SquareMatrix::zeros(n);
         for i in 0..n {
+            let ri = train.row(i);
             for j in 0..=i {
-                let v = self.kernel(&rows[i], &rows[j]);
+                let v = self.kernel(ri, train.row(j));
                 k.set(i, j, v);
                 k.set(j, i, v);
             }
         }
         k.add_diagonal(self.config.noise.max(1e-10));
-        let l = k
-            .cholesky()
+        let t = telemetry::enabled().then(Instant::now);
+        let (l, _jitter) = k
+            .cholesky_jittered(INITIAL_JITTER, JITTER_ATTEMPTS)
             .map_err(|e| LearnError::Numerical(format!("GP kernel factorisation failed: {e}")))?;
+        if let Some(t) = t {
+            telemetry::record("gp.chol_us", t.elapsed().as_micros() as u64);
+        }
         self.alpha = l.cholesky_solve(&yz)?;
-        self.train_rows = rows;
+        self.train = train;
         self.scaler = Some(scaler);
         Ok(())
+    }
+
+    /// Posterior mean for one standardised test row: the kernel sum over
+    /// training rows in ascending order (the order is part of the
+    /// bit-reproducibility contract).
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut kz = 0.0;
+        for (t, a) in (0..self.train.rows()).zip(&self.alpha) {
+            kz += self.kernel(row, self.train.row(t)) * a;
+        }
+        kz * self.y_std + self.y_mean
     }
 
     /// Posterior mean prediction.
@@ -137,20 +181,24 @@ impl GaussianProcess {
                 got: x.len(),
             });
         }
-        let xs = scaler.transform(x);
-        let rows = to_row_major(&xs);
-        Ok(rows
-            .iter()
-            .map(|row| {
-                let kz: f64 = self
-                    .train_rows
-                    .iter()
-                    .zip(&self.alpha)
-                    .map(|(tr, a)| self.kernel(row, tr) * a)
-                    .sum();
-                kz * self.y_std + self.y_mean
-            })
-            .collect())
+        let rows = Mat::from_columns(&scaler.transform(x));
+        let n = rows.rows();
+        let parallel = runtime::global_threads() != 1
+            && n > PREDICT_CHUNK
+            && n * self.train.rows() >= PARALLEL_GRAIN;
+        if parallel {
+            let spans: Vec<(usize, usize)> = (0..n)
+                .step_by(PREDICT_CHUNK)
+                .map(|s| (s, (s + PREDICT_CHUNK).min(n)))
+                .collect();
+            let pool = WorkerPool::new();
+            let chunks = pool.map(spans, |_ctx, (s, e)| {
+                (s..e).map(|r| self.predict_row(rows.row(r))).collect()
+            });
+            Ok(chunks.into_iter().flat_map(Vec::into_iter).collect())
+        } else {
+            Ok((0..n).map(|r| self.predict_row(rows.row(r))).collect())
+        }
     }
 }
 
@@ -192,7 +240,7 @@ mod tests {
             ..Default::default()
         });
         gp.fit(std::slice::from_ref(&xs), &y).unwrap();
-        assert_eq!(gp.train_rows.len(), 50);
+        assert_eq!(gp.train.rows(), 50);
         let score = one_minus_rae(&y, &gp.predict(&[xs]).unwrap()).unwrap();
         assert!(score > 0.9, "1-rae {score}");
     }
@@ -229,5 +277,22 @@ mod tests {
         let y = vec![0.0, 0.0, 0.0, 1.0];
         let mut gp = GaussianProcess::new(GpConfig::default());
         gp.fit(&[xs], &y).unwrap(); // duplicated kernel rows need the jitter
+    }
+
+    #[test]
+    fn near_singular_kernel_recovers_via_jitter_escalation() {
+        // Zero configured noise + many duplicated rows: the kernel matrix
+        // is numerically rank-deficient, so the fit leans on the floor
+        // noise and, when rounding eats that, the escalating-jitter retry
+        // (escalation itself is unit-tested in linalg.rs on a matrix
+        // scaled so the first attempts genuinely fail).
+        let xs = vec![(0..12).map(|i| f64::from(i / 4)).collect::<Vec<f64>>()];
+        let y: Vec<f64> = (0..12).map(|i| f64::from(i / 4)).collect();
+        let mut gp = GaussianProcess::new(GpConfig {
+            noise: 0.0,
+            ..Default::default()
+        });
+        gp.fit(&xs, &y).unwrap();
+        assert_eq!(gp.predict(&xs).unwrap().len(), 12);
     }
 }

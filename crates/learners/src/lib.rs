@@ -15,6 +15,8 @@
 //! - [`gp`] — Gaussian Process regression (Table V);
 //! - [`mlp`] — multi-layer perceptron (Table V);
 //! - [`resnet`] — RTDL-style tabular ResNet (the `RTDL_N` baseline);
+//! - [`dense`] — flat batched dense kernels and the shared training
+//!   driver behind the MLP/ResNet heads (DESIGN.md §10);
 //! - [`metrics`] — F1, precision/recall, 1-RAE;
 //! - [`cv`] — the cross-validated downstream score `A_T(F, y)`.
 
@@ -22,6 +24,7 @@
 
 pub mod binned;
 pub mod cv;
+pub mod dense;
 pub mod error;
 pub mod forest;
 pub mod gp;
@@ -37,9 +40,11 @@ pub mod tree;
 
 pub use binned::{BinnedColumn, BinnedDataset, SplitMethod, DEFAULT_MAX_BINS};
 pub use cv::{feature_matrix, Evaluator, ModelKind};
+pub use dense::{FlatNet, Mat, NnBackend, Topology};
 pub use error::{LearnError, Result};
 pub use forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
 pub use gp::{GaussianProcess, GpConfig};
+pub use linalg::SquareMatrix;
 pub use linear::{LinearConfig, LinearSvm, LogisticRegression};
 pub use metrics::{accuracy, f1_score, one_minus_rae};
 pub use mlp::{MlpClassifier, MlpConfig, MlpRegressor};

@@ -1,6 +1,14 @@
 //! Small dense linear-algebra helpers (row-major square matrices) backing
 //! the Gaussian-process regressor. Only what the GP needs: Cholesky
 //! factorisation and triangular solves.
+//!
+//! The factorisation and solves index the flat row-major storage through
+//! row slices (one bounds check per row, contiguous inner loops) instead
+//! of per-element [`SquareMatrix::get`]/[`SquareMatrix::set`] calls. The
+//! per-element path is kept as [`SquareMatrix::cholesky_ref`], the scalar
+//! testing reference the parity suite and `perf_nn` compare against: both
+//! paths execute the identical per-element operation sequence, so their
+//! outputs are bit-identical.
 
 use crate::error::{LearnError, Result};
 
@@ -48,6 +56,18 @@ impl SquareMatrix {
         self.data[i * self.n + j] = v;
     }
 
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
     /// In-place add `v` to the diagonal (jitter / noise term).
     pub fn add_diagonal(&mut self, v: f64) {
         for i in 0..self.n {
@@ -57,7 +77,46 @@ impl SquareMatrix {
 
     /// Lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
     /// Fails when the matrix is not (numerically) positive definite.
+    ///
+    /// Row-slice implementation: row `i` of `L` is built left to right
+    /// while the finished rows `j < i` are read as contiguous slices, so
+    /// the `O(n³)` inner loop runs on slices instead of `get`/`set`
+    /// index arithmetic. The operation order per element is identical to
+    /// [`SquareMatrix::cholesky_ref`], so the factors are bit-identical.
     pub fn cholesky(&self) -> Result<SquareMatrix> {
+        let n = self.n;
+        let mut l = SquareMatrix::zeros(n);
+        for i in 0..n {
+            let (above, current) = l.data.split_at_mut(i * n);
+            let row_i = &mut current[..n];
+            let src_i = &self.data[i * n..(i + 1) * n];
+            for j in 0..i {
+                let row_j = &above[j * n..(j + 1) * n];
+                let mut sum = src_i[j];
+                for (lik, ljk) in row_i[..j].iter().zip(&row_j[..j]) {
+                    sum -= lik * ljk;
+                }
+                row_i[j] = sum / row_j[j];
+            }
+            let mut sum = src_i[i];
+            for lik in &row_i[..i] {
+                sum -= lik * lik;
+            }
+            if sum <= 0.0 {
+                return Err(LearnError::Numerical(format!(
+                    "cholesky failed: non-positive pivot {sum:.3e} at {i}"
+                )));
+            }
+            row_i[i] = sum.sqrt();
+        }
+        Ok(l)
+    }
+
+    /// Per-element `get`/`set` Cholesky — the scalar testing reference
+    /// for [`SquareMatrix::cholesky`] (identical arithmetic, no row
+    /// slicing). Kept for the parity suite and the `perf_nn` benchmark;
+    /// production paths use the row-slice factorisation.
+    pub fn cholesky_ref(&self) -> Result<SquareMatrix> {
         let n = self.n;
         let mut l = SquareMatrix::zeros(n);
         for i in 0..n {
@@ -81,18 +140,54 @@ impl SquareMatrix {
         Ok(l)
     }
 
+    /// Cholesky with escalating diagonal jitter for numerically non-PD
+    /// matrices (e.g. RBF kernel matrices with duplicated rows where the
+    /// noise term alone is too small).
+    ///
+    /// Attempt 0 factors `self` as-is; each retry clones `self`, adds
+    /// `initial_jitter × 10^attempt` to the diagonal, and tries again, up
+    /// to `max_attempts` retries (so the largest jitter ever added is
+    /// `initial_jitter × 10^(max_attempts-1)`). Returns the factor and
+    /// the jitter that was actually added (`0.0` when none was needed);
+    /// the error of the last attempt is propagated when every retry
+    /// fails.
+    pub fn cholesky_jittered(
+        &self,
+        initial_jitter: f64,
+        max_attempts: usize,
+    ) -> Result<(SquareMatrix, f64)> {
+        let mut last_err = match self.cholesky() {
+            Ok(l) => return Ok((l, 0.0)),
+            Err(e) => e,
+        };
+        if initial_jitter <= 0.0 {
+            return Err(last_err);
+        }
+        let mut jitter = initial_jitter;
+        for _ in 0..max_attempts {
+            let mut k = self.clone();
+            k.add_diagonal(jitter);
+            match k.cholesky() {
+                Ok(l) => return Ok((l, jitter)),
+                Err(e) => last_err = e,
+            }
+            jitter *= 10.0;
+        }
+        Err(last_err)
+    }
+
     /// Solve `L x = b` for lower-triangular `L` (forward substitution).
-    #[allow(clippy::needless_range_loop)] // triangular index math is clearer as loops
     pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
         self.check_rhs(b)?;
         let n = self.n;
         let mut x = vec![0.0; n];
         for i in 0..n {
+            let row_i = &self.data[i * n..(i + 1) * n];
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.get(i, k) * x[k];
+            for (lik, xk) in row_i[..i].iter().zip(&x[..i]) {
+                sum -= lik * xk;
             }
-            let d = self.get(i, i);
+            let d = row_i[i];
             if d.abs() < 1e-300 {
                 return Err(LearnError::Numerical("singular triangular solve".into()));
             }
@@ -102,17 +197,18 @@ impl SquareMatrix {
     }
 
     /// Solve `Lᵀ x = b` for lower-triangular `L` (backward substitution).
-    #[allow(clippy::needless_range_loop)] // triangular index math is clearer as loops
+    /// `Lᵀ`'s row `i` is `L`'s column `i`, so the inner loop walks the
+    /// rows below `i` as slices and reads their `i`-th element.
     pub fn solve_lower_transpose(&self, b: &[f64]) -> Result<Vec<f64>> {
         self.check_rhs(b)?;
         let n = self.n;
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = b[i];
-            for k in i + 1..n {
-                sum -= self.get(k, i) * x[k];
+            for (row_k, xk) in self.data.chunks_exact(n).zip(&x).skip(i + 1) {
+                sum -= row_k[i] * xk;
             }
-            let d = self.get(i, i);
+            let d = self.data[i * n + i];
             if d.abs() < 1e-300 {
                 return Err(LearnError::Numerical("singular triangular solve".into()));
             }
@@ -188,6 +284,31 @@ mod tests {
     fn cholesky_rejects_indefinite() {
         let a = SquareMatrix::from_vec(2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
         assert!(a.cholesky().is_err());
+        assert!(a.cholesky_ref().is_err());
+    }
+
+    #[test]
+    fn cholesky_matches_reference_bitwise() {
+        // Random-ish SPD matrix: A = B Bᵀ + n·I built from a fixed pattern.
+        let n = 9;
+        let mut b = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                b.set(i, j, ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.4);
+            }
+        }
+        let mut a = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, dot(b.row(i), b.row(j)));
+            }
+        }
+        a.add_diagonal(n as f64);
+        let fast = a.cholesky().unwrap();
+        let reference = a.cholesky_ref().unwrap();
+        for (x, y) in fast.data.iter().zip(&reference.data) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
     }
 
     #[test]
@@ -199,6 +320,38 @@ mod tests {
     }
 
     #[test]
+    fn jitter_escalation_recovers_near_singular_matrix() {
+        // Rank-1 Gram matrix of a duplicated row: exactly singular, so the
+        // plain factorisation fails and small jitters may round away; the
+        // escalating retry must land on a jitter that factors.
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let n = v.len();
+        let mut a = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, v[i] * v[j] * 1e8);
+            }
+        }
+        assert!(a.cholesky().is_err());
+        let (l, jitter) = a.cholesky_jittered(1e-10, 12).unwrap();
+        assert!(jitter > 0.0, "singular matrix needs some jitter");
+        // L Lᵀ ≈ A + jitter·I on the diagonal scale.
+        let recon = dot(l.row(n - 1), l.row(n - 1));
+        let expect = a.get(n - 1, n - 1) + jitter;
+        assert!(
+            (recon - expect).abs() <= 1e-6 * expect.abs(),
+            "{recon} vs {expect}"
+        );
+        // Already-PD matrices report zero jitter.
+        let pd = SquareMatrix::from_vec(2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let (_, j0) = pd.cholesky_jittered(1e-10, 4).unwrap();
+        assert_eq!(j0, 0.0);
+        // A bounded number of attempts must eventually give up.
+        let indef = SquareMatrix::from_vec(2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(indef.cholesky_jittered(1e-300, 2).is_err());
+    }
+
+    #[test]
     fn from_vec_validates_length() {
         assert!(SquareMatrix::from_vec(2, vec![1.0; 3]).is_err());
     }
@@ -207,6 +360,44 @@ mod tests {
     fn solve_checks_rhs_length() {
         let l = SquareMatrix::from_vec(2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         assert!(l.solve_lower(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn triangular_solves_match_reference_loops() {
+        let n = 7;
+        let mut l = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                l.set(i, j, ((i * 7 + j * 3) % 11) as f64 / 11.0 + 0.1);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 - 2.5) / 3.0).collect();
+        // Reference forward substitution, per-element indexing.
+        let mut xf = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for (k, &xk) in xf.iter().enumerate().take(i) {
+                sum -= l.get(i, k) * xk;
+            }
+            xf[i] = sum / l.get(i, i);
+        }
+        let got = l.solve_lower(&b).unwrap();
+        for (x, y) in got.iter().zip(&xf) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Reference backward substitution on the transpose.
+        let mut xb = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for (k, &xk) in xb.iter().enumerate().skip(i + 1) {
+                sum -= l.get(k, i) * xk;
+            }
+            xb[i] = sum / l.get(i, i);
+        }
+        let got = l.solve_lower_transpose(&b).unwrap();
+        for (x, y) in got.iter().zip(&xb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -120,20 +120,39 @@ impl LogisticRegression {
         let rows = to_row_major(&xs);
         let k = self.weights.len();
         let mut out = Vec::with_capacity(rows.len());
-        let mut probs = vec![0.0; k];
         for row in &rows {
+            // Write each row's distribution once and move it into the
+            // result — no intermediate buffer + clone.
+            let mut probs = vec![0.0; k];
             softmax_logits(row, &self.weights, &self.biases, &mut probs);
-            out.push(probs.clone());
+            out.push(probs);
         }
         Ok(out)
     }
 
     /// Class predictions.
     pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
-        Ok(self
-            .predict_proba(x)?
-            .into_iter()
-            .map(|p| argmax(&p))
+        let scaler = self
+            .scaler
+            .as_ref()
+            .ok_or(LearnError::NotFitted("LogisticRegression"))?;
+        if x.len() != scaler.n_features() {
+            return Err(LearnError::DimensionMismatch {
+                fitted: scaler.n_features(),
+                got: x.len(),
+            });
+        }
+        let xs = scaler.transform(x);
+        let rows = to_row_major(&xs);
+        // argmax only needs the logits of each row in turn; reuse one
+        // buffer instead of materialising every distribution.
+        let mut probs = vec![0.0; self.weights.len()];
+        Ok(rows
+            .iter()
+            .map(|row| {
+                softmax_logits(row, &self.weights, &self.biases, &mut probs);
+                argmax(&probs)
+            })
             .collect())
     }
 
@@ -242,15 +261,14 @@ impl LinearSvm {
         }
         let xs = scaler.transform(x);
         let rows = to_row_major(&xs);
+        // One reused margin buffer across rows (no per-row allocation).
+        let mut scores = vec![0.0; self.weights.len()];
         Ok(rows
             .iter()
             .map(|row| {
-                let scores: Vec<f64> = self
-                    .weights
-                    .iter()
-                    .zip(&self.biases)
-                    .map(|(wc, bc)| bc + wc.iter().zip(row).map(|(wj, xj)| wj * xj).sum::<f64>())
-                    .collect();
+                for ((s, wc), bc) in scores.iter_mut().zip(&self.weights).zip(&self.biases) {
+                    *s = bc + wc.iter().zip(row).map(|(wj, xj)| wj * xj).sum::<f64>();
+                }
                 argmax(&scores)
             })
             .collect())

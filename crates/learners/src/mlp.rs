@@ -1,18 +1,24 @@
 //! Multi-layer perceptron — the "MLP" downstream task of the paper's
 //! Table V. One hidden ReLU layer by default, trained with Adam on softmax
 //! cross-entropy (classification) or MSE (regression).
+//!
+//! Training and inference run through the flat batched kernels in
+//! [`crate::dense`] (shared driver, one Adam loop); set
+//! [`MlpConfig::backend`] to [`NnBackend::Scalar`] to use the per-sample
+//! testing reference instead — the two are bit-identical.
 
-use crate::error::{LearnError, Result};
-use crate::nn::{
-    collect_grads, collect_params, mse_loss, relu, relu_backward, scatter_params,
-    softmax_cross_entropy, Adam, Dense,
+use crate::dense::{
+    forward_rows, train_flat, validate_columns, FlatNet, Mat, NnBackend, Topology, TrainSpec,
 };
-use crate::preprocess::{to_row_major, Standardizer};
+use crate::error::{LearnError, Result};
+use crate::nn::softmax_cross_entropy_into;
+use crate::preprocess::Standardizer;
 use crate::tree::argmax;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Seed stream for the minibatch shuffle RNG (kept distinct from the
+/// init RNG, and stable across refactors for reproducibility).
+const SHUFFLE_XOR: u64 = 0x9e3779b97f4a7c15;
 
 /// MLP hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,6 +33,9 @@ pub struct MlpConfig {
     pub batch_size: usize,
     /// Init / shuffle seed.
     pub seed: u64,
+    /// Kernel implementation (batched by default; scalar is the
+    /// bit-identical per-sample testing reference).
+    pub backend: NnBackend,
 }
 
 impl Default for MlpConfig {
@@ -37,75 +46,21 @@ impl Default for MlpConfig {
             lr: 0.01,
             batch_size: 32,
             seed: 0,
+            backend: NnBackend::Batched,
         }
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct MlpNet {
-    l1: Dense,
-    l2: Dense,
-}
-
-impl MlpNet {
-    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        let pre = self.l1.forward(x);
-        let h = relu(&pre);
-        let out = self.l2.forward(&h);
-        (pre, out)
-    }
-
-    fn backward(&mut self, x: &[f64], pre: &[f64], dout: &[f64]) {
-        let h = relu(pre);
-        let dh = self.l2.backward(&h, dout);
-        let dpre = relu_backward(pre, &dh);
-        let _ = self.l1.backward(x, &dpre);
-    }
-}
-
-/// Train the two-layer network with Adam; shared by both MLP heads.
-fn train_net(
-    net: &mut MlpNet,
-    rows: &[Vec<f64>],
-    cfg: &MlpConfig,
-    mut loss_grad: impl FnMut(&[f64], usize) -> (f64, Vec<f64>),
-) {
-    let n_params = net.l1.n_params() + net.l2.n_params();
-    let mut opt = Adam::new(n_params, cfg.lr);
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
-    let mut order: Vec<usize> = (0..rows.len()).collect();
-    for _ in 0..cfg.epochs {
-        order.shuffle(&mut rng);
-        for chunk in order.chunks(cfg.batch_size.max(1)) {
-            net.l1.zero_grad();
-            net.l2.zero_grad();
-            for &i in chunk {
-                let (pre, out) = net.forward(&rows[i]);
-                let (_, dout) = loss_grad(&out, i);
-                net.backward(&rows[i], &pre, &dout);
-            }
-            let scale = 1.0 / chunk.len() as f64;
-            let mut params = collect_params(&[&net.l1, &net.l2]);
-            let mut grads = collect_grads(&[&net.l1, &net.l2]);
-            grads.iter_mut().for_each(|g| *g *= scale);
-            opt.step(&mut params, &grads);
-            scatter_params(&mut [&mut net.l1, &mut net.l2], &params);
+impl MlpConfig {
+    fn train_spec(&self) -> TrainSpec {
+        TrainSpec {
+            epochs: self.epochs,
+            lr: self.lr,
+            batch_size: self.batch_size,
+            seed: self.seed,
+            shuffle_xor: SHUFFLE_XOR,
         }
     }
-}
-
-fn validate(x: &[Vec<f64>], n_labels: usize) -> Result<()> {
-    if x.is_empty() || n_labels == 0 {
-        return Err(LearnError::EmptyTrainingSet("mlp".into()));
-    }
-    for col in x {
-        if col.len() != n_labels {
-            return Err(LearnError::InvalidParam(
-                "feature/label length mismatch".into(),
-            ));
-        }
-    }
-    Ok(())
 }
 
 /// MLP classifier.
@@ -113,7 +68,7 @@ fn validate(x: &[Vec<f64>], n_labels: usize) -> Result<()> {
 pub struct MlpClassifier {
     /// Hyper-parameters used at fit time.
     pub config: MlpConfig,
-    net: Option<MlpNet>,
+    net: Option<FlatNet>,
     scaler: Option<Standardizer>,
     n_classes: usize,
 }
@@ -131,20 +86,23 @@ impl MlpClassifier {
 
     /// Fit on column-major features and class labels.
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Result<()> {
-        validate(x, y.len())?;
+        validate_columns(x, y.len(), "mlp")?;
         if n_classes < 2 {
             return Err(LearnError::InvalidParam("need at least 2 classes".into()));
         }
         let scaler = Standardizer::fit(x);
-        let rows = to_row_major(&scaler.transform(x));
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut net = MlpNet {
-            l1: Dense::new(x.len(), self.config.hidden, &mut rng),
-            l2: Dense::new(self.config.hidden, n_classes, &mut rng),
-        };
-        train_net(&mut net, &rows, &self.config, |out, i| {
-            softmax_cross_entropy(out, y[i])
-        });
+        let rows = Mat::from_columns(&scaler.transform(x));
+        let net = train_flat(
+            Topology::Mlp {
+                hidden: self.config.hidden,
+            },
+            x.len(),
+            n_classes,
+            &rows,
+            &self.config.train_spec(),
+            self.config.backend,
+            &|out, i, d| softmax_cross_entropy_into(out, y[i], d),
+        );
         self.net = Some(net);
         self.scaler = Some(scaler);
         self.n_classes = n_classes;
@@ -163,14 +121,15 @@ impl MlpClassifier {
                 got: x.len(),
             });
         }
-        let rows = to_row_major(&scaler.transform(x));
-        Ok(rows
-            .iter()
-            .map(|row| {
-                let (_, out) = net.forward(row);
-                argmax(&out)
-            })
-            .collect())
+        let rows = Mat::from_columns(&scaler.transform(x));
+        let outs = forward_rows(net, &rows);
+        Ok((0..outs.rows()).map(|r| argmax(outs.row(r))).collect())
+    }
+
+    /// The trained flat parameter slab (testing / benchmarking hook for
+    /// bit-level parity assertions across backends and thread counts).
+    pub fn trained_params(&self) -> Option<&[f64]> {
+        self.net.as_ref().map(FlatNet::params)
     }
 }
 
@@ -179,7 +138,7 @@ impl MlpClassifier {
 pub struct MlpRegressor {
     /// Hyper-parameters used at fit time.
     pub config: MlpConfig,
-    net: Option<MlpNet>,
+    net: Option<FlatNet>,
     scaler: Option<Standardizer>,
     y_mean: f64,
     y_std: f64,
@@ -199,23 +158,24 @@ impl MlpRegressor {
 
     /// Fit on column-major features and real targets.
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
-        validate(x, y.len())?;
+        validate_columns(x, y.len(), "mlp")?;
         let scaler = Standardizer::fit(x);
-        let rows = to_row_major(&scaler.transform(x));
+        let rows = Mat::from_columns(&scaler.transform(x));
         self.y_mean = y.iter().sum::<f64>() / y.len() as f64;
         let var = y.iter().map(|t| (t - self.y_mean).powi(2)).sum::<f64>() / y.len() as f64;
         self.y_std = var.sqrt().max(1e-12);
         let yz: Vec<f64> = y.iter().map(|t| (t - self.y_mean) / self.y_std).collect();
-
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut net = MlpNet {
-            l1: Dense::new(x.len(), self.config.hidden, &mut rng),
-            l2: Dense::new(self.config.hidden, 1, &mut rng),
-        };
-        train_net(&mut net, &rows, &self.config, |out, i| {
-            let (l, g) = mse_loss(out[0], yz[i]);
-            (l, vec![g])
-        });
+        let net = train_flat(
+            Topology::Mlp {
+                hidden: self.config.hidden,
+            },
+            x.len(),
+            1,
+            &rows,
+            &self.config.train_spec(),
+            self.config.backend,
+            &|out, i, d| d[0] = 2.0 * (out[0] - yz[i]),
+        );
         self.net = Some(net);
         self.scaler = Some(scaler);
         Ok(())
@@ -233,14 +193,16 @@ impl MlpRegressor {
                 got: x.len(),
             });
         }
-        let rows = to_row_major(&scaler.transform(x));
-        Ok(rows
-            .iter()
-            .map(|row| {
-                let (_, out) = net.forward(row);
-                out[0] * self.y_std + self.y_mean
-            })
+        let rows = Mat::from_columns(&scaler.transform(x));
+        let outs = forward_rows(net, &rows);
+        Ok((0..outs.rows())
+            .map(|r| outs.row(r)[0] * self.y_std + self.y_mean)
             .collect())
+    }
+
+    /// The trained flat parameter slab (testing / benchmarking hook).
+    pub fn trained_params(&self) -> Option<&[f64]> {
+        self.net.as_ref().map(FlatNet::params)
     }
 }
 
@@ -248,7 +210,8 @@ impl MlpRegressor {
 mod tests {
     use super::*;
     use crate::metrics::{accuracy, one_minus_rae};
-    use rand::Rng;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn classifier_learns_xor() {
@@ -297,6 +260,28 @@ mod tests {
         a.fit(&x, &y, 2).unwrap();
         b.fit(&x, &y, 2).unwrap();
         assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+        for (p, q) in a
+            .trained_params()
+            .unwrap()
+            .iter()
+            .zip(b.trained_params().unwrap())
+        {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn scalar_backend_trains_and_predicts() {
+        let x = vec![(0..60).map(|i| i as f64 / 10.0).collect::<Vec<_>>()];
+        let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+        let mut m = MlpClassifier::new(MlpConfig {
+            epochs: 30,
+            backend: NnBackend::Scalar,
+            ..Default::default()
+        });
+        m.fit(&x, &y, 2).unwrap();
+        let acc = accuracy(&y, &m.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.9, "scalar-backend accuracy {acc}");
     }
 
     #[test]

@@ -112,6 +112,29 @@ pub fn softmax_cross_entropy(logits: &[f64], target: usize) -> (f64, Vec<f64>) {
     (loss, d)
 }
 
+/// Allocation-free [`softmax`]: write the distribution into `out`.
+/// Same arithmetic (max-shift, exp, single-pass sum, divide), so the
+/// values are bit-identical to the allocating version.
+pub fn softmax_into(logits: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(logits.len(), out.len());
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for (o, &l) in out.iter_mut().zip(logits) {
+        *o = (l - max).exp();
+    }
+    let sum: f64 = out.iter().sum();
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Allocation-free softmax cross-entropy gradient: write `dlogits` into
+/// `d` (the loss value itself is not needed by the training drivers).
+/// Bit-identical to the gradient returned by [`softmax_cross_entropy`].
+pub fn softmax_cross_entropy_into(logits: &[f64], target: usize, d: &mut [f64]) {
+    softmax_into(logits, d);
+    d[target] -= 1.0;
+}
+
 /// Mean-squared-error loss for one scalar output: returns (loss, dy).
 pub fn mse_loss(pred: f64, target: f64) -> (f64, f64) {
     let diff = pred - target;
@@ -278,6 +301,21 @@ mod tests {
         assert!(loss > 0.0);
         assert!(d.iter().sum::<f64>().abs() < 1e-12);
         assert!(d[1] < 0.0); // target logit pushed up
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions_bitwise() {
+        let logits = [0.2, -0.1, 0.5, 3.0];
+        let mut buf = [0.0; 4];
+        softmax_into(&logits, &mut buf);
+        for (a, b) in softmax(&logits).iter().zip(&buf) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        softmax_cross_entropy_into(&logits, 2, &mut buf);
+        let (_, d) = softmax_cross_entropy(&logits, 2);
+        for (a, b) in d.iter().zip(&buf) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

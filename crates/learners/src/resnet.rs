@@ -5,19 +5,27 @@
 //!
 //! Per the paper, `RTDL_N` trains the ResNet with a softmax head and then
 //! *re-heads* it with a Random Forest on the penultimate representation;
-//! [`ResNetClassifier::embed`] exposes that representation.
+//! [`ResNetClassifier::embed`] exposes that representation (computed
+//! batched over the whole matrix).
+//!
+//! Training and inference run through the flat batched kernels in
+//! [`crate::dense`] (shared driver with the MLP); set
+//! [`ResNetConfig::backend`] to [`NnBackend::Scalar`] for the per-sample
+//! testing reference — the two are bit-identical.
 
-use crate::error::{LearnError, Result};
-use crate::nn::{
-    collect_grads, collect_params, mse_loss, relu, relu_backward, scatter_params,
-    softmax_cross_entropy, Adam, Dense,
+use crate::dense::{
+    embed_rows, forward_rows, train_flat, validate_columns, FlatNet, Mat, NnBackend, Topology,
+    TrainSpec,
 };
-use crate::preprocess::{to_row_major, Standardizer};
+use crate::error::{LearnError, Result};
+use crate::nn::softmax_cross_entropy_into;
+use crate::preprocess::Standardizer;
 use crate::tree::argmax;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Seed stream for the minibatch shuffle RNG (distinct from the MLP's,
+/// and stable across refactors for reproducibility).
+const SHUFFLE_XOR: u64 = 0xA5A5_5A5A;
 
 /// ResNet hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,6 +42,9 @@ pub struct ResNetConfig {
     pub batch_size: usize,
     /// Init / shuffle seed.
     pub seed: u64,
+    /// Kernel implementation (batched by default; scalar is the
+    /// bit-identical per-sample testing reference).
+    pub backend: NnBackend,
 }
 
 impl Default for ResNetConfig {
@@ -45,160 +56,40 @@ impl Default for ResNetConfig {
             lr: 0.01,
             batch_size: 32,
             seed: 0,
+            backend: NnBackend::Batched,
         }
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct Block {
-    w1: Dense,
-    w2: Dense,
-}
-
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct ResNetCore {
-    stem: Dense,
-    blocks: Vec<Block>,
-    head: Dense,
-}
-
-/// Per-sample forward cache needed by backprop.
-struct Cache {
-    z_states: Vec<Vec<f64>>, // z after stem and after each block
-    pre1s: Vec<Vec<f64>>,    // W1 z pre-activations per block
-}
-
-impl ResNetCore {
-    fn new(n_in: usize, n_out: usize, cfg: &ResNetConfig, rng: &mut StdRng) -> Self {
-        let stem = Dense::new(n_in, cfg.width, rng);
-        let blocks = (0..cfg.n_blocks)
-            .map(|_| Block {
-                w1: Dense::new(cfg.width, cfg.width, rng),
-                w2: Dense::new(cfg.width, cfg.width, rng),
-            })
-            .collect();
-        let head = Dense::new(cfg.width, n_out, rng);
-        Self { stem, blocks, head }
-    }
-
-    fn forward(&self, x: &[f64]) -> (Cache, Vec<f64>) {
-        let mut z = self.stem.forward(x);
-        let mut z_states = vec![z.clone()];
-        let mut pre1s = Vec::with_capacity(self.blocks.len());
-        for block in &self.blocks {
-            let pre1 = block.w1.forward(&z);
-            let h = relu(&pre1);
-            let delta = block.w2.forward(&h);
-            for (zi, di) in z.iter_mut().zip(&delta) {
-                *zi += di;
-            }
-            pre1s.push(pre1);
-            z_states.push(z.clone());
-        }
-        let out = self.head.forward(&z);
-        (Cache { z_states, pre1s }, out)
-    }
-
-    /// The penultimate representation (input to the head).
-    fn embed_one(&self, x: &[f64]) -> Vec<f64> {
-        let (cache, _) = self.forward(x);
-        cache
-            .z_states
-            .last()
-            .cloned()
-            .expect("forward always produces at least the stem state")
-    }
-
-    fn backward(&mut self, x: &[f64], cache: &Cache, dout: &[f64]) {
-        let z_final = cache.z_states.last().expect("nonempty states");
-        let mut dz = self.head.backward(z_final, dout);
-        for (b, block) in self.blocks.iter_mut().enumerate().rev() {
-            let z_in = &cache.z_states[b];
-            let pre1 = &cache.pre1s[b];
-            let h = relu(pre1);
-            // Residual: dz flows both straight through and via the branch.
-            let dh = block.w2.backward(&h, &dz);
-            let dpre1 = relu_backward(pre1, &dh);
-            let dz_branch = block.w1.backward(z_in, &dpre1);
-            for (d, db) in dz.iter_mut().zip(dz_branch) {
-                *d += db;
-            }
-        }
-        let _ = self.stem.backward(x, &dz);
-    }
-
-    fn layers(&self) -> Vec<&Dense> {
-        let mut layers = vec![&self.stem];
-        for b in &self.blocks {
-            layers.push(&b.w1);
-            layers.push(&b.w2);
-        }
-        layers.push(&self.head);
-        layers
-    }
-
-    fn layers_mut(&mut self) -> Vec<&mut Dense> {
-        let mut layers: Vec<&mut Dense> = vec![&mut self.stem];
-        for b in &mut self.blocks {
-            layers.push(&mut b.w1);
-            layers.push(&mut b.w2);
-        }
-        layers.push(&mut self.head);
-        layers
-    }
-
-    fn zero_grad(&mut self) {
-        for layer in self.layers_mut() {
-            layer.zero_grad();
+impl ResNetConfig {
+    fn topology(&self) -> Topology {
+        Topology::ResNet {
+            width: self.width,
+            n_blocks: self.n_blocks,
         }
     }
 
-    fn n_params(&self) -> usize {
-        self.layers().iter().map(|l| l.n_params()).sum()
-    }
-}
-
-fn train_core(
-    core: &mut ResNetCore,
-    rows: &[Vec<f64>],
-    cfg: &ResNetConfig,
-    mut loss_grad: impl FnMut(&[f64], usize) -> (f64, Vec<f64>),
-) {
-    let mut opt = Adam::new(core.n_params(), cfg.lr);
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A);
-    let mut order: Vec<usize> = (0..rows.len()).collect();
-    for _ in 0..cfg.epochs {
-        order.shuffle(&mut rng);
-        for chunk in order.chunks(cfg.batch_size.max(1)) {
-            core.zero_grad();
-            for &i in chunk {
-                let (cache, out) = core.forward(&rows[i]);
-                let (_, dout) = loss_grad(&out, i);
-                core.backward(&rows[i], &cache, &dout);
-            }
-            let scale = 1.0 / chunk.len() as f64;
-            let mut params = collect_params(&core.layers());
-            let mut grads = collect_grads(&core.layers());
-            grads.iter_mut().for_each(|g| *g *= scale);
-            opt.step(&mut params, &grads);
-            let mut layers = core.layers_mut();
-            scatter_params(&mut layers, &params);
+    fn train_spec(&self) -> TrainSpec {
+        TrainSpec {
+            epochs: self.epochs,
+            lr: self.lr,
+            batch_size: self.batch_size,
+            seed: self.seed,
+            shuffle_xor: SHUFFLE_XOR,
         }
     }
 }
 
-fn validate(x: &[Vec<f64>], n_labels: usize) -> Result<()> {
-    if x.is_empty() || n_labels == 0 {
-        return Err(LearnError::EmptyTrainingSet("resnet".into()));
-    }
-    for col in x {
-        if col.len() != n_labels {
-            return Err(LearnError::InvalidParam(
-                "feature/label length mismatch".into(),
-            ));
+/// Column-major view of a row-major embedding matrix (one column per
+/// hidden unit), the layout the Random Forest re-heading consumes.
+fn to_columns(e: &Mat) -> Vec<Vec<f64>> {
+    let mut cols = vec![Vec::with_capacity(e.rows()); e.cols()];
+    for r in 0..e.rows() {
+        for (col, v) in cols.iter_mut().zip(e.row(r)) {
+            col.push(*v);
         }
     }
-    Ok(())
+    cols
 }
 
 /// Tabular ResNet classifier.
@@ -206,7 +97,7 @@ fn validate(x: &[Vec<f64>], n_labels: usize) -> Result<()> {
 pub struct ResNetClassifier {
     /// Hyper-parameters used at fit time.
     pub config: ResNetConfig,
-    core: Option<ResNetCore>,
+    core: Option<FlatNet>,
     scaler: Option<Standardizer>,
     n_classes: usize,
 }
@@ -224,70 +115,69 @@ impl ResNetClassifier {
 
     /// Fit with a softmax head.
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Result<()> {
-        validate(x, y.len())?;
+        validate_columns(x, y.len(), "resnet")?;
         if n_classes < 2 {
             return Err(LearnError::InvalidParam("need at least 2 classes".into()));
         }
         let scaler = Standardizer::fit(x);
-        let rows = to_row_major(&scaler.transform(x));
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut core = ResNetCore::new(x.len(), n_classes, &self.config, &mut rng);
-        train_core(&mut core, &rows, &self.config, |out, i| {
-            softmax_cross_entropy(out, y[i])
-        });
+        let rows = Mat::from_columns(&scaler.transform(x));
+        let core = train_flat(
+            self.config.topology(),
+            x.len(),
+            n_classes,
+            &rows,
+            &self.config.train_spec(),
+            self.config.backend,
+            &|out, i, d| softmax_cross_entropy_into(out, y[i], d),
+        );
         self.core = Some(core);
         self.scaler = Some(scaler);
         self.n_classes = n_classes;
         Ok(())
     }
 
-    fn parts(&self) -> Result<(&ResNetCore, &Standardizer)> {
+    fn parts(&self) -> Result<(&FlatNet, &Standardizer)> {
         match (&self.core, &self.scaler) {
             (Some(c), Some(s)) => Ok((c, s)),
             _ => Err(LearnError::NotFitted("ResNetClassifier")),
         }
     }
 
-    /// Softmax-head class predictions.
-    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
-        let (core, scaler) = self.parts()?;
+    fn check_features(&self, scaler: &Standardizer, x: &[Vec<f64>]) -> Result<()> {
         if x.len() != scaler.n_features() {
             return Err(LearnError::DimensionMismatch {
                 fitted: scaler.n_features(),
                 got: x.len(),
             });
         }
-        let rows = to_row_major(&scaler.transform(x));
-        Ok(rows
-            .iter()
-            .map(|row| {
-                let (_, out) = core.forward(row);
-                argmax(&out)
-            })
-            .collect())
+        Ok(())
+    }
+
+    /// Softmax-head class predictions.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
+        let (core, scaler) = self.parts()?;
+        self.check_features(scaler, x)?;
+        let rows = Mat::from_columns(&scaler.transform(x));
+        let outs = forward_rows(core, &rows);
+        Ok((0..outs.rows()).map(|r| argmax(outs.row(r))).collect())
     }
 
     /// Penultimate representations, **column-major** (one column per hidden
     /// unit) so they can be fed directly to the Random Forest for the
-    /// paper's `RTDL_N` re-heading.
+    /// paper's `RTDL_N` re-heading. Computed with the batched kernels
+    /// over the whole matrix (the old path re-ran a per-sample forward
+    /// per row).
     pub fn embed(&self, x: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
         let (core, scaler) = self.parts()?;
-        if x.len() != scaler.n_features() {
-            return Err(LearnError::DimensionMismatch {
-                fitted: scaler.n_features(),
-                got: x.len(),
-            });
-        }
-        let rows = to_row_major(&scaler.transform(x));
-        let width = self.config.width;
-        let mut cols = vec![Vec::with_capacity(rows.len()); width];
-        for row in &rows {
-            let z = core.embed_one(row);
-            for (c, v) in cols.iter_mut().zip(z) {
-                c.push(v);
-            }
-        }
-        Ok(cols)
+        self.check_features(scaler, x)?;
+        let rows = Mat::from_columns(&scaler.transform(x));
+        Ok(to_columns(&embed_rows(core, &rows)))
+    }
+
+    /// The trained flat parameter slab (testing / benchmarking hook for
+    /// bit-level parity assertions across backends and thread counts).
+    pub fn trained_params(&self) -> Option<&[f64]> {
+        self.core.as_ref().map(FlatNet::params)
     }
 }
 
@@ -296,7 +186,7 @@ impl ResNetClassifier {
 pub struct ResNetRegressor {
     /// Hyper-parameters used at fit time.
     pub config: ResNetConfig,
-    core: Option<ResNetCore>,
+    core: Option<FlatNet>,
     scaler: Option<Standardizer>,
     y_mean: f64,
     y_std: f64,
@@ -316,69 +206,67 @@ impl ResNetRegressor {
 
     /// Fit with an MSE head over standardised targets.
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
-        validate(x, y.len())?;
+        validate_columns(x, y.len(), "resnet")?;
         let scaler = Standardizer::fit(x);
-        let rows = to_row_major(&scaler.transform(x));
+        let rows = Mat::from_columns(&scaler.transform(x));
         self.y_mean = y.iter().sum::<f64>() / y.len() as f64;
         let var = y.iter().map(|t| (t - self.y_mean).powi(2)).sum::<f64>() / y.len() as f64;
         self.y_std = var.sqrt().max(1e-12);
         let yz: Vec<f64> = y.iter().map(|t| (t - self.y_mean) / self.y_std).collect();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut core = ResNetCore::new(x.len(), 1, &self.config, &mut rng);
-        train_core(&mut core, &rows, &self.config, |out, i| {
-            let (l, g) = mse_loss(out[0], yz[i]);
-            (l, vec![g])
-        });
+        let core = train_flat(
+            self.config.topology(),
+            x.len(),
+            1,
+            &rows,
+            &self.config.train_spec(),
+            self.config.backend,
+            &|out, i, d| d[0] = 2.0 * (out[0] - yz[i]),
+        );
         self.core = Some(core);
         self.scaler = Some(scaler);
         Ok(())
     }
 
+    fn parts(&self) -> Result<(&FlatNet, &Standardizer)> {
+        match (&self.core, &self.scaler) {
+            (Some(c), Some(s)) => Ok((c, s)),
+            _ => Err(LearnError::NotFitted("ResNetRegressor")),
+        }
+    }
+
     /// Target predictions.
     pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<f64>> {
-        let (core, scaler) = match (&self.core, &self.scaler) {
-            (Some(c), Some(s)) => (c, s),
-            _ => return Err(LearnError::NotFitted("ResNetRegressor")),
-        };
+        let (core, scaler) = self.parts()?;
         if x.len() != scaler.n_features() {
             return Err(LearnError::DimensionMismatch {
                 fitted: scaler.n_features(),
                 got: x.len(),
             });
         }
-        let rows = to_row_major(&scaler.transform(x));
-        Ok(rows
-            .iter()
-            .map(|row| {
-                let (_, out) = core.forward(row);
-                out[0] * self.y_std + self.y_mean
-            })
+        let rows = Mat::from_columns(&scaler.transform(x));
+        let outs = forward_rows(core, &rows);
+        Ok((0..outs.rows())
+            .map(|r| outs.row(r)[0] * self.y_std + self.y_mean)
             .collect())
     }
 
     /// Penultimate representations, column-major (see
     /// [`ResNetClassifier::embed`]).
     pub fn embed(&self, x: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
-        let (core, scaler) = match (&self.core, &self.scaler) {
-            (Some(c), Some(s)) => (c, s),
-            _ => return Err(LearnError::NotFitted("ResNetRegressor")),
-        };
+        let (core, scaler) = self.parts()?;
         if x.len() != scaler.n_features() {
             return Err(LearnError::DimensionMismatch {
                 fitted: scaler.n_features(),
                 got: x.len(),
             });
         }
-        let rows = to_row_major(&scaler.transform(x));
-        let width = self.config.width;
-        let mut cols = vec![Vec::with_capacity(rows.len()); width];
-        for row in &rows {
-            let z = core.embed_one(row);
-            for (c, v) in cols.iter_mut().zip(z) {
-                c.push(v);
-            }
-        }
-        Ok(cols)
+        let rows = Mat::from_columns(&scaler.transform(x));
+        Ok(to_columns(&embed_rows(core, &rows)))
+    }
+
+    /// The trained flat parameter slab (testing / benchmarking hook).
+    pub fn trained_params(&self) -> Option<&[f64]> {
+        self.core.as_ref().map(FlatNet::params)
     }
 }
 
@@ -386,7 +274,8 @@ impl ResNetRegressor {
 mod tests {
     use super::*;
     use crate::metrics::{accuracy, one_minus_rae};
-    use rand::Rng;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -444,54 +333,35 @@ mod tests {
     }
 
     #[test]
-    fn backward_gradient_check() {
-        // Numerically check dLoss/dparam through a residual block.
-        let mut rng = StdRng::seed_from_u64(3);
-        let cfg = ResNetConfig {
-            width: 4,
+    fn scalar_backend_matches_batched_embed() {
+        let (x, y) = blobs(40, 5);
+        let base = ResNetConfig {
+            epochs: 4,
+            width: 8,
             n_blocks: 1,
             ..Default::default()
         };
-        let mut core = ResNetCore::new(3, 2, &cfg, &mut rng);
-        let x = [0.5, -1.0, 0.25];
-        let target = 1usize;
-        let loss_of = |core: &ResNetCore| {
-            let (_, out) = core.forward(&x);
-            softmax_cross_entropy(&out, target).0
-        };
-        core.zero_grad();
-        let (cache, out) = core.forward(&x);
-        let (_, dout) = softmax_cross_entropy(&out, target);
-        core.backward(&x, &cache, &dout);
-        let analytic = collect_grads(&core.layers());
-        let mut params = collect_params(&core.layers());
-        let eps = 1e-6;
-        // Spot-check a few parameters spread across layers.
-        for &idx in &[0usize, 5, params.len() / 2, params.len() - 1] {
-            let orig = params[idx];
-            params[idx] = orig + eps;
-            {
-                let mut layers = core.layers_mut();
-                scatter_params(&mut layers, &params);
+        let mut batched = ResNetClassifier::new(base);
+        let mut scalar = ResNetClassifier::new(ResNetConfig {
+            backend: NnBackend::Scalar,
+            ..base
+        });
+        batched.fit(&x, &y, 2).unwrap();
+        scalar.fit(&x, &y, 2).unwrap();
+        for (p, q) in batched
+            .trained_params()
+            .unwrap()
+            .iter()
+            .zip(scalar.trained_params().unwrap())
+        {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        let eb = batched.embed(&x).unwrap();
+        let es = scalar.embed(&x).unwrap();
+        for (cb, cs) in eb.iter().zip(&es) {
+            for (a, b) in cb.iter().zip(cs) {
+                assert_eq!(a.to_bits(), b.to_bits());
             }
-            let lp = loss_of(&core);
-            params[idx] = orig - eps;
-            {
-                let mut layers = core.layers_mut();
-                scatter_params(&mut layers, &params);
-            }
-            let lm = loss_of(&core);
-            params[idx] = orig;
-            {
-                let mut layers = core.layers_mut();
-                scatter_params(&mut layers, &params);
-            }
-            let numeric = (lp - lm) / (2.0 * eps);
-            assert!(
-                (numeric - analytic[idx]).abs() < 1e-4,
-                "param {idx}: numeric {numeric} vs analytic {}",
-                analytic[idx]
-            );
         }
     }
 

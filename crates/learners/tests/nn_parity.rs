@@ -1,0 +1,262 @@
+//! Batched-vs-scalar parity for the neural learners (proptest): training
+//! through the flat batched kernels in `learners::dense` must be
+//! **bit-identical** to the retained per-sample scalar reference — same
+//! trained parameter slab, same predictions, same embeddings — for both
+//! topologies (MLP / tabular ResNet) and both heads (softmax classifier /
+//! MSE regressor), across batch sizes that do *not* divide the row count
+//! (so the ragged tail minibatch and the ragged tail microbatch are both
+//! exercised). Plus a GP check pinning the row-slice kernel fill +
+//! Cholesky against a straight-line reference built from `Vec<Vec<f64>>`
+//! rows and the scalar `cholesky_ref`.
+
+use learners::linalg::{sq_dist, SquareMatrix};
+use learners::preprocess::{to_row_major, Standardizer};
+use learners::{
+    GaussianProcess, GpConfig, MlpClassifier, MlpConfig, MlpRegressor, NnBackend, ResNetClassifier,
+    ResNetConfig, ResNetRegressor,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Column-major matrix with `n_features` columns of uniform noise.
+fn matrix(rng: &mut StdRng, n_rows: usize, n_features: usize) -> Vec<Vec<f64>> {
+    (0..n_features)
+        .map(|_| (0..n_rows).map(|_| rng.gen_range(-2.0f64..2.0)).collect())
+        .collect()
+}
+
+/// A learnable label: does the first feature pair sum above zero?
+fn labels(x: &[Vec<f64>]) -> Vec<usize> {
+    (0..x[0].len())
+        .map(|r| usize::from(x[0][r] + x[1][r] > 0.0))
+        .collect()
+}
+
+/// A learnable target: a fixed linear combination of the features.
+fn targets(x: &[Vec<f64>]) -> Vec<f64> {
+    (0..x[0].len())
+        .map(|r| {
+            x.iter()
+                .enumerate()
+                .map(|(f, c)| (f + 1) as f64 * c[r])
+                .sum()
+        })
+        .collect()
+}
+
+fn assert_params_bit_equal(a: Option<&[f64]>, b: Option<&[f64]>) {
+    let (a, b) = (a.expect("fitted"), b.expect("fitted"));
+    assert_eq!(a.len(), b.len());
+    for (i, (p, q)) in a.iter().zip(b).enumerate() {
+        assert_eq!(p.to_bits(), q.to_bits(), "param {i}: {p} vs {q}");
+    }
+}
+
+fn assert_columns_bit_equal(a: &[Vec<f64>], b: &[Vec<f64>]) {
+    assert_eq!(a.len(), b.len());
+    for (ca, cb) in a.iter().zip(b) {
+        assert_eq!(ca.len(), cb.len());
+        for (p, q) in ca.iter().zip(cb) {
+            assert_eq!(p.to_bits(), q.to_bits(), "{p} vs {q}");
+        }
+    }
+}
+
+/// Row counts `3·batch + extra` with `extra in 1..7`: the final minibatch
+/// is ragged for both generated batch sizes (7 and 10), and with
+/// `TRAIN_MICROBATCH = 8` the size-10 minibatches also split into a full
+/// microbatch plus a ragged 2-row one.
+fn dims(batch: usize, extra: usize) -> usize {
+    batch * 3 + extra
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn mlp_classifier_backends_bit_identical(
+        seed in 0u64..1_000_000,
+        batch in prop_oneof![Just(7usize), Just(10usize)],
+        extra in 1usize..7,
+        n_features in 2usize..5,
+    ) {
+        let n_rows = dims(batch, extra);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = matrix(&mut rng, n_rows, n_features);
+        let y = labels(&x);
+        let base = MlpConfig {
+            hidden: 8,
+            epochs: 3,
+            batch_size: batch,
+            seed,
+            ..Default::default()
+        };
+        let mut batched = MlpClassifier::new(base);
+        let mut scalar = MlpClassifier::new(MlpConfig {
+            backend: NnBackend::Scalar,
+            ..base
+        });
+        batched.fit(&x, &y, 2).expect("batched fit");
+        scalar.fit(&x, &y, 2).expect("scalar fit");
+        assert_params_bit_equal(batched.trained_params(), scalar.trained_params());
+        prop_assert_eq!(batched.predict(&x).unwrap(), scalar.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn mlp_regressor_backends_bit_identical(
+        seed in 0u64..1_000_000,
+        batch in prop_oneof![Just(7usize), Just(10usize)],
+        extra in 1usize..7,
+        n_features in 2usize..5,
+    ) {
+        let n_rows = dims(batch, extra);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = matrix(&mut rng, n_rows, n_features);
+        let y = targets(&x);
+        let base = MlpConfig {
+            hidden: 8,
+            epochs: 3,
+            batch_size: batch,
+            seed,
+            ..Default::default()
+        };
+        let mut batched = MlpRegressor::new(base);
+        let mut scalar = MlpRegressor::new(MlpConfig {
+            backend: NnBackend::Scalar,
+            ..base
+        });
+        batched.fit(&x, &y).expect("batched fit");
+        scalar.fit(&x, &y).expect("scalar fit");
+        assert_params_bit_equal(batched.trained_params(), scalar.trained_params());
+        for (p, q) in batched
+            .predict(&x)
+            .unwrap()
+            .iter()
+            .zip(&scalar.predict(&x).unwrap())
+        {
+            prop_assert_eq!(p.to_bits(), q.to_bits(), "prediction {} vs {}", p, q);
+        }
+    }
+
+    #[test]
+    fn resnet_classifier_backends_bit_identical(
+        seed in 0u64..1_000_000,
+        batch in prop_oneof![Just(7usize), Just(10usize)],
+        extra in 1usize..7,
+        n_features in 2usize..5,
+        n_blocks in 1usize..3,
+    ) {
+        let n_rows = dims(batch, extra);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = matrix(&mut rng, n_rows, n_features);
+        let y = labels(&x);
+        let base = ResNetConfig {
+            width: 8,
+            n_blocks,
+            epochs: 2,
+            batch_size: batch,
+            seed,
+            ..Default::default()
+        };
+        let mut batched = ResNetClassifier::new(base);
+        let mut scalar = ResNetClassifier::new(ResNetConfig {
+            backend: NnBackend::Scalar,
+            ..base
+        });
+        batched.fit(&x, &y, 2).expect("batched fit");
+        scalar.fit(&x, &y, 2).expect("scalar fit");
+        assert_params_bit_equal(batched.trained_params(), scalar.trained_params());
+        prop_assert_eq!(batched.predict(&x).unwrap(), scalar.predict(&x).unwrap());
+        // The RTDL re-heading consumes this embedding — it must also match.
+        assert_columns_bit_equal(&batched.embed(&x).unwrap(), &scalar.embed(&x).unwrap());
+    }
+
+    #[test]
+    fn resnet_regressor_backends_bit_identical(
+        seed in 0u64..1_000_000,
+        batch in prop_oneof![Just(7usize), Just(10usize)],
+        extra in 1usize..7,
+        n_features in 2usize..5,
+    ) {
+        let n_rows = dims(batch, extra);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = matrix(&mut rng, n_rows, n_features);
+        let y = targets(&x);
+        let base = ResNetConfig {
+            width: 8,
+            n_blocks: 1,
+            epochs: 2,
+            batch_size: batch,
+            seed,
+            ..Default::default()
+        };
+        let mut batched = ResNetRegressor::new(base);
+        let mut scalar = ResNetRegressor::new(ResNetConfig {
+            backend: NnBackend::Scalar,
+            ..base
+        });
+        batched.fit(&x, &y).expect("batched fit");
+        scalar.fit(&x, &y).expect("scalar fit");
+        assert_params_bit_equal(batched.trained_params(), scalar.trained_params());
+        for (p, q) in batched
+            .predict(&x)
+            .unwrap()
+            .iter()
+            .zip(&scalar.predict(&x).unwrap())
+        {
+            prop_assert_eq!(p.to_bits(), q.to_bits(), "prediction {} vs {}", p, q);
+        }
+    }
+
+    /// GP posterior means through the row-slice kernel fill + row-slice
+    /// Cholesky must be bit-identical to a reference computed the old
+    /// way: `Vec<Vec<f64>>` training rows, per-element kernel fill, and
+    /// the retained scalar `cholesky_ref`.
+    #[test]
+    fn gp_matches_scalar_reference_bitwise(
+        seed in 0u64..1_000_000,
+        n_rows in 10usize..30,
+        n_features in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = matrix(&mut rng, n_rows, n_features);
+        let y: Vec<f64> = targets(&x).iter().map(|t| t.sin()).collect();
+
+        let config = GpConfig::default();
+        let mut gp = GaussianProcess::new(config);
+        gp.fit(&x, &y).expect("gp fit");
+        let preds = gp.predict(&x).expect("gp predict");
+
+        // Straight-line reference (no row cap hit: n_rows << max_train_rows).
+        let scaler = Standardizer::fit(&x);
+        let rows = to_row_major(&scaler.transform(&x));
+        let n = rows.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let var = y.iter().map(|t| (t - y_mean).powi(2)).sum::<f64>() / n as f64;
+        let y_std = var.sqrt().max(1e-12);
+        let yz: Vec<f64> = y.iter().map(|t| (t - y_mean) / y_std).collect();
+        let ls2 = config.length_scale * config.length_scale;
+        let kernel = |a: &[f64], b: &[f64]| (-sq_dist(a, b) / (2.0 * ls2)).exp();
+        let mut k = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel(&rows[i], &rows[j]);
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+        }
+        k.add_diagonal(config.noise.max(1e-10));
+        let l = k.cholesky_ref().expect("reference cholesky");
+        let alpha = l.cholesky_solve(&yz).expect("reference solve");
+        for (r, p) in preds.iter().enumerate() {
+            let kz: f64 = rows
+                .iter()
+                .zip(&alpha)
+                .map(|(t, a)| kernel(&rows[r], t) * a)
+                .sum();
+            let want = kz * y_std + y_mean;
+            prop_assert_eq!(p.to_bits(), want.to_bits(), "row {}: {} vs {}", r, p, want);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate bench_results/BENCH_nn.json: flat batched dense kernels vs
+# the per-sample scalar reference (MLP / tabular ResNet / GP linalg),
+# plus the end-to-end RTDL_N A/B. Timed on one thread by default so the
+# committed numbers isolate the kernel-level speedup; pass --threads 0
+# to measure with the worker pool.
+# Usage: scripts/bench_nn.sh [extra flags passed to perf_nn]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin perf_nn
+
+echo "=== perf_nn ==="
+./target/release/perf_nn --quiet --threads 1 "$@" | tee bench_results/perf_nn_run.log
+echo "artifact written to bench_results/BENCH_nn.json"

@@ -34,6 +34,9 @@ cargo test -q --test hist_parity
 echo "==> minhash table/batch parity suite"
 cargo test -q -p minhash --test table_parity
 
+echo "==> NN batched-vs-scalar parity suite"
+cargo test -q -p learners --test nn_parity
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> perf_forest smoke (release): histogram must not lose to exact"
     cargo build --release -q -p bench --bin perf_forest
@@ -42,6 +45,10 @@ if [[ "$quick" -eq 0 ]]; then
     echo "==> perf_minhash smoke (release): table path must not lose to naive"
     cargo build --release -q -p bench --bin perf_minhash
     ./target/release/perf_minhash --smoke --quiet
+
+    echo "==> perf_nn smoke (release): batched kernels must not lose to scalar"
+    cargo build --release -q -p bench --bin perf_nn
+    ./target/release/perf_nn --smoke --quiet --threads 1
 
     echo "==> telemetry overhead smoke (release)"
     # Disabled-telemetry instrumentation must stay near-free; the test

@@ -179,6 +179,107 @@ fn binned_forest_identical_across_thread_counts() {
 }
 
 #[test]
+fn mlp_training_identical_across_thread_counts() {
+    // The batched NN trainer splits every minibatch into fixed-size
+    // microbatches and reduces their gradient partials serially in chunk
+    // index order, so the parallel schedule cannot move a bit: a 1-thread
+    // and a 4-thread fit are the same network. The config is sized past
+    // the trainer's parallel grain (batch 128 × ~2.9k params) so the
+    // 4-thread run genuinely exercises the worker pool.
+    use learners::{MlpClassifier, MlpConfig};
+
+    let frame = SynthSpec::new("nn-det", 384, 20, Task::Classification)
+        .with_seed(77)
+        .generate()
+        .unwrap();
+    let x = learners::feature_matrix(&frame);
+    let y = frame.label().classes().unwrap().to_vec();
+    let n_classes = frame.label().n_classes();
+    let cfg = MlpConfig {
+        hidden: 128,
+        epochs: 3,
+        batch_size: 128,
+        seed: 23,
+        ..MlpConfig::default()
+    };
+
+    runtime::set_global_threads(1);
+    let mut single = MlpClassifier::new(cfg);
+    single.fit(&x, &y, n_classes).unwrap();
+    runtime::set_global_threads(4);
+    let mut multi = MlpClassifier::new(cfg);
+    multi.fit(&x, &y, n_classes).unwrap();
+    let mut refit = MlpClassifier::new(cfg);
+    refit.fit(&x, &y, n_classes).unwrap();
+    runtime::set_global_threads(0);
+
+    for (name, other) in [("1-vs-4 threads", &multi), ("4-thread refit", &refit)] {
+        for (a, b) in single
+            .trained_params()
+            .unwrap()
+            .iter()
+            .zip(other.trained_params().unwrap())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "mlp params {name}: {a} vs {b}");
+        }
+        assert_eq!(
+            single.predict(&x).unwrap(),
+            other.predict(&x).unwrap(),
+            "mlp predictions {name}"
+        );
+    }
+}
+
+#[test]
+fn resnet_training_identical_across_thread_counts() {
+    // Same invariant for the tabular ResNet (and the embedding the RTDL_N
+    // re-heading consumes): width 48 × 2 blocks ≈ 10.5k params at batch 64
+    // clears the parallel grain, so the 4-thread fit runs microbatches on
+    // the pool and must still match the 1-thread fit bit for bit.
+    use learners::{ResNetClassifier, ResNetConfig};
+
+    let frame = SynthSpec::new("nn-det-rn", 192, 20, Task::Classification)
+        .with_seed(78)
+        .generate()
+        .unwrap();
+    let x = learners::feature_matrix(&frame);
+    let y = frame.label().classes().unwrap().to_vec();
+    let n_classes = frame.label().n_classes();
+    let cfg = ResNetConfig {
+        width: 48,
+        n_blocks: 2,
+        epochs: 2,
+        batch_size: 64,
+        seed: 24,
+        ..ResNetConfig::default()
+    };
+
+    runtime::set_global_threads(1);
+    let mut single = ResNetClassifier::new(cfg);
+    single.fit(&x, &y, n_classes).unwrap();
+    runtime::set_global_threads(4);
+    let mut multi = ResNetClassifier::new(cfg);
+    multi.fit(&x, &y, n_classes).unwrap();
+    runtime::set_global_threads(0);
+
+    for (a, b) in single
+        .trained_params()
+        .unwrap()
+        .iter()
+        .zip(multi.trained_params().unwrap())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "resnet params: {a} vs {b}");
+    }
+    assert_eq!(single.predict(&x).unwrap(), multi.predict(&x).unwrap());
+    let (es, em) = (single.embed(&x).unwrap(), multi.embed(&x).unwrap());
+    for (cs, cm) in es.iter().zip(&em) {
+        for (a, b) in cs.iter().zip(cm) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resnet embedding: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
 fn telemetry_collection_does_not_change_scores() {
     // Instrumentation must be a pure observer: running the same
     // fixed-seed engine with a live telemetry sink (and across thread
