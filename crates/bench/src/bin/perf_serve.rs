@@ -1,0 +1,273 @@
+//! **Serving-layer overhead benchmark** — the same searches run two
+//! ways: stepped directly (back-to-back `Engine::start`/`step` loops, no
+//! server) and through the multi-tenant [`serve::JobServer`] (admission,
+//! round-robin scheduling, progress streaming, budget checks).
+//!
+//! The engine work is identical in both paths, so the wall-clock gap is
+//! the serving layer's bookkeeping: scheduler rotation, channel sends,
+//! status commits. Every tenant's final score is asserted bit-identical
+//! across paths — the server may only add overhead, never change a
+//! result. Note the served path shares one content-addressed score cache
+//! across tenants, so on overlapping workloads it can come out *faster*
+//! than private-cache direct stepping.
+//!
+//! Regenerate: `cargo run -p bench --release --bin perf_serve`.
+//!
+//! ```text
+//! --tenants <n>  override the tenant-count grid (default 2,4,8)
+//! --epochs <n>   stage-2 epochs per tenant           (default 8)
+//! --rows <n>     dataset rows                        (default 240)
+//! --cols <n>     dataset features                    (default 6)
+//! --smoke        smallest cell only, no artifact; exit 1 if any score
+//!                diverges or server overhead exceeds 3x (the CI gate)
+//! --repeats <n>  timing repeats per cell, min taken  (default 2)
+//! --seed <n>     dataset + engine seed base          (default 0xEAFE)
+//! --out <dir>    artifact directory                  (default bench_results)
+//! --threads <n>  worker-thread ceiling, 0 = all      (default 0)
+//! --quiet        suppress per-cell progress lines
+//! --metrics      end-of-run telemetry counter/histogram summary
+//! --trace-out <path>  JSON-lines telemetry event stream
+//! ```
+
+use bench::{fmt_secs, CommonArgs, TextTable};
+use serde::Serialize;
+use serve::{Budget, JobServer, ServerConfig};
+use std::time::Instant;
+use tabular::{DataFrame, SynthSpec, Task};
+
+const TENANT_GRID: &[usize] = &[2, 4, 8];
+const SMOKE_TENANTS: usize = 2;
+
+#[derive(Serialize)]
+struct Row {
+    tenants: usize,
+    epochs_per_tenant: usize,
+    total_slices: usize,
+    direct_secs: f64,
+    served_secs: f64,
+    overhead_ratio: f64,
+    overhead_per_slice_us: f64,
+}
+
+struct Args {
+    tenants: Option<usize>,
+    epochs: usize,
+    rows: usize,
+    cols: usize,
+    smoke: bool,
+    repeats: usize,
+    seed: u64,
+    common: CommonArgs,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tenants: None,
+        epochs: 8,
+        rows: 240,
+        cols: 6,
+        smoke: false,
+        repeats: 2,
+        seed: 0xE_AFE,
+        common: CommonArgs::default(),
+    };
+    let mut threads = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--tenants" => args.tenants = Some(value("--tenants").parse().expect("int tenants")),
+            "--epochs" => args.epochs = value("--epochs").parse().expect("int epochs"),
+            "--rows" => args.rows = value("--rows").parse().expect("int rows"),
+            "--cols" => args.cols = value("--cols").parse().expect("int cols"),
+            "--smoke" => args.smoke = true,
+            "--repeats" => args.repeats = value("--repeats").parse().expect("int repeats"),
+            "--seed" => args.seed = value("--seed").parse().expect("int seed"),
+            "--out" => args.common.out = std::path::PathBuf::from(value("--out")),
+            "--threads" => threads = value("--threads").parse().expect("int threads"),
+            "--quiet" => args.common.quiet = true,
+            "--metrics" => args.common.metrics = true,
+            "--trace-out" => {
+                args.common.trace_out = Some(std::path::PathBuf::from(value("--trace-out")))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --tenants n --epochs n --rows n --cols n --smoke --repeats n \
+                     --seed n --out dir --threads n --quiet --metrics --trace-out path"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    assert!(args.repeats >= 1, "--repeats must be >= 1");
+    assert!(args.epochs >= 1, "--epochs must be >= 1");
+    runtime::set_global_threads(threads);
+    args.common.install_telemetry();
+    args
+}
+
+fn tenant_engine(args: &Args, tenant: usize) -> eafe::Engine {
+    let mut cfg = eafe::EafeConfig::fast();
+    cfg.stage2_epochs = args.epochs;
+    cfg.steps_per_epoch = 3;
+    cfg.early_stop_patience = None;
+    cfg.seed = args.seed ^ (tenant as u64).wrapping_mul(0x9E37);
+    eafe::Engine::nfs(cfg)
+}
+
+fn dataset(args: &Args) -> DataFrame {
+    SynthSpec::new("perf-serve", args.rows, args.cols, Task::Classification)
+        .with_seed(args.seed)
+        .generate()
+        .expect("dataset")
+}
+
+/// All tenants stepped to completion inline, one after another.
+fn run_direct(args: &Args, frame: &DataFrame, tenants: usize) -> (f64, Vec<f64>, usize) {
+    let t = Instant::now();
+    let mut scores = Vec::with_capacity(tenants);
+    let mut slices = 0;
+    for tenant in 0..tenants {
+        let engine = tenant_engine(args, tenant);
+        let mut state = engine.start(frame).expect("start");
+        while !state.is_done() {
+            engine.step(&mut state).expect("step");
+            slices += 1;
+        }
+        let (result, _frame) = engine.finish(&state).expect("finish");
+        scores.push(result.best_score);
+    }
+    (t.elapsed().as_secs_f64(), scores, slices)
+}
+
+/// The same tenants through the job server (one scheduler thread).
+fn run_served(args: &Args, frame: &DataFrame, tenants: usize) -> (f64, Vec<f64>) {
+    let t = Instant::now();
+    let server = JobServer::new(ServerConfig {
+        max_active: tenants,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    let handles: Vec<_> = (0..tenants)
+        .map(|tenant| {
+            server
+                .submit(
+                    &format!("tenant-{tenant}"),
+                    frame,
+                    tenant_engine(args, tenant),
+                    Budget::unlimited(),
+                )
+                .expect("submit")
+        })
+        .collect();
+    let scores = handles
+        .iter()
+        .map(|h| {
+            h.wait()
+                .expect("outcome")
+                .result
+                .expect("completed result")
+                .best_score
+        })
+        .collect();
+    (t.elapsed().as_secs_f64(), scores)
+}
+
+fn main() {
+    let args = parse_args();
+    let grid: Vec<usize> = match (args.smoke, args.tenants) {
+        (true, _) => vec![SMOKE_TENANTS],
+        (false, Some(n)) => vec![n],
+        (false, None) => TENANT_GRID.to_vec(),
+    };
+    let repeats = if args.smoke { 1 } else { args.repeats };
+    println!("== perf_serve: direct stepping vs the multi-tenant job server ==");
+    println!(
+        "settings: {}x{} dataset, {} epochs/tenant, repeats={repeats} seed={:#x} threads={}",
+        args.rows,
+        args.cols,
+        args.epochs,
+        args.seed,
+        runtime::global_threads(),
+    );
+
+    let frame = dataset(&args);
+    let mut table = TextTable::new(vec![
+        "Tenants",
+        "Slices",
+        "Direct",
+        "Served",
+        "Overhead",
+        "Per slice",
+    ]);
+    let mut rows_out = Vec::new();
+    for &tenants in &grid {
+        let (mut direct_secs, mut served_secs) = (f64::INFINITY, f64::INFINITY);
+        let (mut direct_scores, mut served_scores) = (Vec::new(), Vec::new());
+        let mut slices = 0;
+        for _ in 0..repeats {
+            let (d, ds, n) = run_direct(&args, &frame, tenants);
+            let (s, ss) = run_served(&args, &frame, tenants);
+            direct_secs = direct_secs.min(d);
+            served_secs = served_secs.min(s);
+            direct_scores = ds;
+            served_scores = ss;
+            slices = n;
+        }
+        for (tenant, (a, b)) in direct_scores.iter().zip(&served_scores).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "tenant {tenant}: served score {b} != direct score {a}"
+            );
+        }
+        let overhead_ratio = served_secs / direct_secs;
+        let overhead_per_slice_us = ((served_secs - direct_secs) / slices.max(1) as f64) * 1e6;
+        if !args.common.quiet {
+            eprintln!(
+                "  {tenants} tenants: direct {}, served {} ({overhead_ratio:.2}x)",
+                fmt_secs(direct_secs),
+                fmt_secs(served_secs)
+            );
+        }
+        table.row(vec![
+            tenants.to_string(),
+            slices.to_string(),
+            fmt_secs(direct_secs),
+            fmt_secs(served_secs),
+            format!("{overhead_ratio:.2}x"),
+            format!("{overhead_per_slice_us:.0}us"),
+        ]);
+        rows_out.push(Row {
+            tenants,
+            epochs_per_tenant: args.epochs,
+            total_slices: slices,
+            direct_secs,
+            served_secs,
+            overhead_ratio,
+            overhead_per_slice_us,
+        });
+    }
+    table.print();
+
+    if args.smoke {
+        for r in &rows_out {
+            if r.overhead_ratio > 3.0 {
+                eprintln!(
+                    "SMOKE FAIL: {} tenants served {:.2}x slower than direct stepping",
+                    r.tenants, r.overhead_ratio
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("smoke ok: served scores bit-identical, overhead within 3x");
+        args.common.finish();
+        return;
+    }
+    args.common.write_json("BENCH_serve.json", &rows_out);
+    args.common.finish();
+}

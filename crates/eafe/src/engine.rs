@@ -16,23 +16,24 @@
 //! policy updates, and promising features accumulate in a replay buffer.
 //! Stage 2 replays those features against the real downstream task and
 //! continues training with downstream score gains as rewards.
+//!
+//! The search itself lives in the stepped state machine of
+//! [`crate::step`]: [`Engine::start`] opens a resumable
+//! [`crate::SearchState`], [`Engine::step`] advances it one epoch at a
+//! time, and [`Engine::run`] below is a thin blocking driver over those —
+//! identical results, same RNG streams, one code path.
 
 use crate::config::EafeConfig;
-use crate::error::{EafeError, Result};
+use crate::error::Result;
 use crate::fpe::FpeModel;
-use crate::ops::{GeneratedFeature, Operator};
-use crate::report::{EpochPoint, EvalCounter, PhaseTimer, RunResult};
-use crate::reward::SurrogateReward;
-use crate::state::EngineState;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rl::{returns_from_scores, rewards_to_go, score_gains, ReplayBuffer, RnnPolicy, StepCache};
+use crate::report::RunResult;
 use runtime::ScoreCache;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::sync::Arc;
 use tabular::DataFrame;
 
 /// The candidate-feature gate applied before downstream evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Gate {
     /// E-AFE's pre-trained FPE model.
     Fpe(Box<FpeModel>),
@@ -64,6 +65,46 @@ pub struct Engine {
     /// `None` gives the run a private cache, keeping isolated runs
     /// reproducible and unaffected by other runs in the same process.
     pub cache: Option<Arc<ScoreCache<f64>>>,
+}
+
+// The shared score cache is a process-local handle, so an engine
+// round-trips through serde as its *method definition* (config + gate +
+// switches); a restored engine starts with a private cache until a new
+// one is attached via `with_cache`. This is what lets a job server
+// checkpoint (engine, search state) pairs to disk and resume them after
+// a restart.
+impl Serialize for Engine {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("gate".to_string(), self.gate.to_value()),
+            ("two_stage".to_string(), self.two_stage.to_value()),
+            (
+                "use_lambda_returns".to_string(),
+                self.use_lambda_returns.to_value(),
+            ),
+            ("method_name".to_string(), self.method_name.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Engine {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::new("expected map for Engine"))?;
+        Ok(Engine {
+            config: Deserialize::from_value(serde::field(entries, "config"))?,
+            gate: Deserialize::from_value(serde::field(entries, "gate"))?,
+            two_stage: Deserialize::from_value(serde::field(entries, "two_stage"))?,
+            use_lambda_returns: Deserialize::from_value(serde::field(
+                entries,
+                "use_lambda_returns",
+            ))?,
+            method_name: Deserialize::from_value(serde::field(entries, "method_name"))?,
+            cache: None,
+        })
+    }
 }
 
 impl Engine {
@@ -138,388 +179,30 @@ impl Engine {
         Ok(self.run_full(frame)?.0)
     }
 
-    // Indexing `policies[j]` mirrors the paper's per-agent notation and a
-    // mutable iterator would fight the borrow on `state`/`timer` inside.
-
     /// Like [`Engine::run`], but also returns the engineered frame (the
     /// original features plus every accepted generated feature) — the
     /// cached feature set the paper's Table V re-evaluates with SVM, NB/GP
     /// and MLP downstream models.
-    #[allow(clippy::needless_range_loop)]
+    ///
+    /// This is a thin blocking driver over the stepped state machine:
+    /// [`Engine::start`], [`Engine::step`] until done, [`Engine::finish`].
     pub fn run_full(&self, frame: &DataFrame) -> Result<(RunResult, DataFrame)> {
-        self.config.validate()?;
-        if matches!(&self.gate, Gate::RandomDrop { rate } if !(0.0..=1.0).contains(rate)) {
-            return Err(EafeError::InvalidConfig(
-                "drop rate must be in [0,1]".into(),
-            ));
-        }
-        if self.two_stage && !matches!(self.gate, Gate::Fpe(_)) {
-            return Err(EafeError::InvalidConfig(
-                "two-stage training requires an FPE gate".into(),
-            ));
-        }
-        let mut frame = frame.clone();
-        frame.sanitize();
-
         let mut run_span = telemetry::span("engine.run");
-        let cfg = &self.config;
-        let mut timer = PhaseTimer::new();
-        timer.start();
-        let mut counter = EvalCounter::default();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        // The dropout gate draws from its own stream so gating decisions
-        // never perturb policy/generation draws: E-AFE_D with rate 0 must
-        // explore exactly the candidates NFS does.
-        let mut gate_rng = StdRng::seed_from_u64(runtime::derive_seed(cfg.seed, 0x67617465, 0));
-
-        // Every downstream evaluation goes through the runtime's
-        // content-addressed cache: repeat candidates (replayed features,
-        // re-explored transformations) are computed once.
-        let evaluator = match &self.cache {
-            Some(shared) => {
-                runtime::Evaluator::with_cache(cfg.evaluator.clone(), Arc::clone(shared))
-            }
-            None => runtime::Evaluator::new(cfg.evaluator.clone()),
-        };
-        let cache_start = evaluator.stats();
-
-        let base_score = {
-            let _eval_span = telemetry::span("engine.evaluate");
-            timer.evaluation(|| evaluator.evaluate(&frame))?
-        };
-        counter.evaluate();
-        let mut state = EngineState::new(&frame, base_score);
-        let n_agents = state.n_agents();
-        let max_generated = ((n_agents as f64 * cfg.max_generated_ratio).ceil() as usize).max(1);
-
-        let mut policy_cfg = cfg.policy;
-        policy_cfg.state_dim = EngineState::EMBEDDING_DIM;
-        policy_cfg.n_actions = Operator::ALL.len();
-        let mut policies: Vec<RnnPolicy> = (0..n_agents)
-            .map(|j| {
-                RnnPolicy::new(rl::PolicyConfig {
-                    seed: cfg.seed ^ (j as u64).wrapping_mul(0x9E3779B9),
-                    ..policy_cfg
-                })
-            })
-            .collect::<rl::Result<_>>()?;
-
-        let mut best_score = base_score;
-        let mut trace = vec![EpochPoint {
-            epoch: 0,
-            score: base_score,
-            downstream_evals: counter.evaluated,
-            elapsed_secs: timer.total_secs(),
-        }];
-
-        // ---- Stage 1: quick initialisation with the FPE model ----
-        if self.two_stage {
-            let fpe = match &self.gate {
-                Gate::Fpe(m) => m.as_ref(),
-                _ => unreachable!("checked above"),
-            };
-            let surrogate = SurrogateReward::new(base_score, cfg.thre);
-            let mut replay: ReplayBuffer<GeneratedFeature> = ReplayBuffer::new(cfg.replay_capacity);
-            let total_epochs = cfg.stage1_epochs.max(1);
-            for epoch in 0..cfg.stage1_epochs {
-                let mut epoch_span = telemetry::span("engine.stage1_epoch");
-                epoch_span.field("epoch", epoch as f64);
-                let epoch_frac = epoch as f64 / total_epochs as f64;
-                for j in 0..n_agents {
-                    policies[j].reset();
-                    let mut episode: Vec<StepCache> = Vec::with_capacity(cfg.steps_per_epoch);
-                    let mut pseudo_scores = Vec::with_capacity(cfg.steps_per_epoch);
-                    for t in 0..cfg.steps_per_epoch {
-                        let feat = {
-                            let x = state.embedding(
-                                j,
-                                t,
-                                cfg.steps_per_epoch,
-                                epoch_frac,
-                                cfg.max_order,
-                            );
-                            let cache = timer.generation(|| policies[j].step(&x, &mut rng))?;
-                            let op = Operator::from_action(cache.action);
-                            let feat =
-                                timer.generation(|| generate_candidate(&state, j, op, &mut rng));
-                            episode.push(cache);
-                            feat
-                        };
-                        counter.generate();
-                        let pseudo = if feat.is_degenerate() || feat.order > cfg.max_order {
-                            counter.drop_feature();
-                            surrogate.pseudo_score(0.0)
-                        } else {
-                            let p = timer.generation(|| fpe.score_feature(&feat.column.values))?;
-                            if p >= 0.5 {
-                                telemetry::count("fpe.gate.accept", 1);
-                                replay.push(p, feat);
-                            } else {
-                                telemetry::count("fpe.gate.reject", 1);
-                                counter.drop_feature();
-                            }
-                            surrogate.pseudo_score(p)
-                        };
-                        pseudo_scores.push(pseudo);
-                    }
-                    let rets = {
-                        let _reward_span = telemetry::span("engine.reward");
-                        returns_from_scores(&pseudo_scores, base_score, &cfg.returns)
-                    };
-                    let steps: Vec<(StepCache, f64)> = episode.into_iter().zip(rets).collect();
-                    let _update_span = telemetry::span("engine.policy_update");
-                    timer.generation(|| policies[j].update(&steps))?;
-                }
-            }
-            // Seed stage 2: replay the promising features against the real
-            // downstream task (Algorithm 2 line 16). The drain is capped at
-            // one epoch's generation budget so the one-time seeding cost
-            // stays comparable to a single training epoch.
-            let drain_budget = cfg.steps_per_epoch * n_agents;
-            for (_, feat) in replay.drain_by_priority().into_iter().take(drain_budget) {
-                if state.n_generated() >= max_generated {
-                    break;
-                }
-                let candidate = state
-                    .selected_frame(&frame)?
-                    .with_extra_columns(std::slice::from_ref(&feat.column))?;
-                let score = {
-                    let _eval_span = telemetry::span("engine.evaluate");
-                    timer.evaluation(|| evaluator.evaluate(&candidate))?
-                };
-                counter.evaluate();
-                if score > state.current_score {
-                    state.last_reward = score - state.current_score;
-                    state.current_score = score;
-                    best_score = best_score.max(score);
-                    let origin = feature_origin(&feat, &state);
-                    state.subgroups[origin].accept(feat);
-                }
-            }
+        let mut search = self.start(frame)?;
+        while !search.is_done() {
+            self.step(&mut search)?;
         }
-
-        // ---- Stage 2 (or the single stage for one-stage methods) ----
-        let mut fpe_gate = AdaptiveGate::new(256);
-        let mut epochs_since_improvement = 0usize;
-        for epoch in 0..cfg.stage2_epochs {
-            let mut epoch_span = telemetry::span("engine.stage2_epoch");
-            epoch_span.field("epoch", epoch as f64);
-            let epoch_frac = epoch as f64 / cfg.stage2_epochs.max(1) as f64;
-            for j in 0..n_agents {
-                policies[j].reset();
-                let episode_start_score = state.current_score;
-                let mut episode: Vec<StepCache> = Vec::with_capacity(cfg.steps_per_epoch);
-                let mut score_trace = Vec::with_capacity(cfg.steps_per_epoch);
-                for t in 0..cfg.steps_per_epoch {
-                    let feat = {
-                        let x =
-                            state.embedding(j, t, cfg.steps_per_epoch, epoch_frac, cfg.max_order);
-                        let cache = timer.generation(|| policies[j].step(&x, &mut rng))?;
-                        let op = Operator::from_action(cache.action);
-                        let feat = timer.generation(|| generate_candidate(&state, j, op, &mut rng));
-                        episode.push(cache);
-                        feat
-                    };
-                    counter.generate();
-
-                    let structurally_ok = !feat.is_degenerate()
-                        && feat.order <= cfg.max_order
-                        && state.n_generated() < max_generated;
-                    let passes_gate = structurally_ok
-                        && match &self.gate {
-                            Gate::Fpe(fpe) => {
-                                let p =
-                                    timer.generation(|| fpe.score_feature(&feat.column.values))?;
-                                let pass = fpe_gate.observe_and_pass(p);
-                                telemetry::count(
-                                    if pass {
-                                        "fpe.gate.accept"
-                                    } else {
-                                        "fpe.gate.reject"
-                                    },
-                                    1,
-                                );
-                                pass
-                            }
-                            Gate::RandomDrop { rate } => !gate_rng.gen_bool(*rate),
-                            Gate::None => true,
-                        };
-
-                    if !passes_gate {
-                        counter.drop_feature();
-                        score_trace.push(state.current_score);
-                        continue;
-                    }
-
-                    let candidate = state
-                        .selected_frame(&frame)?
-                        .with_extra_columns(std::slice::from_ref(&feat.column))?;
-                    let score = {
-                        let _eval_span = telemetry::span("engine.evaluate");
-                        timer.evaluation(|| evaluator.evaluate(&candidate))?
-                    };
-                    counter.evaluate();
-                    state.last_reward = score - state.current_score;
-                    if score > state.current_score {
-                        state.current_score = score;
-                        best_score = best_score.max(score);
-                        state.subgroups[j].accept(feat);
-                    }
-                    score_trace.push(score.max(state.current_score));
-                }
-                let rets = {
-                    let _reward_span = telemetry::span("engine.reward");
-                    if self.use_lambda_returns {
-                        returns_from_scores(&score_trace, episode_start_score, &cfg.returns)
-                    } else {
-                        let gains = score_gains(&score_trace, episode_start_score);
-                        rewards_to_go(&gains, cfg.returns.gamma)
-                    }
-                };
-                let steps: Vec<(StepCache, f64)> = episode.into_iter().zip(rets).collect();
-                let _update_span = telemetry::span("engine.policy_update");
-                timer.generation(|| policies[j].update(&steps))?;
-            }
-            epoch_span.field("best_score", best_score);
-            let improved = trace
-                .last()
-                .is_none_or(|last| best_score > last.score + f64::EPSILON);
-            trace.push(EpochPoint {
-                epoch: epoch + 1,
-                score: best_score,
-                downstream_evals: counter.evaluated,
-                elapsed_secs: timer.total_secs(),
-            });
-            if improved {
-                epochs_since_improvement = 0;
-            } else {
-                epochs_since_improvement += 1;
-            }
-            if let Some(patience) = cfg.early_stop_patience {
-                if epochs_since_improvement >= patience {
-                    break;
-                }
-            }
-        }
-
-        let engineered = state.selected_frame(&frame)?;
-        run_span.field("generated", counter.generated as f64);
-        run_span.field("downstream_evals", counter.evaluated as f64);
-        run_span.field("best_score", best_score);
-        let cache_stats = evaluator.stats().since(&cache_start);
-        let result = RunResult {
-            method: self.method_name.clone(),
-            dataset: frame.name.clone(),
-            base_score,
-            best_score,
-            trace,
-            generated_features: counter.generated,
-            downstream_evals: counter.evaluated,
-            selected: state.selected_names(),
-            generation_secs: timer.generation_secs(),
-            eval_secs: timer.eval_secs(),
-            total_secs: timer.total_secs(),
-            cache_hits: cache_stats.hits,
-            cache_misses: cache_stats.misses,
-        };
-        Ok((result, engineered))
+        run_span.field("generated", search.features_generated() as f64);
+        run_span.field("downstream_evals", search.downstream_evals() as f64);
+        run_span.field("best_score", search.best_score());
+        self.finish(&search)
     }
-}
-
-/// Adaptive FPE gate threshold for stage 2.
-///
-/// The paper asserts E-AFE's "drop rate is more than 0.5"; a fixed 0.5
-/// probability cut cannot guarantee that when the classifier's output
-/// distribution on *generated* (rather than original) features is shifted.
-/// The gate therefore passes a candidate only when its effective-class
-/// probability clears both 0.5 and the running median of recently observed
-/// scores — keeping the classifier's ranking while pinning the asymptotic
-/// pass rate at ≤ 50%.
-#[derive(Debug, Clone)]
-struct AdaptiveGate {
-    window: Vec<f64>,
-    cap: usize,
-}
-
-impl AdaptiveGate {
-    fn new(cap: usize) -> Self {
-        Self {
-            window: Vec::with_capacity(cap),
-            cap: cap.max(1),
-        }
-    }
-
-    /// Record the score and decide whether the candidate passes.
-    fn observe_and_pass(&mut self, p: f64) -> bool {
-        if self.window.len() == self.cap {
-            self.window.remove(0);
-        }
-        self.window.push(p);
-        let mut sorted = self.window.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let median = sorted[sorted.len() / 2];
-        p >= median.max(0.5)
-    }
-}
-
-/// Generate one candidate feature for agent `j`: sample two subgroup
-/// members with replacement and apply the operator (paper Figure 3).
-fn generate_candidate(
-    state: &EngineState,
-    agent: usize,
-    op: Operator,
-    rng: &mut impl Rng,
-) -> GeneratedFeature {
-    let sub = &state.subgroups[agent];
-    let ia = sub.sample_member(rng);
-    let ib = sub.sample_member(rng);
-    let (a, ao) = sub.member(ia);
-    let (b, bo) = sub.member(ib);
-    GeneratedFeature::generate(op, a, ao, b, bo)
-}
-
-/// Which subgroup a replayed feature should join: the subgroup whose
-/// original feature name appears first in the expression (falls back to 0).
-fn feature_origin(feat: &GeneratedFeature, state: &EngineState) -> usize {
-    let expr = &feat.column.name;
-    state
-        .subgroups
-        .iter()
-        .position(|s| expr.contains(s.original.name.as_str()))
-        .unwrap_or(0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fpe::{search, FpeSearchSpace, RawLabels};
-
-    #[test]
-    fn adaptive_gate_pins_pass_rate_at_or_below_half() {
-        let mut gate = AdaptiveGate::new(64);
-        // Scores clustered high: a fixed 0.5 cut would pass everything.
-        let mut passed = 0;
-        let n = 500;
-        for i in 0..n {
-            let p = 0.7 + 0.2 * ((i as f64 * 0.713).sin());
-            if gate.observe_and_pass(p) {
-                passed += 1;
-            }
-        }
-        let rate = passed as f64 / n as f64;
-        assert!(rate <= 0.6, "pass rate {rate}");
-        assert!(rate >= 0.2, "gate should not drop everything: {rate}");
-    }
-
-    #[test]
-    fn adaptive_gate_respects_absolute_floor() {
-        let mut gate = AdaptiveGate::new(64);
-        // All scores below 0.5 → nothing passes even though all equal the
-        // running median.
-        for _ in 0..100 {
-            assert!(!gate.observe_and_pass(0.3));
-        }
-    }
     use minhash::HashFamily;
     use tabular::registry::public_corpus;
     use tabular::{SynthSpec, Task};
@@ -674,5 +357,23 @@ mod tests {
             .unwrap();
         let result = Engine::nfs(fast_config()).run(&frame).unwrap();
         assert!(result.best_score >= result.base_score);
+    }
+
+    #[test]
+    fn engine_serde_round_trip_drops_only_the_cache() {
+        let engine = Engine::e_afe_d(fast_config(), 0.5).with_cache(Arc::new(ScoreCache::new(16)));
+        let json = serde_json::to_string(&engine).unwrap();
+        let back: Engine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.method_name, engine.method_name);
+        assert_eq!(back.two_stage, engine.two_stage);
+        assert_eq!(back.use_lambda_returns, engine.use_lambda_returns);
+        assert!(matches!(back.gate, Gate::RandomDrop { rate } if rate == 0.5));
+        assert!(back.cache.is_none(), "cache handle is process-local");
+        // The restored engine runs identically (private cache, same seeds).
+        let frame = target_frame();
+        let a = engine.run(&frame).unwrap();
+        let b = back.run(&frame).unwrap();
+        assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+        assert_eq!(a.selected, b.selected);
     }
 }

@@ -41,6 +41,8 @@
 //! - [`state`] — feature subgroups and the RL state;
 //! - [`engine`] — the unified E-AFE / E-AFE_D / E-AFE_R / NFS loop
 //!   (Algorithm 2);
+//! - [`step`] — the resumable stepped state machine behind the engine
+//!   (start/step/finish, serializable [`SearchState`] checkpoints);
 //! - [`baselines`] — AutoFS_R and the deep-learning baselines;
 //! - [`pipeline`] — pre-selection, FPE bootstrapping, Table V re-evaluation;
 //! - [`report`] — instrumented results (timers, counters, learning curves).
@@ -57,6 +59,7 @@ pub mod pipeline;
 pub mod report;
 pub mod reward;
 pub mod state;
+pub mod step;
 
 pub use config::{CachedEvaluator, EafeConfig};
 pub use engine::{Engine, Gate};
@@ -65,6 +68,9 @@ pub use fpe::{FpeMetrics, FpeModel, FpeSearchSpace, RawLabels};
 pub use learners::SplitMethod;
 pub use ops::{GeneratedFeature, Operator};
 pub use pipeline::{bootstrap_fpe, preselect_features, reevaluate};
-pub use report::{EpochPoint, EvalCounter, PhaseTimer, RunResult};
+pub use report::{
+    EpochPoint, EpochReport, EvalCounter, PhaseTimer, RunResult, SearchStage, WeightedFeature,
+};
 pub use reward::SurrogateReward;
 pub use state::{EngineState, FeatureSubgroup};
+pub use step::{max_slices, SearchPhase, SearchState};

@@ -126,6 +126,56 @@ impl PhaseTimer {
     }
 }
 
+/// Which kind of work slice an [`EpochReport`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStage {
+    /// A stage-1 (FPE-surrogate) training epoch.
+    Stage1,
+    /// The one-time replay of stage-1 positives against the downstream task.
+    Seed,
+    /// A stage-2 (downstream-task) training epoch.
+    Stage2,
+}
+
+/// An accepted generated feature together with the downstream score gain
+/// it delivered at acceptance — the ranked, weighted feature-set export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedFeature {
+    /// Feature expression (e.g. `log(f0) * f3`).
+    pub name: String,
+    /// Downstream score gain the feature delivered when accepted.
+    pub weight: f64,
+}
+
+/// The anytime progress report returned by each `Engine::step` slice:
+/// best-so-far score and weighted feature set plus cumulative budget
+/// spent. Reports are monotone — `best_score` never decreases and
+/// `best_features` only grows — so the latest report is always the best
+/// answer available.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Which stage this slice ran.
+    pub stage: SearchStage,
+    /// Epoch index within its stage (0 for the seeding slice).
+    pub epoch: usize,
+    /// Total step slices completed so far across all stages.
+    pub epochs_completed: usize,
+    /// Downstream score of the raw feature set.
+    pub base_score: f64,
+    /// Best downstream score achieved so far.
+    pub best_score: f64,
+    /// Best-so-far weighted feature set, in acceptance order.
+    pub best_features: Vec<WeightedFeature>,
+    /// Cumulative features generated so far.
+    pub generated: usize,
+    /// Cumulative downstream evaluations so far.
+    pub downstream_evals: usize,
+    /// Cumulative compute seconds so far.
+    pub elapsed_secs: f64,
+    /// True once the search has finished (all epochs or early stop).
+    pub done: bool,
+}
+
 /// Counter for generated features and downstream evaluations.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EvalCounter {

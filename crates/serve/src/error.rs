@@ -1,0 +1,68 @@
+//! Error type for the serving layer.
+
+use crate::job::JobId;
+use std::fmt;
+
+/// Anything the serving layer can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control rejected the submission: the wait queue is full.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The server has been shut down (or dropped) and accepts no work.
+    ServerStopped,
+    /// No job with this id exists on the server.
+    UnknownJob(JobId),
+    /// A checkpoint operation was requested but the server has no
+    /// checkpoint directory configured.
+    NoCheckpointDir,
+    /// The underlying engine failed.
+    Engine(eafe::EafeError),
+    /// Filesystem I/O failed (checkpoint write/read, feed creation).
+    Io(std::io::Error),
+    /// A checkpoint file exists but cannot be understood.
+    Corrupt(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::ServerStopped => write!(f, "server stopped"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            ServeError::NoCheckpointDir => write!(f, "no checkpoint directory configured"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eafe::EafeError> for ServeError {
+    fn from(e: eafe::EafeError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Serving-layer result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

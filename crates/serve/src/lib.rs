@@ -1,0 +1,60 @@
+//! # serve — feature engineering as a service
+//!
+//! A long-lived, multi-tenant job server over the E-AFE engine: tenants
+//! submit a dataset, an engine configuration, and a [`Budget`]; the
+//! server interleaves epoch-granular work slices across all active jobs
+//! in deterministic round-robin rotation and streams progressively
+//! better weighted feature sets back — the anytime contract. Jobs can be
+//! cancelled cooperatively and survive server restarts via
+//! checkpoint/resume of the engine's serializable search state.
+//!
+//! The shared compute substrate (worker-thread budget, content-addressed
+//! score cache, MinHash signature cache) is owned once per server, so
+//! tenants benefit from each other's evaluations without being able to
+//! perturb each other's results: caching is content-addressed and every
+//! search's RNG streams are private, so a job's output is bit-identical
+//! whether it ran alone or alongside other tenants, uninterrupted or
+//! resumed from a checkpoint.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use serve::{Budget, JobServer, ServerConfig};
+//! use tabular::{SynthSpec, Task};
+//!
+//! let frame = SynthSpec::new("demo", 120, 4, Task::Classification)
+//!     .with_seed(1)
+//!     .generate()
+//!     .unwrap();
+//! let server = JobServer::new(ServerConfig::default()).unwrap();
+//!
+//! let engine = eafe::Engine::nfs(eafe::EafeConfig::fast());
+//! let job = server
+//!     .submit("tenant-a", &frame, engine, Budget::epochs(2))
+//!     .unwrap();
+//!
+//! let outcome = job.wait().unwrap();
+//! let result = outcome.result.unwrap();
+//! assert!(result.best_score >= result.base_score);
+//! ```
+//!
+//! ## Module map
+//!
+//! - [`budget`] — per-job resource bounds (epochs / evaluations / compute
+//!   seconds) and the exhaustion rule;
+//! - [`job`] — job identity, lifecycle states, outcomes, and the
+//!   progress-stream wire format ([`progress_event`]);
+//! - [`server`] — the [`JobServer`] itself: admission control, the fair
+//!   scheduler, cancellation, checkpoint/resume.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod error;
+pub mod job;
+pub mod server;
+
+pub use budget::Budget;
+pub use error::{Result, ServeError};
+pub use job::{progress_event, JobEvent, JobId, JobOutcome, JobStatus};
+pub use server::{JobHandle, JobServer, ServerConfig};

@@ -1,0 +1,787 @@
+//! The multi-tenant job server: admission, fair scheduling, cooperative
+//! cancellation, and checkpoint/resume.
+//!
+//! One [`JobServer`] owns the shared compute substrate — the global
+//! worker-thread budget, a process-shared content-addressed score cache,
+//! and (implicitly) the process-global signature cache — and multiplexes
+//! any number of tenant jobs over it. A single scheduler thread drains a
+//! [`runtime::RoundRobin`] rotation of active jobs, running exactly one
+//! epoch-granular engine slice per turn, so every tenant advances at the
+//! same rate regardless of submission order. All blocking work happens
+//! *outside* the server lock; the lock only guards job bookkeeping.
+//!
+//! ## Lifecycle
+//!
+//! `submit` → bounded queue (admission control) → promoted into the
+//! rotation when an active slot frees up → sliced until the engine
+//! finishes, the budget runs out, or the tenant cancels → terminal
+//! [`JobOutcome`] delivered on the handle's event stream.
+//!
+//! ## Checkpoint format
+//!
+//! One JSON file per non-terminal job, `<dir>/job-<id>.json`, holding a
+//! versioned [`Engine`] definition (config + gate; the process-local
+//! cache handle is re-attached on resume), the [`Budget`], and either
+//! the serialized search state (started jobs) or the submitted frame
+//! (jobs that never got a slice). [`JobServer::resume`] re-admits every
+//! checkpoint and deletes each file as its job reaches a terminal state.
+
+use crate::budget::Budget;
+use crate::error::{Result, ServeError};
+use crate::job::{progress_event, JobEvent, JobId, JobOutcome, JobStatus};
+use eafe::{Engine, EpochReport, SearchState};
+use runtime::{CancelToken, RoundRobin, ScoreCache};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use tabular::DataFrame;
+use telemetry::{CountEvent, Event, JsonLinesSink, Sink};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum jobs in the scheduler rotation at once; further
+    /// admissions wait in the queue.
+    pub max_active: usize,
+    /// Bound on the wait queue — submissions beyond it are rejected
+    /// with [`ServeError::QueueFull`] (admission control).
+    pub max_queued: usize,
+    /// Pin the process-global worker-thread budget at startup
+    /// (`None` leaves the current setting untouched).
+    pub threads: Option<usize>,
+    /// Where to write per-job checkpoints (shutdown persists every
+    /// non-terminal job here; [`JobServer::resume`] reloads them).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Where to write per-job JSON-lines progress feeds
+    /// (`<dir>/job-<id>.jsonl`, one telemetry `Event` per epoch,
+    /// flushed per line so live tails never stall).
+    pub feed_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_active: 4,
+            max_queued: 64,
+            threads: None,
+            checkpoint_dir: None,
+            feed_dir: None,
+        }
+    }
+}
+
+/// Versioned on-disk form of one job.
+#[derive(Serialize, Deserialize)]
+struct JobCheckpoint {
+    version: u32,
+    id: u64,
+    tenant: String,
+    engine: Engine,
+    budget: Budget,
+    /// Search state for started jobs (owns its sanitized frame).
+    state: Option<SearchState>,
+    /// Submitted frame for jobs that never received a slice.
+    frame: Option<DataFrame>,
+}
+
+const CHECKPOINT_VERSION: u32 = 1;
+
+struct Job {
+    tenant: String,
+    engine: Arc<Engine>,
+    /// Submitted frame; taken by the first slice (the search state owns
+    /// its own sanitized copy from then on).
+    frame: Option<DataFrame>,
+    budget: Budget,
+    status: JobStatus,
+    /// Present between slices once started; taken while a slice runs.
+    state: Option<SearchState>,
+    cancel: CancelToken,
+    /// Dropped (set to `None`) at shutdown so blocked [`JobHandle::wait`]
+    /// callers observe the disconnect instead of hanging forever.
+    events: Option<Sender<JobEvent>>,
+    feed: Option<Arc<JsonLinesSink>>,
+    outcome: Option<Box<JobOutcome>>,
+}
+
+struct Inner {
+    jobs: HashMap<JobId, Job>,
+    /// Active jobs, in fair rotation.
+    rr: RoundRobin<JobId>,
+    /// Admitted jobs waiting for an active slot.
+    queued: VecDeque<JobId>,
+    next_id: u64,
+    /// Job currently being sliced (its `state` is taken).
+    in_flight: Option<JobId>,
+    /// Scheduler parked by `pause` (checkpointing needs a quiesced map).
+    paused: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    work: Condvar,
+}
+
+/// A long-lived, multi-tenant feature-engineering service over the
+/// E-AFE engine. See the [module docs](self) for the architecture.
+pub struct JobServer {
+    shared: Arc<Shared>,
+    cache: Arc<ScoreCache<f64>>,
+    config: ServerConfig,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A tenant's handle to one submitted job: live progress stream,
+/// status queries, cooperative cancellation, and blocking wait.
+///
+/// Dropping the handle does not affect the job.
+pub struct JobHandle {
+    id: JobId,
+    tenant: String,
+    shared: Arc<Shared>,
+    events: Receiver<JobEvent>,
+    done: RefCell<Option<Box<JobOutcome>>>,
+}
+
+impl JobServer {
+    /// Start a server (spawns the scheduler thread). If
+    /// `config.threads` is set, the process-global worker-thread budget
+    /// is pinned first so every job sees the same parallelism.
+    pub fn new(config: ServerConfig) -> Result<JobServer> {
+        if let Some(n) = config.threads {
+            runtime::set_global_threads(n);
+        }
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                jobs: HashMap::new(),
+                rr: RoundRobin::new(),
+                queued: VecDeque::new(),
+                next_id: 1,
+                in_flight: None,
+                paused: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let cache = Arc::new(ScoreCache::new(runtime::evaluator::DEFAULT_CACHE_CAPACITY));
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            let max_active = config.max_active.max(1);
+            let checkpoint_dir = config.checkpoint_dir.clone();
+            std::thread::Builder::new()
+                .name("serve-scheduler".to_string())
+                .spawn(move || scheduler_loop(shared, max_active, checkpoint_dir))?
+        };
+        Ok(JobServer {
+            shared,
+            cache,
+            config,
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// Start a server and re-admit every job checkpointed in
+    /// `config.checkpoint_dir` (required), re-attaching the new server's
+    /// shared score cache. Returns fresh handles, ordered by job id; job
+    /// ids are preserved across the restart.
+    pub fn resume(config: ServerConfig) -> Result<(JobServer, Vec<JobHandle>)> {
+        let dir = config
+            .checkpoint_dir
+            .clone()
+            .ok_or(ServeError::NoCheckpointDir)?;
+        let server = JobServer::new(config)?;
+        let mut checkpoints: Vec<JobCheckpoint> = Vec::new();
+        if dir.is_dir() {
+            for entry in std::fs::read_dir(&dir)? {
+                let path = entry?.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue;
+                }
+                let text = std::fs::read_to_string(&path)?;
+                let cp: JobCheckpoint = serde_json::from_str(&text)
+                    .map_err(|e| ServeError::Corrupt(format!("{}: {e}", path.display())))?;
+                if cp.version != CHECKPOINT_VERSION {
+                    return Err(ServeError::Corrupt(format!(
+                        "{}: unsupported checkpoint version {}",
+                        path.display(),
+                        cp.version
+                    )));
+                }
+                checkpoints.push(cp);
+            }
+        }
+        // Deterministic re-admission order regardless of directory order.
+        checkpoints.sort_by_key(|cp| cp.id);
+        let mut handles = Vec::with_capacity(checkpoints.len());
+        for cp in checkpoints {
+            let id = JobId(cp.id);
+            let engine = Arc::new(cp.engine.with_cache(Arc::clone(&server.cache)));
+            let feed = server.make_feed(id)?;
+            let (tx, rx) = mpsc::channel();
+            let mut inner = server.shared.inner.lock().unwrap();
+            inner.next_id = inner.next_id.max(cp.id + 1);
+            inner.jobs.insert(
+                id,
+                Job {
+                    tenant: cp.tenant.clone(),
+                    engine,
+                    frame: cp.frame,
+                    budget: cp.budget,
+                    status: JobStatus::Queued,
+                    state: cp.state,
+                    cancel: CancelToken::new(),
+                    events: Some(tx),
+                    feed,
+                    outcome: None,
+                },
+            );
+            inner.queued.push_back(id);
+            drop(inner);
+            handles.push(JobHandle {
+                id,
+                tenant: cp.tenant,
+                shared: Arc::clone(&server.shared),
+                events: rx,
+                done: RefCell::new(None),
+            });
+        }
+        server.shared.work.notify_all();
+        Ok((server, handles))
+    }
+
+    fn make_feed(&self, id: JobId) -> Result<Option<Arc<JsonLinesSink>>> {
+        match &self.config.feed_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let sink = JsonLinesSink::create(&dir.join(format!("{id}.jsonl")))?;
+                Ok(Some(Arc::new(sink)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Submit a job: run `engine` on `frame` under `budget` for
+    /// `tenant`. The engine is attached to the server's shared score
+    /// cache (identical evaluations across tenants are computed once —
+    /// scores are content-addressed, so sharing never changes results).
+    ///
+    /// Admission control: the wait queue is bounded by
+    /// [`ServerConfig::max_queued`]; a full queue rejects the submission
+    /// immediately rather than blocking the caller.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        frame: &DataFrame,
+        engine: Engine,
+        budget: Budget,
+    ) -> Result<JobHandle> {
+        let engine = Arc::new(engine.with_cache(Arc::clone(&self.cache)));
+        let (tx, rx) = mpsc::channel();
+        let id = {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.shutdown {
+                return Err(ServeError::ServerStopped);
+            }
+            if inner.queued.len() >= self.config.max_queued {
+                return Err(ServeError::QueueFull {
+                    capacity: self.config.max_queued,
+                });
+            }
+            let id = JobId(inner.next_id);
+            inner.next_id += 1;
+            id
+        };
+        let feed = self.make_feed(id)?;
+        {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.jobs.insert(
+                id,
+                Job {
+                    tenant: tenant.to_string(),
+                    engine,
+                    frame: Some(frame.clone()),
+                    budget,
+                    status: JobStatus::Queued,
+                    state: None,
+                    cancel: CancelToken::new(),
+                    events: Some(tx),
+                    feed,
+                    outcome: None,
+                },
+            );
+            inner.queued.push_back(id);
+        }
+        self.shared.work.notify_all();
+        telemetry::count("serve.submitted", 1);
+        Ok(JobHandle {
+            id,
+            tenant: tenant.to_string(),
+            shared: Arc::clone(&self.shared),
+            events: rx,
+            done: RefCell::new(None),
+        })
+    }
+
+    /// Current status of a job.
+    pub fn status(&self, id: JobId) -> Result<JobStatus> {
+        let inner = self.shared.inner.lock().unwrap();
+        inner
+            .jobs
+            .get(&id)
+            .map(|j| j.status)
+            .ok_or(ServeError::UnknownJob(id))
+    }
+
+    /// Request cooperative cancellation of a job. The job stops at the
+    /// next epoch boundary: at most the slice already in flight
+    /// completes, and its best-so-far result is preserved in the
+    /// terminal [`JobOutcome`].
+    pub fn cancel(&self, id: JobId) -> Result<()> {
+        let inner = self.shared.inner.lock().unwrap();
+        let job = inner.jobs.get(&id).ok_or(ServeError::UnknownJob(id))?;
+        job.cancel.cancel();
+        drop(inner);
+        self.shared.work.notify_all();
+        Ok(())
+    }
+
+    /// Park the scheduler at the next epoch boundary and return once no
+    /// slice is in flight. While paused, job state is fully materialized
+    /// in the server (nothing is mid-step), so progress streams are
+    /// complete and checkpoints are consistent.
+    pub fn pause(&self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.paused = true;
+        self.shared.work.notify_all();
+        while inner.in_flight.is_some() {
+            inner = self.shared.work.wait(inner).unwrap();
+        }
+    }
+
+    /// Resume scheduling after [`JobServer::pause`].
+    pub fn unpause(&self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.paused = false;
+        drop(inner);
+        self.shared.work.notify_all();
+    }
+
+    /// Checkpoint every non-terminal job to the configured checkpoint
+    /// directory (pausing the scheduler for a consistent snapshot) and
+    /// return how many were written.
+    pub fn checkpoint_all(&self) -> Result<usize> {
+        let dir = self
+            .config
+            .checkpoint_dir
+            .clone()
+            .ok_or(ServeError::NoCheckpointDir)?;
+        std::fs::create_dir_all(&dir)?;
+        let was_running = {
+            let inner = self.shared.inner.lock().unwrap();
+            !inner.shutdown
+        };
+        if was_running {
+            self.pause();
+        }
+        let result = self.write_checkpoints(&dir);
+        if was_running {
+            self.unpause();
+        }
+        result
+    }
+
+    fn write_checkpoints(&self, dir: &std::path::Path) -> Result<usize> {
+        let inner = self.shared.inner.lock().unwrap();
+        let mut written = 0;
+        for (id, job) in &inner.jobs {
+            if job.status.is_terminal() {
+                continue;
+            }
+            let cp = JobCheckpoint {
+                version: CHECKPOINT_VERSION,
+                id: id.0,
+                tenant: job.tenant.clone(),
+                engine: (*job.engine).clone(),
+                budget: job.budget,
+                state: job.state.clone(),
+                frame: job.frame.clone(),
+            };
+            let text = serde_json::to_string(&cp)
+                .map_err(|e| ServeError::Corrupt(format!("serialize {id}: {e}")))?;
+            std::fs::write(dir.join(format!("{id}.json")), text)?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Stop the scheduler (the in-flight slice, if any, completes) and
+    /// persist every non-terminal job to the checkpoint directory when
+    /// one is configured. Returns how many jobs were checkpointed.
+    /// After shutdown the server accepts no new submissions.
+    pub fn shutdown(&mut self) -> Result<usize> {
+        {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        let written = match &self.config.checkpoint_dir {
+            Some(dir) => {
+                let dir = dir.clone();
+                std::fs::create_dir_all(&dir)?;
+                self.write_checkpoints(&dir)
+            }
+            None => Ok(0),
+        };
+        // Disconnect every event stream so handles blocked in `wait` or
+        // `next_event` wake up instead of hanging on a dead server
+        // (terminal outcomes already committed to the map stay readable).
+        let mut inner = self.shared.inner.lock().unwrap();
+        for job in inner.jobs.values_mut() {
+            job.events = None;
+        }
+        written
+    }
+
+    /// The server-wide shared score cache (content-addressed; handed to
+    /// every submitted engine).
+    pub fn score_cache(&self) -> &Arc<ScoreCache<f64>> {
+        &self.cache
+    }
+
+    /// Number of jobs the server knows about (any status).
+    pub fn n_jobs(&self) -> usize {
+        self.shared.inner.lock().unwrap().jobs.len()
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("tenant", &self.tenant)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobHandle {
+    /// The server-assigned job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The tenant this job was submitted for.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Current job status.
+    pub fn status(&self) -> Result<JobStatus> {
+        let inner = self.shared.inner.lock().unwrap();
+        inner
+            .jobs
+            .get(&self.id)
+            .map(|j| j.status)
+            .ok_or(ServeError::UnknownJob(self.id))
+    }
+
+    /// Request cooperative cancellation (see [`JobServer::cancel`]).
+    pub fn cancel(&self) -> Result<()> {
+        let inner = self.shared.inner.lock().unwrap();
+        let job = inner
+            .jobs
+            .get(&self.id)
+            .ok_or(ServeError::UnknownJob(self.id))?;
+        job.cancel.cancel();
+        drop(inner);
+        self.shared.work.notify_all();
+        Ok(())
+    }
+
+    /// Drain every progress report currently pending on the stream
+    /// (non-blocking). A terminal event encountered while draining is
+    /// retained for [`JobHandle::wait`].
+    pub fn progress(&self) -> Vec<EpochReport> {
+        let mut out = Vec::new();
+        while let Ok(ev) = self.events.try_recv() {
+            match ev {
+                JobEvent::Epoch(r) => out.push(r),
+                JobEvent::Done(o) => {
+                    *self.done.borrow_mut() = Some(o);
+                }
+            }
+        }
+        out
+    }
+
+    /// Block for the next event on the stream; `None` once the stream is
+    /// finished (terminal event already delivered, or the server went
+    /// away).
+    pub fn next_event(&self) -> Option<JobEvent> {
+        if self.done.borrow().is_some() {
+            return None;
+        }
+        match self.events.recv() {
+            Ok(JobEvent::Done(o)) => {
+                *self.done.borrow_mut() = Some(o.clone());
+                Some(JobEvent::Done(o))
+            }
+            Ok(ev) => Some(ev),
+            Err(_) => None,
+        }
+    }
+
+    /// Block until the job reaches a terminal state and return its
+    /// outcome (pending progress events are drained and discarded; use
+    /// [`JobHandle::next_event`] to observe them).
+    pub fn wait(&self) -> Result<JobOutcome> {
+        if let Some(done) = self.done.borrow().as_deref() {
+            return Ok(done.clone());
+        }
+        loop {
+            match self.events.recv() {
+                Ok(JobEvent::Epoch(_)) => continue,
+                Ok(JobEvent::Done(o)) => {
+                    let out = (*o).clone();
+                    *self.done.borrow_mut() = Some(o);
+                    return Ok(out);
+                }
+                // Sender gone without a terminal event: the server was
+                // dropped mid-run. Surface whatever the map still says.
+                Err(_) => {
+                    let inner = self.shared.inner.lock().unwrap();
+                    return match inner.jobs.get(&self.id).and_then(|j| j.outcome.clone()) {
+                        Some(o) => Ok(*o),
+                        None => Err(ServeError::ServerStopped),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Everything a slice needs, moved out of the lock.
+struct Slice {
+    id: JobId,
+    tenant: String,
+    engine: Arc<Engine>,
+    state: Option<SearchState>,
+    frame: Option<DataFrame>,
+    budget: Budget,
+    cancel: CancelToken,
+    events: Sender<JobEvent>,
+    feed: Option<Arc<JsonLinesSink>>,
+}
+
+/// What became of a slice.
+enum SliceEnd {
+    /// Put the state back; the job stays in the rotation.
+    Continue(Box<SearchState>),
+    /// The job is finished (one way or another).
+    Terminal(Box<JobOutcome>),
+}
+
+fn scheduler_loop(shared: Arc<Shared>, max_active: usize, checkpoint_dir: Option<PathBuf>) {
+    loop {
+        let slice = {
+            let mut inner = shared.inner.lock().unwrap();
+            loop {
+                if inner.shutdown {
+                    return;
+                }
+                if !inner.paused {
+                    promote(&mut inner, max_active);
+                    if let Some(id) = inner.rr.pick() {
+                        inner.in_flight = Some(id);
+                        let job = inner.jobs.get_mut(&id).expect("job in rotation");
+                        break Slice {
+                            id,
+                            tenant: job.tenant.clone(),
+                            engine: Arc::clone(&job.engine),
+                            state: job.state.take(),
+                            frame: job.frame.take(),
+                            budget: job.budget,
+                            cancel: job.cancel.clone(),
+                            // Senders are only dropped at shutdown, and
+                            // the scheduler stops picking first.
+                            events: job.events.clone().expect("running job has a sender"),
+                            feed: job.feed.clone(),
+                        };
+                    }
+                }
+                inner = shared.work.wait(inner).unwrap();
+            }
+        };
+
+        let id = slice.id;
+        let events = slice.events.clone();
+        let feed = slice.feed.clone();
+        let end = run_slice(slice);
+
+        let terminal_outcome = {
+            let mut inner = shared.inner.lock().unwrap();
+            inner.in_flight = None;
+            let outcome = match end {
+                SliceEnd::Continue(state) => {
+                    if let Some(job) = inner.jobs.get_mut(&id) {
+                        job.state = Some(*state);
+                    }
+                    None
+                }
+                SliceEnd::Terminal(outcome) => {
+                    inner.rr.remove(&id);
+                    if let Some(job) = inner.jobs.get_mut(&id) {
+                        job.status = outcome.status;
+                        job.outcome = Some(outcome.clone());
+                        job.state = None;
+                        job.frame = None;
+                    }
+                    Some(outcome)
+                }
+            };
+            shared.work.notify_all();
+            outcome
+        };
+
+        if let Some(outcome) = terminal_outcome {
+            if let Some(dir) = &checkpoint_dir {
+                let _ = std::fs::remove_file(dir.join(format!("{id}.json")));
+            }
+            if let Some(feed) = &feed {
+                feed.record(&Event::Count(CountEvent {
+                    name: format!("serve.done.{:?}", outcome.status),
+                    value: outcome.epochs as u64,
+                }));
+                feed.flush();
+            }
+            telemetry::count("serve.finished", 1);
+            let _ = events.send(JobEvent::Done(outcome));
+        }
+    }
+}
+
+fn promote(inner: &mut Inner, max_active: usize) {
+    while inner.rr.len() < max_active {
+        match inner.queued.pop_front() {
+            Some(id) => {
+                if let Some(job) = inner.jobs.get_mut(&id) {
+                    job.status = JobStatus::Active;
+                    inner.rr.admit(id);
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+/// Run one slice for a job, outside the server lock. Sends the epoch
+/// report on the job's stream and feed; terminal outcomes are returned
+/// for the scheduler to commit (the Done event is sent after commit, so
+/// a waiter never observes a terminal event before the server map does).
+fn run_slice(slice: Slice) -> SliceEnd {
+    let Slice {
+        id,
+        tenant,
+        engine,
+        state,
+        frame,
+        budget,
+        cancel,
+        events,
+        feed,
+    } = slice;
+    // Route engine telemetry emitted during this slice to this job's
+    // label, for hosts that installed a `telemetry::RouterSink`.
+    let label = id.to_string();
+    let _route = telemetry::route(&label);
+
+    let finalize = |status: JobStatus, state: Option<SearchState>, error: Option<String>| {
+        let (result, engineered) = match &state {
+            Some(s) => match engine.finish(s) {
+                Ok((r, f)) => (Some(r), Some(f)),
+                Err(_) => (None, None),
+            },
+            None => (None, None),
+        };
+        SliceEnd::Terminal(Box::new(JobOutcome {
+            id,
+            tenant: tenant.clone(),
+            status,
+            epochs: state.as_ref().map_or(0, |s| s.epochs_completed()),
+            result,
+            engineered,
+            error,
+        }))
+    };
+
+    if cancel.is_cancelled() {
+        return finalize(JobStatus::Cancelled, state, None);
+    }
+
+    let mut state = match state {
+        Some(s) => s,
+        None => {
+            let frame = match frame {
+                Some(f) => f,
+                None => {
+                    return finalize(
+                        JobStatus::Failed,
+                        None,
+                        Some("job has neither state nor frame".to_string()),
+                    )
+                }
+            };
+            match engine.start(&frame) {
+                Ok(s) => s,
+                Err(e) => return finalize(JobStatus::Failed, None, Some(e.to_string())),
+            }
+        }
+    };
+
+    // A restored (or freshly started) job may already be over budget —
+    // never run a slice the budget doesn't cover.
+    if budget.exhausted(
+        state.epochs_completed(),
+        state.downstream_evals(),
+        state.elapsed_secs(),
+    ) {
+        return finalize(JobStatus::BudgetExhausted, Some(state), None);
+    }
+
+    let report = {
+        let mut span = telemetry::span("serve.slice");
+        span.field("job", id.0 as f64);
+        match engine.step(&mut state) {
+            Ok(r) => r,
+            Err(e) => return finalize(JobStatus::Failed, Some(state), Some(e.to_string())),
+        }
+    };
+    if let Some(feed) = &feed {
+        feed.record(&progress_event(id, &report));
+    }
+    let _ = events.send(JobEvent::Epoch(report.clone()));
+
+    if report.done {
+        finalize(JobStatus::Completed, Some(state), None)
+    } else if budget.exhausted(
+        report.epochs_completed,
+        report.downstream_evals,
+        report.elapsed_secs,
+    ) {
+        finalize(JobStatus::BudgetExhausted, Some(state), None)
+    } else {
+        SliceEnd::Continue(Box::new(state))
+    }
+}

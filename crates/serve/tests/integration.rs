@@ -1,0 +1,279 @@
+//! End-to-end behaviour of the job server: lifecycle, anytime budgets,
+//! admission control, progress streaming, checkpoint/resume, and the
+//! JSON-lines progress feed.
+
+use serve::{Budget, JobEvent, JobId, JobServer, JobStatus, ServeError, ServerConfig};
+use tabular::{DataFrame, SynthSpec, Task};
+
+fn frame() -> DataFrame {
+    SynthSpec::new("serve-it", 150, 4, Task::Classification)
+        .with_seed(7)
+        .generate()
+        .unwrap()
+}
+
+fn fast_engine() -> eafe::Engine {
+    let mut cfg = eafe::EafeConfig::fast();
+    cfg.stage2_epochs = 3;
+    cfg.steps_per_epoch = 3;
+    eafe::Engine::nfs(cfg)
+}
+
+/// An engine with enough epochs that tests can reliably interrupt it.
+fn long_engine() -> eafe::Engine {
+    let mut cfg = eafe::EafeConfig::fast();
+    cfg.stage2_epochs = 200;
+    cfg.steps_per_epoch = 2;
+    cfg.early_stop_patience = None; // never early-stop
+    eafe::Engine::nfs(cfg)
+}
+
+fn scratch_dir(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve-it-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn completed_job_delivers_result_and_engineered_frame() {
+    let frame = frame();
+    let server = JobServer::new(ServerConfig::default()).unwrap();
+    let job = server
+        .submit("acme", &frame, fast_engine(), Budget::unlimited())
+        .unwrap();
+    let outcome = job.wait().unwrap();
+
+    assert_eq!(outcome.status, JobStatus::Completed);
+    assert_eq!(outcome.tenant, "acme");
+    assert_eq!(server.status(job.id()).unwrap(), JobStatus::Completed);
+    assert!(outcome.epochs > 0);
+    let result = outcome.result.expect("completed job has a result");
+    assert!(result.best_score >= result.base_score);
+    let engineered = outcome.engineered.expect("completed job has a frame");
+    assert_eq!(
+        engineered.n_cols(),
+        frame.n_cols() + result.selected.len(),
+        "engineered frame = original features + selected features"
+    );
+}
+
+#[test]
+fn budget_exhausted_job_still_yields_best_so_far() {
+    let frame = frame();
+    let server = JobServer::new(ServerConfig::default()).unwrap();
+    let job = server
+        .submit("acme", &frame, long_engine(), Budget::epochs(2))
+        .unwrap();
+    let outcome = job.wait().unwrap();
+
+    assert_eq!(outcome.status, JobStatus::BudgetExhausted);
+    assert_eq!(outcome.epochs, 2, "stops exactly at the epoch budget");
+    let result = outcome
+        .result
+        .expect("anytime: exhausted jobs keep their best");
+    assert!(result.best_score >= result.base_score);
+    assert!(outcome.engineered.is_some());
+}
+
+#[test]
+fn progress_stream_is_monotone_and_ends_with_done() {
+    let frame = frame();
+    let server = JobServer::new(ServerConfig::default()).unwrap();
+    let job = server
+        .submit("acme", &frame, fast_engine(), Budget::unlimited())
+        .unwrap();
+
+    let mut reports = Vec::new();
+    let outcome = loop {
+        match job.next_event().expect("stream ends with Done") {
+            JobEvent::Epoch(r) => reports.push(r),
+            JobEvent::Done(o) => break o,
+        }
+    };
+    assert!(
+        job.next_event().is_none(),
+        "nothing after the terminal event"
+    );
+
+    assert!(!reports.is_empty());
+    for pair in reports.windows(2) {
+        assert!(
+            pair[1].best_score >= pair[0].best_score,
+            "best-so-far can only improve"
+        );
+        assert_eq!(
+            pair[1].epochs_completed,
+            pair[0].epochs_completed + 1,
+            "one report per slice"
+        );
+    }
+    let last = reports.last().unwrap();
+    assert!(last.done);
+    let result = outcome.result.as_ref().unwrap();
+    assert_eq!(last.best_score.to_bits(), result.best_score.to_bits());
+    // The final report's weighted feature set is exactly the run's
+    // selected set.
+    let mut names: Vec<&str> = last.best_features.iter().map(|f| f.name.as_str()).collect();
+    names.sort_unstable();
+    let mut selected: Vec<&str> = result.selected.iter().map(String::as_str).collect();
+    selected.sort_unstable();
+    assert_eq!(names, selected);
+}
+
+#[test]
+fn cancelled_job_stops_at_the_next_epoch_boundary() {
+    let frame = frame();
+    let server = JobServer::new(ServerConfig::default()).unwrap();
+    let job = server
+        .submit("acme", &frame, long_engine(), Budget::unlimited())
+        .unwrap();
+
+    // Quiesce the scheduler so the cancellation point is exact: after
+    // `pause` returns, no slice is in flight, so the epochs observed on
+    // the stream are all the epochs that ever ran.
+    assert!(matches!(job.next_event(), Some(JobEvent::Epoch(_))));
+    server.pause();
+    let epochs_before_cancel = 1 + job.progress().len();
+    job.cancel().unwrap();
+    server.unpause();
+
+    let outcome = job.wait().unwrap();
+    assert_eq!(outcome.status, JobStatus::Cancelled);
+    assert_eq!(
+        outcome.epochs, epochs_before_cancel,
+        "no further slice runs after a cancel at a quiesced boundary"
+    );
+    assert!(
+        outcome.result.is_some(),
+        "anytime: cancelled jobs keep their best"
+    );
+}
+
+#[test]
+fn admission_control_bounds_the_queue() {
+    let frame = frame();
+    let config = ServerConfig {
+        max_queued: 2,
+        ..ServerConfig::default()
+    };
+    let server = JobServer::new(config).unwrap();
+    // Park the scheduler so nothing is promoted out of the queue.
+    server.pause();
+    let _a = server
+        .submit("t", &frame, fast_engine(), Budget::unlimited())
+        .unwrap();
+    let _b = server
+        .submit("t", &frame, fast_engine(), Budget::unlimited())
+        .unwrap();
+    let err = server
+        .submit("t", &frame, fast_engine(), Budget::unlimited())
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::QueueFull { capacity: 2 }),
+        "expected QueueFull, got {err}"
+    );
+    server.unpause();
+}
+
+#[test]
+fn unknown_job_and_stopped_server_are_rejected() {
+    let frame = frame();
+    let mut server = JobServer::new(ServerConfig::default()).unwrap();
+    assert!(matches!(
+        server.status(JobId(999)),
+        Err(ServeError::UnknownJob(JobId(999)))
+    ));
+    server.shutdown().unwrap();
+    assert!(matches!(
+        server.submit("t", &frame, fast_engine(), Budget::unlimited()),
+        Err(ServeError::ServerStopped)
+    ));
+}
+
+#[test]
+fn checkpoint_all_then_restart_preserves_job_ids_and_results() {
+    let frame = frame();
+    let solo = fast_engine().run(&frame).unwrap();
+
+    let dir = scratch_dir("ckpt");
+    let config = ServerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    // Park the scheduler before submitting so the checkpoint captures a
+    // job that never ran a slice (the frame-only checkpoint shape).
+    let mut server = JobServer::new(config.clone()).unwrap();
+    server.pause();
+    let job = server
+        .submit("acme", &frame, fast_engine(), Budget::unlimited())
+        .unwrap();
+    let original_id = job.id();
+    assert_eq!(server.checkpoint_all().unwrap(), 1);
+    server.shutdown().unwrap();
+
+    let (_server2, handles) = JobServer::resume(config).unwrap();
+    assert_eq!(handles.len(), 1);
+    assert_eq!(handles[0].id(), original_id, "job ids survive restarts");
+    assert_eq!(handles[0].tenant(), "acme");
+    let outcome = handles[0].wait().unwrap();
+    assert_eq!(outcome.status, JobStatus::Completed);
+    let result = outcome.result.unwrap();
+    assert_eq!(
+        result.best_score.to_bits(),
+        solo.best_score.to_bits(),
+        "a frame round-tripped through a checkpoint yields identical scores"
+    );
+    // The checkpoint file is removed once the job reaches a terminal state.
+    assert!(!dir.join(format!("{original_id}.json")).exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_checkpoint_dir_is_an_error() {
+    assert!(matches!(
+        JobServer::resume(ServerConfig::default()),
+        Err(ServeError::NoCheckpointDir)
+    ));
+}
+
+#[test]
+fn progress_feed_is_valid_event_jsonl() {
+    let frame = frame();
+    let dir = scratch_dir("feed");
+    let server = JobServer::new(ServerConfig {
+        feed_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let job = server
+        .submit("acme", &frame, fast_engine(), Budget::unlimited())
+        .unwrap();
+    let outcome = job.wait().unwrap();
+    assert_eq!(outcome.status, JobStatus::Completed);
+
+    let text = std::fs::read_to_string(dir.join(format!("{}.jsonl", job.id()))).unwrap();
+    let events: Vec<telemetry::Event> = text
+        .lines()
+        .map(|l| telemetry::Event::from_json(l).expect("feed lines are Event JSON"))
+        .collect();
+    let epochs = events
+        .iter()
+        .filter_map(telemetry::Event::as_span)
+        .filter(|s| s.name == "serve.epoch")
+        .count();
+    assert_eq!(epochs, outcome.epochs, "one feed span per epoch");
+    // Every epoch span tags its job, and the stream ends with a terminal
+    // count event naming the outcome.
+    for span in events.iter().filter_map(telemetry::Event::as_span) {
+        let jobfield = span.fields.iter().find(|(k, _)| k == "job").unwrap();
+        assert_eq!(jobfield.1, job.id().0 as f64);
+    }
+    match events.last().unwrap() {
+        telemetry::Event::Count(c) => {
+            assert_eq!(c.name, "serve.done.Completed");
+            assert_eq!(c.value, outcome.epochs as u64);
+        }
+        other => panic!("expected terminal count event, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,83 @@
+//! Release smoke tests for the serving layer: timing-sensitive checks on
+//! live (unquiesced) behaviour — CI runs these under `--release` where a
+//! slice is fast enough for the bounds to be meaningful.
+
+use serve::{Budget, JobEvent, JobServer, JobStatus, ServerConfig};
+use tabular::{DataFrame, SynthSpec, Task};
+
+fn frame() -> DataFrame {
+    SynthSpec::new("serve-smoke", 150, 4, Task::Classification)
+        .with_seed(11)
+        .generate()
+        .unwrap()
+}
+
+/// Many cheap epochs: interruption lands mid-run, never near the end.
+fn long_engine(seed: u64) -> eafe::Engine {
+    let mut cfg = eafe::EafeConfig::fast();
+    cfg.stage2_epochs = 10_000;
+    cfg.steps_per_epoch = 2;
+    cfg.early_stop_patience = None;
+    cfg.seed = seed;
+    eafe::Engine::nfs(cfg)
+}
+
+#[test]
+fn live_cancel_stops_within_one_epoch_boundary() {
+    let frame = frame();
+    let server = JobServer::new(ServerConfig::default()).unwrap();
+    let job = server
+        .submit("acme", &frame, long_engine(5), Budget::unlimited())
+        .unwrap();
+
+    // Let the job get going, then cancel while the scheduler is live: at
+    // most the slice already in flight may still complete and report.
+    assert!(matches!(job.next_event(), Some(JobEvent::Epoch(_))));
+    job.cancel().unwrap();
+    let mut epochs_after_cancel = 0;
+    let outcome = loop {
+        match job.next_event().expect("stream ends with Done") {
+            JobEvent::Epoch(_) => epochs_after_cancel += 1,
+            JobEvent::Done(o) => break o,
+        }
+    };
+    assert_eq!(outcome.status, JobStatus::Cancelled);
+    assert!(
+        epochs_after_cancel <= 1,
+        "cancel must stop the job within one epoch boundary \
+         (saw {epochs_after_cancel} epochs after cancel)"
+    );
+    assert!(
+        outcome.result.is_some(),
+        "cancelled job keeps its best-so-far"
+    );
+}
+
+#[test]
+fn equal_budget_tenants_finish_within_25_percent_of_each_other() {
+    let frame = frame();
+    let server = JobServer::new(ServerConfig::default()).unwrap();
+    // Same dataset and config shape, different seeds, identical
+    // compute-seconds budgets: fair round-robin slicing means neither
+    // tenant can starve the other, so their epoch counts track closely.
+    let budget = Budget::secs(1.0);
+    let a = server
+        .submit("tenant-a", &frame, long_engine(21), budget)
+        .unwrap();
+    let b = server
+        .submit("tenant-b", &frame, long_engine(22), budget)
+        .unwrap();
+    let oa = a.wait().unwrap();
+    let ob = b.wait().unwrap();
+    assert_eq!(oa.status, JobStatus::BudgetExhausted);
+    assert_eq!(ob.status, JobStatus::BudgetExhausted);
+
+    let (hi, lo) = (oa.epochs.max(ob.epochs), oa.epochs.min(ob.epochs));
+    assert!(lo > 0, "both tenants made progress");
+    assert!(
+        (hi - lo) as f64 <= 0.25 * hi as f64,
+        "equal-budget tenants diverged: {} vs {} epochs",
+        oa.epochs,
+        ob.epochs
+    );
+}

@@ -12,7 +12,9 @@
 //!   bench artifact envelope.
 //! - **Sinks** ([`install`], [`Sink`]): a process-global consumer of the
 //!   [`Event`] stream — [`MemorySink`] for the end-of-run [`Summary`],
-//!   [`JsonLinesSink`] for `--trace-out` files, [`FanoutSink`] for both.
+//!   [`JsonLinesSink`] for `--trace-out` files and live progress feeds,
+//!   [`FanoutSink`] for both, and [`RouterSink`] + [`route`] to split one
+//!   multi-tenant process's events into per-job feeds.
 //!
 //! # Zero cost when disabled
 //!
@@ -46,12 +48,14 @@
 
 mod event;
 mod metrics;
+mod route;
 mod sink;
 mod span;
 mod summary;
 
 pub use event::{CountEvent, Event, SpanEvent};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, N_BUCKETS};
+pub use route::{current_route, route, RouteGuard, RouterSink};
 pub use sink::{
     emit, enabled, flush, install, uninstall, FanoutSink, JsonLinesSink, MemorySink, NullSink, Sink,
 };

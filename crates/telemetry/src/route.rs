@@ -1,0 +1,225 @@
+//! Per-job event routing: tag the current thread with a route label and
+//! fan events out to per-route sinks.
+//!
+//! A multi-tenant server interleaves work for many jobs on shared
+//! threads, but each job wants its *own* progress feed. The global sink
+//! slot is process-wide, so routing happens one level down: the server
+//! wraps each work slice in a [`route`] guard naming the job, and
+//! installs a [`RouterSink`] that forwards every event recorded while
+//! that guard is live to the sink registered for that label. Events
+//! emitted with no route set (or from threads the guard never touched,
+//! e.g. pool workers) go to the router's fallback sink, so nothing is
+//! silently dropped.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let job_feed = Arc::new(telemetry::MemorySink::new());
+//! let router = Arc::new(telemetry::RouterSink::new());
+//! router.add_route("job-1", job_feed.clone());
+//! telemetry::install(router);
+//!
+//! {
+//!     let _g = telemetry::route("job-1");
+//!     let _s = telemetry::span("job.epoch"); // emits on drop → job_feed
+//! }
+//! {
+//!     let _s = telemetry::span("job.epoch"); // no route → fallback (none)
+//! }
+//!
+//! telemetry::uninstall();
+//! assert_eq!(job_feed.len(), 1);
+//! ```
+
+use crate::event::Event;
+use crate::sink::Sink;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+thread_local! {
+    static ROUTE: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// RAII guard that labels the current thread's events with a route.
+/// Restores the previous route (guards nest) on drop.
+#[must_use = "the route is only set while the guard is alive"]
+pub struct RouteGuard {
+    prev: Option<Arc<str>>,
+}
+
+/// Label every event the current thread records — until the returned
+/// guard drops — with `label`, for [`RouterSink`] dispatch.
+pub fn route(label: &str) -> RouteGuard {
+    let next: Arc<str> = Arc::from(label);
+    let prev = ROUTE.with(|r| r.borrow_mut().replace(next));
+    RouteGuard { prev }
+}
+
+/// The current thread's route label, if a [`route`] guard is live.
+pub fn current_route() -> Option<Arc<str>> {
+    ROUTE.with(|r| r.borrow().clone())
+}
+
+impl Drop for RouteGuard {
+    fn drop(&mut self) {
+        ROUTE.with(|r| *r.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Dispatches each event to the sink registered for the recording
+/// thread's current route label; unrouted events go to the fallback
+/// sink (if any).
+///
+/// Routes can be added and removed while the router is installed — a job
+/// server registers a route at job admission and removes it at
+/// completion without touching the global sink slot.
+#[derive(Default)]
+pub struct RouterSink {
+    routes: RwLock<HashMap<String, Arc<dyn Sink>>>,
+    fallback: Option<Arc<dyn Sink>>,
+}
+
+impl RouterSink {
+    /// Router with no routes and no fallback (unrouted events dropped).
+    pub fn new() -> RouterSink {
+        RouterSink::default()
+    }
+
+    /// Router that sends unrouted events to `fallback`.
+    pub fn with_fallback(fallback: Arc<dyn Sink>) -> RouterSink {
+        RouterSink {
+            routes: RwLock::new(HashMap::new()),
+            fallback: Some(fallback),
+        }
+    }
+
+    /// Register (or replace) the sink for `label`.
+    pub fn add_route(&self, label: &str, sink: Arc<dyn Sink>) {
+        self.routes.write().unwrap().insert(label.to_string(), sink);
+    }
+
+    /// Remove and return the sink for `label`.
+    pub fn remove_route(&self, label: &str) -> Option<Arc<dyn Sink>> {
+        self.routes.write().unwrap().remove(label)
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.read().unwrap().len()
+    }
+
+    /// True when no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RouterSink {
+    fn record(&self, event: &Event) {
+        let routed = current_route()
+            .and_then(|label| self.routes.read().unwrap().get(label.as_ref()).cloned());
+        if let Some(sink) = routed.as_ref().or(self.fallback.as_ref()) {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in self.routes.read().unwrap().values() {
+            sink.flush();
+        }
+        if let Some(fallback) = &self.fallback {
+            fallback.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CountEvent;
+    use crate::sink::MemorySink;
+
+    fn count(name: &str) -> Event {
+        Event::Count(CountEvent {
+            name: name.into(),
+            value: 1,
+        })
+    }
+
+    #[test]
+    fn events_follow_the_thread_route() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let fallback = Arc::new(MemorySink::new());
+        let router = RouterSink::with_fallback(fallback.clone());
+        router.add_route("a", a.clone());
+        router.add_route("b", b.clone());
+
+        router.record(&count("unrouted"));
+        {
+            let _g = route("a");
+            router.record(&count("for-a"));
+            {
+                let _inner = route("b");
+                router.record(&count("for-b"));
+            }
+            // Inner guard dropped: back on route "a".
+            router.record(&count("for-a-again"));
+        }
+        router.record(&count("unrouted-again"));
+
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(fallback.len(), 2);
+    }
+
+    #[test]
+    fn unknown_route_falls_back() {
+        let fallback = Arc::new(MemorySink::new());
+        let router = RouterSink::with_fallback(fallback.clone());
+        let _g = route("nobody-registered-this");
+        router.record(&count("x"));
+        assert_eq!(fallback.len(), 1);
+    }
+
+    #[test]
+    fn removing_a_route_redirects_to_fallback() {
+        let a = Arc::new(MemorySink::new());
+        let fallback = Arc::new(MemorySink::new());
+        let router = RouterSink::with_fallback(fallback.clone());
+        router.add_route("a", a.clone());
+        let _g = route("a");
+        router.record(&count("one"));
+        router.remove_route("a");
+        router.record(&count("two"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(fallback.len(), 1);
+        assert!(router.is_empty());
+    }
+
+    #[test]
+    fn no_fallback_drops_unrouted_events() {
+        let router = RouterSink::new();
+        router.record(&count("dropped"));
+        // Nothing to assert beyond "did not panic": the event is gone.
+        assert!(router.is_empty());
+    }
+
+    #[test]
+    fn routes_are_per_thread() {
+        let a = Arc::new(MemorySink::new());
+        let router = Arc::new(RouterSink::new());
+        router.add_route("a", a.clone());
+        let _g = route("a");
+        let router2 = Arc::clone(&router);
+        std::thread::spawn(move || {
+            // Fresh thread: no route, no fallback → dropped.
+            router2.record(&count("other-thread"));
+        })
+        .join()
+        .unwrap();
+        router.record(&count("this-thread"));
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Feature engineering as a service: two tenants share one `JobServer` —
+//! one worker pool, one content-addressed score cache — with different
+//! budgets. Their progress streams interleave (the scheduler slices
+//! round-robin at epoch granularity) and each tenant gets the best
+//! weighted feature set its budget could buy.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use serve::{Budget, JobEvent, JobServer, ServerConfig};
+use std::sync::mpsc;
+use tabular::{SynthSpec, Task};
+
+fn main() {
+    // One server per process: it owns the shared compute substrate that
+    // all tenants' searches draw from.
+    let server = JobServer::new(ServerConfig::default()).expect("start server");
+
+    // Two tenants, two datasets, two very different budgets.
+    let retail = SynthSpec::new("retail-churn", 240, 6, Task::Classification)
+        .with_depth(3)
+        .with_noise(0.35)
+        .with_seed(44)
+        .generate()
+        .expect("generate retail dataset");
+    let telco = SynthSpec::new("telco-upsell", 200, 5, Task::Classification)
+        .with_depth(2)
+        .with_noise(0.25)
+        .with_seed(45)
+        .generate()
+        .expect("generate telco dataset");
+
+    let config = eafe::EafeConfig {
+        stage1_epochs: 2,
+        stage2_epochs: 8,
+        steps_per_epoch: 3,
+        ..eafe::EafeConfig::fast()
+    };
+
+    // Tenant A pays for a full run; tenant B gets an interactive
+    // four-epoch budget — anytime semantics mean B still walks away with
+    // the best feature set found inside it.
+    let job_a = server
+        .submit(
+            "tenant-a",
+            &retail,
+            eafe::Engine::nfs(config.clone()),
+            Budget::unlimited(),
+        )
+        .expect("submit tenant-a");
+    let job_b = server
+        .submit(
+            "tenant-b",
+            &telco,
+            eafe::Engine::nfs(config),
+            Budget::epochs(4),
+        )
+        .expect("submit tenant-b");
+    println!(
+        "submitted {} (retail-churn, unlimited) and {} (telco-upsell, 4 epochs)\n",
+        job_a.id(),
+        job_b.id()
+    );
+
+    // Merge both live progress streams onto one channel so the printout
+    // shows the scheduler's actual interleaving. Handles are `Send`:
+    // each tenant's follower thread takes ownership of its handle.
+    let (tx, rx) = mpsc::channel();
+    for job in [job_a, job_b] {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            while let Some(event) = job.next_event() {
+                tx.send((job.id(), job.tenant().to_string(), event))
+                    .unwrap();
+            }
+        });
+    }
+    drop(tx);
+    let mut outcomes = Vec::new();
+    while outcomes.len() < 2 {
+        let (id, tenant, event) = rx.recv().expect("stream open");
+        match event {
+            JobEvent::Epoch(r) => println!(
+                "{id} [{tenant:>8}] epoch {:>2}  best {:.4} ({:+.4})  {} features",
+                r.epochs_completed,
+                r.best_score,
+                r.best_score - r.base_score,
+                r.best_features.len(),
+            ),
+            JobEvent::Done(outcome) => {
+                println!("{id} [{tenant:>8}] done: {:?}", outcome.status);
+                outcomes.push(outcome);
+            }
+        }
+    }
+
+    outcomes.sort_by_key(|o| o.id.0);
+    for outcome in &outcomes {
+        let result = outcome.result.as_ref().expect("terminal result");
+        println!(
+            "\n{} [{}] {:?} after {} epochs: {:.4} -> {:.4}",
+            outcome.id,
+            outcome.tenant,
+            outcome.status,
+            outcome.epochs,
+            result.base_score,
+            result.best_score
+        );
+        println!("  weighted feature set (weight = downstream gain at acceptance):");
+        if result.selected.is_empty() {
+            println!("    (no generated feature beat the raw dataset)");
+        }
+        for name in &result.selected {
+            println!("    {name}");
+        }
+        if let Some(frame) = &outcome.engineered {
+            println!(
+                "  engineered frame: {} rows x {} cols",
+                frame.n_rows(),
+                frame.n_cols()
+            );
+        }
+    }
+}

@@ -37,7 +37,17 @@ cargo test -q -p minhash --test table_parity
 echo "==> NN batched-vs-scalar parity suite"
 cargo test -q -p learners --test nn_parity
 
+echo "==> serve integration suite"
+cargo test -q -p serve --test integration
+
 if [[ "$quick" -eq 0 ]]; then
+    echo "==> serve smoke (release): live cancel bound + tenant fairness"
+    cargo test -q -p serve --release --test smoke
+
+    echo "==> perf_serve smoke (release): served scores bit-identical to direct"
+    cargo build --release -q -p bench --bin perf_serve
+    ./target/release/perf_serve --smoke --quiet
+
     echo "==> perf_forest smoke (release): histogram must not lose to exact"
     cargo build --release -q -p bench --bin perf_forest
     ./target/release/perf_forest --smoke --quiet
@@ -61,6 +71,6 @@ echo "==> cargo doc --no-deps (warnings denied, first-party crates)"
 # vendor/ stand-ins are workspace members but not ours to lint.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p e-afe -p telemetry -p runtime -p tabular -p learners \
-    -p minhash -p rl -p eafe -p eafe-stats -p bench
+    -p minhash -p rl -p eafe -p eafe-stats -p serve -p bench
 
 echo "CI gate passed."

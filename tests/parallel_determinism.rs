@@ -339,3 +339,126 @@ fn shared_cache_does_not_change_scores() {
         "every evaluation of an identical rerun is cached"
     );
 }
+
+#[test]
+fn checkpoint_resume_is_bit_identical_across_thread_counts() {
+    // The stepped engine's search state serializes completely — raw RNG
+    // stream words, policy parameters, replay buffer, adaptive-gate
+    // window — so a run that is checkpointed to JSON and restored at
+    // EVERY epoch boundary (the worst case a server restart can produce)
+    // must match the uninterrupted blocking run bit for bit, on one
+    // thread and on four.
+    let frame = frame();
+    for threads in [1usize, 4] {
+        runtime::set_global_threads(threads);
+        let uninterrupted = Engine::nfs(fast_config()).run(&frame).unwrap();
+
+        let mut engine = Engine::nfs(fast_config());
+        let mut state = engine.start(&frame).unwrap();
+        let cap = eafe::max_slices(&fast_config(), false);
+        let mut slices = 0usize;
+        while !state.is_done() {
+            // Full restart: engine + state → JSON → fresh objects.
+            let engine_json = serde_json::to_string(&engine).unwrap();
+            let state_json = serde_json::to_string(&state).unwrap();
+            engine = serde_json::from_str(&engine_json).unwrap();
+            state = serde_json::from_str(&state_json).unwrap();
+            engine.step(&mut state).unwrap();
+            slices += 1;
+            assert!(slices <= cap, "stepped run exceeded {cap} slices");
+        }
+        let (resumed, _frame) = engine.finish(&state).unwrap();
+        runtime::set_global_threads(0);
+        assert_bit_identical(
+            &uninterrupted,
+            &resumed,
+            &format!("NFS checkpoint-every-epoch vs blocking, {threads} threads"),
+        );
+    }
+}
+
+#[test]
+fn server_restart_with_two_tenants_matches_solo_runs() {
+    // Two tenants share one server — one scheduler interleaving their
+    // epochs round-robin, one content-addressed score cache — and the
+    // server is shut down mid-run and resumed from its checkpoint
+    // directory. Wherever the restart lands, each tenant's final result
+    // must be bit-identical to running its engine alone, at 1 and 4
+    // worker threads.
+    use serve::{Budget, JobServer, JobStatus, ServerConfig};
+
+    let frame = frame();
+    let cfg_a = fast_config();
+    let mut cfg_b = fast_config();
+    cfg_b.seed = cfg_a.seed.wrapping_add(101);
+
+    let root = std::env::temp_dir().join(format!("eafe-serve-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    for threads in [1usize, 4] {
+        runtime::set_global_threads(threads);
+        let solo_a = Engine::nfs(cfg_a.clone()).run(&frame).unwrap();
+        let solo_b = Engine::nfs(cfg_b.clone()).run(&frame).unwrap();
+
+        let dir = root.join(format!("t{threads}"));
+        let config = ServerConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let mut server = JobServer::new(config.clone()).unwrap();
+        let a = server
+            .submit(
+                "tenant-a",
+                &frame,
+                Engine::nfs(cfg_a.clone()),
+                Budget::unlimited(),
+            )
+            .unwrap();
+        let b = server
+            .submit(
+                "tenant-b",
+                &frame,
+                Engine::nfs(cfg_b.clone()),
+                Budget::unlimited(),
+            )
+            .unwrap();
+        // Let both tenants make some progress, then stop the server at
+        // an arbitrary point and restart it from the checkpoints.
+        a.next_event();
+        b.next_event();
+        server.shutdown().unwrap();
+
+        let (_server2, handles) = JobServer::resume(config).unwrap();
+        let finish = |handle: &serve::JobHandle, tenant: &str| -> eafe::RunResult {
+            // A tenant that completed before the shutdown has no
+            // checkpoint; its outcome lives on the original handle.
+            let outcome = match handle.wait() {
+                Ok(o) => o,
+                Err(_) => handles
+                    .iter()
+                    .find(|h| h.id() == handle.id())
+                    .unwrap_or_else(|| panic!("{tenant}: no resumed handle"))
+                    .wait()
+                    .unwrap(),
+            };
+            assert_eq!(outcome.status, JobStatus::Completed, "{tenant}");
+            assert_eq!(outcome.tenant, tenant);
+            outcome.result.unwrap()
+        };
+        let got_a = finish(&a, "tenant-a");
+        let got_b = finish(&b, "tenant-b");
+        runtime::set_global_threads(0);
+
+        assert_bit_identical(
+            &solo_a,
+            &got_a,
+            &format!("tenant-a served-with-restart vs solo, {threads} threads"),
+        );
+        assert_bit_identical(
+            &solo_b,
+            &got_b,
+            &format!("tenant-b served-with-restart vs solo, {threads} threads"),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -194,6 +194,19 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Snapshot the generator's internal state (for checkpointing).
+        /// `from_state(state())` continues the exact same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`StdRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -269,6 +282,18 @@ mod tests {
     fn deterministic_across_instances() {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn state_snapshot_resumes_exact_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
         for _ in 0..100 {
             assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
