@@ -1,0 +1,118 @@
+//! Offline trace analysis for `--trace-out` JSON-lines files.
+//!
+//! ```text
+//! trace_tool <trace.jsonl> [sections]
+//!
+//!   --folded [PATH]       collapsed-stack flamegraph output (inferno /
+//!                         speedscope folded format); written to PATH,
+//!                         or stdout when PATH is omitted or `-`
+//!   --critical-path       heaviest root-to-leaf span chain
+//!   --attribution [KEY]   self-time grouped by span field KEY
+//!                         (default `job`), inherited down the tree
+//!   --cache               cache-efficiency report from counter totals
+//! ```
+//!
+//! With no section flags, every report prints to stdout. Typical
+//! flamegraph pipeline:
+//!
+//! ```sh
+//! cargo run --release --bin table1 -- --trace-out out/trace.jsonl
+//! cargo run --release --bin trace_tool -- out/trace.jsonl --folded out/trace.folded
+//! inferno-flamegraph < out/trace.folded > out/flame.svg
+//! ```
+
+use bench::trace::Trace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let Some(input) = args.next().filter(|a| a != "--help" && a != "-h") else {
+        eprintln!(
+            "usage: trace_tool <trace.jsonl> [--folded [PATH|-]] [--critical-path] \
+             [--attribution [KEY]] [--cache]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    // Section selection; an optional value follows --folded/--attribution
+    // when the next token is not itself a flag.
+    let mut folded: Option<Option<PathBuf>> = None;
+    let mut critical = false;
+    let mut attribution: Option<String> = None;
+    let mut cache = false;
+    let mut any = false;
+    while let Some(flag) = args.next() {
+        any = true;
+        // An optional value follows when the next token is not a flag.
+        let mut optional_value = || -> Option<String> {
+            let next = args.peek().filter(|v| !v.starts_with("--")).cloned();
+            if next.is_some() {
+                args.next();
+            }
+            next
+        };
+        match flag.as_str() {
+            "--folded" => {
+                folded = Some(optional_value().filter(|p| p != "-").map(PathBuf::from));
+            }
+            "--critical-path" => critical = true,
+            "--attribution" => {
+                attribution = Some(optional_value().unwrap_or_else(|| "job".to_string()));
+            }
+            "--cache" => cache = true,
+            other => {
+                eprintln!("trace_tool: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !any {
+        folded = Some(None);
+        critical = true;
+        attribution = Some("job".to_string());
+        cache = true;
+    }
+
+    let trace = match Trace::from_path(&PathBuf::from(&input)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_tool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {}: {} spans, {} counters",
+        input,
+        trace.spans.len(),
+        trace.counts.len()
+    );
+
+    if let Some(dest) = folded {
+        let text = trace.folded();
+        match dest {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &text) {
+                    eprintln!("trace_tool: write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "wrote {} folded stacks to {}",
+                    text.lines().count(),
+                    path.display()
+                );
+            }
+            None => print!("{text}"),
+        }
+    }
+    if critical {
+        print!("{}", trace.critical_path());
+    }
+    if let Some(key) = attribution {
+        print!("{}", trace.attribution(&key));
+    }
+    if cache {
+        print!("{}", trace.cache_report());
+    }
+    ExitCode::SUCCESS
+}

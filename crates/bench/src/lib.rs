@@ -42,6 +42,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use tabular::{find_dataset, DataFrame, DatasetInfo, TARGET_DATASETS};
 
+pub mod trace;
+
 /// Common command-line arguments.
 #[derive(Debug, Clone)]
 pub struct CommonArgs {
@@ -456,6 +458,18 @@ impl CommonArgs {
             return;
         };
         self.export_shard_counters();
+        // Append every registry counter total to the event stream so a
+        // `--trace-out` file is self-contained: `trace_tool`'s cache
+        // report reads these without needing the artifact envelope.
+        // Snapshot order is sorted by name, so traces stay deterministic.
+        if self.trace_out.is_some() {
+            for (name, value) in &telemetry::global().snapshot().counters {
+                telemetry::emit(&telemetry::Event::Count(telemetry::CountEvent {
+                    name: name.clone(),
+                    value: *value,
+                }));
+            }
+        }
         telemetry::flush();
         if !self.metrics {
             return;

@@ -79,6 +79,25 @@ fn release_extra(n: usize) {
     ACTIVE_EXTRA.fetch_sub(n, Ordering::SeqCst);
 }
 
+/// Point-in-time view of the global thread budget, for introspection
+/// surfaces (the serve crate's `/status` page).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Process-wide worker-thread ceiling ([`global_threads`]).
+    pub threads: usize,
+    /// Extra (non-caller) worker threads currently running across all
+    /// pools; transient by nature.
+    pub active_extra: usize,
+}
+
+/// Snapshot the global thread budget.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        threads: global_threads(),
+        active_extra: ACTIVE_EXTRA.load(Ordering::SeqCst),
+    }
+}
+
 /// Run one task under a `pool.task` span, recording its run time. The
 /// span parents under whatever is current on the executing thread (the
 /// `pool.map` span inline, the re-established submitter span on workers).

@@ -60,6 +60,23 @@ impl Budget {
             || self.max_evals.is_some_and(|m| evals >= m)
             || self.max_secs.is_some_and(|m| secs >= m)
     }
+
+    /// Fraction of the budget still unspent — the *minimum* over bounded
+    /// axes of `1 - spent/limit`, clamped to `[0, 1]` (the tightest axis
+    /// decides, matching [`Budget::exhausted`]). `1.0` when unbounded.
+    pub fn remaining_fraction(&self, epochs: usize, evals: usize, secs: f64) -> f64 {
+        let mut frac: f64 = 1.0;
+        if let Some(m) = self.max_epochs {
+            frac = frac.min(1.0 - epochs as f64 / (m.max(1)) as f64);
+        }
+        if let Some(m) = self.max_evals {
+            frac = frac.min(1.0 - evals as f64 / (m.max(1)) as f64);
+        }
+        if let Some(m) = self.max_secs {
+            frac = frac.min(1.0 - secs / m.max(f64::MIN_POSITIVE));
+        }
+        frac.clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +110,24 @@ mod tests {
         assert!(b.exhausted(1, 100, 0.1));
         assert!(b.exhausted(1, 1, 60.0));
         assert!(!b.exhausted(4, 99, 59.9));
+    }
+
+    #[test]
+    fn remaining_fraction_tracks_the_tightest_axis() {
+        assert_eq!(
+            Budget::unlimited().remaining_fraction(1_000, 1_000, 1e9),
+            1.0
+        );
+        assert!((Budget::epochs(10).remaining_fraction(4, 0, 0.0) - 0.6).abs() < 1e-12);
+        let b = Budget {
+            max_epochs: Some(10),
+            max_evals: Some(100),
+            max_secs: None,
+        };
+        // 40% of epochs spent but 90% of evals: evals axis decides.
+        assert!((b.remaining_fraction(4, 90, 0.0) - 0.1).abs() < 1e-12);
+        // Over-spend clamps to zero rather than going negative.
+        assert_eq!(Budget::secs(1.0).remaining_fraction(0, 0, 2.0), 0.0);
     }
 
     #[test]

@@ -45,16 +45,24 @@
 //! - [`job`] — job identity, lifecycle states, outcomes, and the
 //!   progress-stream wire format ([`progress_event`]);
 //! - [`server`] — the [`JobServer`] itself: admission control, the fair
-//!   scheduler, cancellation, checkpoint/resume.
+//!   scheduler, cancellation, checkpoint/resume;
+//! - [`metrics`] — per-tenant scoped metrics, epoch-boundary time
+//!   series, and the SLO monitor;
+//! - [`status`] — the opt-in HTTP introspection endpoint (`/metrics`
+//!   Prometheus text, `/status` JSON), zero new dependencies.
 
 #![warn(missing_docs)]
 
 pub mod budget;
 pub mod error;
 pub mod job;
+pub mod metrics;
 pub mod server;
+pub mod status;
 
 pub use budget::Budget;
 pub use error::{Result, ServeError};
 pub use job::{progress_event, JobEvent, JobId, JobOutcome, JobStatus};
+pub use metrics::{ServerMetrics, SliceSample, SloConfig};
 pub use server::{JobHandle, JobServer, ServerConfig};
+pub use status::{scrape, StatusServer, StatusSource};

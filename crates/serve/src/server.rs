@@ -29,6 +29,8 @@
 use crate::budget::Budget;
 use crate::error::{Result, ServeError};
 use crate::job::{progress_event, JobEvent, JobId, JobOutcome, JobStatus};
+use crate::metrics::{ServerMetrics, SliceSample, SloConfig};
+use crate::status::{StatusServer, StatusSource};
 use eafe::{Engine, EpochReport, SearchState};
 use runtime::{CancelToken, RoundRobin, ScoreCache};
 use serde::{Deserialize, Serialize};
@@ -37,6 +39,7 @@ use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 use tabular::DataFrame;
 use telemetry::{CountEvent, Event, JsonLinesSink, Sink};
 
@@ -59,6 +62,13 @@ pub struct ServerConfig {
     /// (`<dir>/job-<id>.jsonl`, one telemetry `Event` per epoch,
     /// flushed per line so live tails never stall).
     pub feed_dir: Option<PathBuf>,
+    /// Bind address for the HTTP introspection endpoint
+    /// (`/metrics` + `/status`), e.g. `"127.0.0.1:0"`. `None` (the
+    /// default) starts no listener — introspection is strictly opt-in.
+    pub status_addr: Option<String>,
+    /// Per-tenant latency objectives; breaches are counted in the
+    /// tenant's metric scope and emitted as telemetry events.
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +79,8 @@ impl Default for ServerConfig {
             threads: None,
             checkpoint_dir: None,
             feed_dir: None,
+            status_addr: None,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -89,6 +101,17 @@ struct JobCheckpoint {
 
 const CHECKPOINT_VERSION: u32 = 1;
 
+/// Cumulative figures from a job's most recent slice, kept for the
+/// `/status` page and for per-slice counter deltas.
+#[derive(Debug, Clone, Copy, Default)]
+struct JobLast {
+    epochs_completed: usize,
+    base_score: f64,
+    best_score: f64,
+    downstream_evals: usize,
+    elapsed_secs: f64,
+}
+
 struct Job {
     tenant: String,
     engine: Arc<Engine>,
@@ -105,6 +128,10 @@ struct Job {
     events: Option<Sender<JobEvent>>,
     feed: Option<Arc<JsonLinesSink>>,
     outcome: Option<Box<JobOutcome>>,
+    /// When the job entered the queue (admission-wait accounting).
+    submitted: Instant,
+    /// Most recent slice report, for `/status` and counter deltas.
+    last: Option<JobLast>,
 }
 
 struct Inner {
@@ -132,7 +159,9 @@ pub struct JobServer {
     shared: Arc<Shared>,
     cache: Arc<ScoreCache<f64>>,
     config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
     scheduler: Option<std::thread::JoinHandle<()>>,
+    status: Option<StatusServer>,
 }
 
 /// A tenant's handle to one submitted job: live progress stream,
@@ -168,19 +197,35 @@ impl JobServer {
             work: Condvar::new(),
         });
         let cache = Arc::new(ScoreCache::new(runtime::evaluator::DEFAULT_CACHE_CAPACITY));
+        let metrics = Arc::new(ServerMetrics::new(config.slo));
         let scheduler = {
             let shared = Arc::clone(&shared);
             let max_active = config.max_active.max(1);
             let checkpoint_dir = config.checkpoint_dir.clone();
+            let metrics = Arc::clone(&metrics);
+            let cache = Arc::clone(&cache);
             std::thread::Builder::new()
                 .name("serve-scheduler".to_string())
-                .spawn(move || scheduler_loop(shared, max_active, checkpoint_dir))?
+                .spawn(move || scheduler_loop(shared, max_active, checkpoint_dir, metrics, cache))?
+        };
+        let status = match &config.status_addr {
+            Some(addr) => Some(StatusServer::start(
+                addr,
+                Arc::new(Introspection {
+                    shared: Arc::clone(&shared),
+                    metrics: Arc::clone(&metrics),
+                    cache: Arc::clone(&cache),
+                }),
+            )?),
+            None => None,
         };
         Ok(JobServer {
             shared,
             cache,
             config,
+            metrics,
             scheduler: Some(scheduler),
+            status,
         })
     }
 
@@ -237,6 +282,8 @@ impl JobServer {
                     events: Some(tx),
                     feed,
                     outcome: None,
+                    submitted: Instant::now(),
+                    last: None,
                 },
             );
             inner.queued.push_back(id);
@@ -311,6 +358,8 @@ impl JobServer {
                     events: Some(tx),
                     feed,
                     outcome: None,
+                    submitted: Instant::now(),
+                    last: None,
                 },
             );
             inner.queued.push_back(id);
@@ -423,6 +472,9 @@ impl JobServer {
     /// one is configured. Returns how many jobs were checkpointed.
     /// After shutdown the server accepts no new submissions.
     pub fn shutdown(&mut self) -> Result<usize> {
+        if let Some(mut status) = self.status.take() {
+            status.stop();
+        }
         {
             let mut inner = self.shared.inner.lock().unwrap();
             inner.shutdown = true;
@@ -458,6 +510,160 @@ impl JobServer {
     /// Number of jobs the server knows about (any status).
     pub fn n_jobs(&self) -> usize {
         self.shared.inner.lock().unwrap().jobs.len()
+    }
+
+    /// The server's per-tenant scoped metrics and time series.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// The bound address of the HTTP introspection endpoint, when
+    /// [`ServerConfig::status_addr`] was set (resolves port 0).
+    pub fn status_addr(&self) -> Option<std::net::SocketAddr> {
+        self.status.as_ref().map(|s| s.addr())
+    }
+}
+
+/// The [`StatusSource`] behind the server's introspection endpoint:
+/// snapshots the job map, scoped metrics, pool budget, and score cache
+/// under short-lived locks.
+struct Introspection {
+    shared: Arc<Shared>,
+    metrics: Arc<ServerMetrics>,
+    cache: Arc<ScoreCache<f64>>,
+}
+
+impl Introspection {
+    fn jobs_value(&self) -> serde::Value {
+        let inner = self.shared.inner.lock().unwrap();
+        let mut ids: Vec<JobId> = inner.jobs.keys().copied().collect();
+        ids.sort();
+        let jobs = ids
+            .iter()
+            .map(|id| {
+                let job = &inner.jobs[id];
+                let last = job.last.unwrap_or_default();
+                serde::Value::Map(vec![
+                    ("id".to_string(), serde::Value::Str(id.to_string())),
+                    ("tenant".to_string(), serde::Value::Str(job.tenant.clone())),
+                    (
+                        "status".to_string(),
+                        serde::Value::Str(format!("{:?}", job.status)),
+                    ),
+                    (
+                        "epochs_completed".to_string(),
+                        serde::Value::U64(last.epochs_completed as u64),
+                    ),
+                    ("base_score".to_string(), serde::Value::F64(last.base_score)),
+                    ("best_score".to_string(), serde::Value::F64(last.best_score)),
+                    (
+                        "downstream_evals".to_string(),
+                        serde::Value::U64(last.downstream_evals as u64),
+                    ),
+                    (
+                        "elapsed_secs".to_string(),
+                        serde::Value::F64(last.elapsed_secs),
+                    ),
+                    (
+                        "budget_remaining".to_string(),
+                        serde::Value::F64(job.budget.remaining_fraction(
+                            last.epochs_completed,
+                            last.downstream_evals,
+                            last.elapsed_secs,
+                        )),
+                    ),
+                ])
+            })
+            .collect();
+        serde::Value::Array(jobs)
+    }
+
+    fn queue_value(&self) -> (u64, u64) {
+        let inner = self.shared.inner.lock().unwrap();
+        (inner.queued.len() as u64, inner.rr.len() as u64)
+    }
+
+    fn cache_value(&self) -> serde::Value {
+        let agg = self.cache.stats();
+        let shards = self
+            .cache
+            .shard_stats()
+            .into_iter()
+            .map(|s| {
+                serde::Value::Map(vec![
+                    ("hits".to_string(), serde::Value::U64(s.hits)),
+                    ("misses".to_string(), serde::Value::U64(s.misses)),
+                    ("inserts".to_string(), serde::Value::U64(s.inserts)),
+                    ("evictions".to_string(), serde::Value::U64(s.evictions)),
+                    ("len".to_string(), serde::Value::U64(s.len as u64)),
+                ])
+            })
+            .collect();
+        serde::Value::Map(vec![
+            ("hits".to_string(), serde::Value::U64(agg.hits)),
+            ("misses".to_string(), serde::Value::U64(agg.misses)),
+            ("hit_rate".to_string(), serde::Value::F64(agg.hit_rate())),
+            ("len".to_string(), serde::Value::U64(agg.len as u64)),
+            (
+                "capacity".to_string(),
+                serde::Value::U64(agg.capacity as u64),
+            ),
+            ("shards".to_string(), serde::Value::Array(shards)),
+        ])
+    }
+
+    fn series_value(&self) -> serde::Value {
+        let series = self
+            .metrics
+            .series()
+            .snapshot()
+            .into_iter()
+            .map(|(name, points)| {
+                let points = points
+                    .into_iter()
+                    .map(|p| {
+                        serde::Value::Map(vec![
+                            ("tick".to_string(), serde::Value::U64(p.tick)),
+                            ("value".to_string(), serde::Value::F64(p.value)),
+                        ])
+                    })
+                    .collect();
+                (name, serde::Value::Array(points))
+            })
+            .collect();
+        serde::Value::Map(series)
+    }
+}
+
+impl StatusSource for Introspection {
+    fn status_json(&self) -> String {
+        let (queue_depth, active) = self.queue_value();
+        let pool = runtime::pool_stats();
+        let doc = serde::Value::Map(vec![
+            ("jobs".to_string(), self.jobs_value()),
+            ("queue_depth".to_string(), serde::Value::U64(queue_depth)),
+            ("active".to_string(), serde::Value::U64(active)),
+            (
+                "pool".to_string(),
+                serde::Value::Map(vec![
+                    (
+                        "threads".to_string(),
+                        serde::Value::U64(pool.threads as u64),
+                    ),
+                    (
+                        "active_extra".to_string(),
+                        serde::Value::U64(pool.active_extra as u64),
+                    ),
+                ]),
+            ),
+            ("cache".to_string(), self.cache_value()),
+            ("series".to_string(), self.series_value()),
+        ]);
+        serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    fn metrics_text(&self) -> String {
+        self.metrics.snapshot().to_prometheus()
     }
 }
 
@@ -593,8 +799,17 @@ enum SliceEnd {
     Terminal(Box<JobOutcome>),
 }
 
-fn scheduler_loop(shared: Arc<Shared>, max_active: usize, checkpoint_dir: Option<PathBuf>) {
+fn scheduler_loop(
+    shared: Arc<Shared>,
+    max_active: usize,
+    checkpoint_dir: Option<PathBuf>,
+    metrics: Arc<ServerMetrics>,
+    cache: Arc<ScoreCache<f64>>,
+) {
     loop {
+        // Admission waits observed by `promote` under the lock, recorded
+        // into metric scopes after it is released.
+        let mut admission_waits: Vec<(String, u64)> = Vec::new();
         let slice = {
             let mut inner = shared.inner.lock().unwrap();
             loop {
@@ -602,7 +817,7 @@ fn scheduler_loop(shared: Arc<Shared>, max_active: usize, checkpoint_dir: Option
                     return;
                 }
                 if !inner.paused {
-                    promote(&mut inner, max_active);
+                    promote(&mut inner, max_active, &mut admission_waits);
                     if let Some(id) = inner.rr.pick() {
                         inner.in_flight = Some(id);
                         let job = inner.jobs.get_mut(&id).expect("job in rotation");
@@ -624,15 +839,36 @@ fn scheduler_loop(shared: Arc<Shared>, max_active: usize, checkpoint_dir: Option
                 inner = shared.work.wait(inner).unwrap();
             }
         };
+        for (tenant, wait_us) in admission_waits.drain(..) {
+            metrics.record_admission_wait(&tenant, wait_us);
+        }
 
         let id = slice.id;
+        let tenant = slice.tenant.clone();
+        let budget = slice.budget;
         let events = slice.events.clone();
         let feed = slice.feed.clone();
-        let end = run_slice(slice);
+        let slice_start = Instant::now();
+        let (end, report) = run_slice(slice);
+        let epoch_us = slice_start.elapsed().as_micros() as u64;
 
-        let terminal_outcome = {
+        let (terminal_outcome, evals_delta) = {
             let mut inner = shared.inner.lock().unwrap();
             inner.in_flight = None;
+            let evals_delta = match (&report, inner.jobs.get_mut(&id)) {
+                (Some(r), Some(job)) => {
+                    let prev = job.last.map_or(0, |l| l.downstream_evals);
+                    job.last = Some(JobLast {
+                        epochs_completed: r.epochs_completed,
+                        base_score: r.base_score,
+                        best_score: r.best_score,
+                        downstream_evals: r.downstream_evals,
+                        elapsed_secs: r.elapsed_secs,
+                    });
+                    (r.downstream_evals.saturating_sub(prev)) as u64
+                }
+                _ => 0,
+            };
             let outcome = match end {
                 SliceEnd::Continue(state) => {
                     if let Some(job) = inner.jobs.get_mut(&id) {
@@ -652,8 +888,20 @@ fn scheduler_loop(shared: Arc<Shared>, max_active: usize, checkpoint_dir: Option
                 }
             };
             shared.work.notify_all();
-            outcome
+            (outcome, evals_delta)
         };
+
+        if let Some(r) = &report {
+            metrics.record_slice(&SliceSample {
+                id,
+                tenant: &tenant,
+                epoch_us,
+                report: r,
+                budget,
+                evals_delta,
+                cache_hit_rate: cache.stats().hit_rate(),
+            });
+        }
 
         if let Some(outcome) = terminal_outcome {
             if let Some(dir) = &checkpoint_dir {
@@ -672,12 +920,16 @@ fn scheduler_loop(shared: Arc<Shared>, max_active: usize, checkpoint_dir: Option
     }
 }
 
-fn promote(inner: &mut Inner, max_active: usize) {
+fn promote(inner: &mut Inner, max_active: usize, admission_waits: &mut Vec<(String, u64)>) {
     while inner.rr.len() < max_active {
         match inner.queued.pop_front() {
             Some(id) => {
                 if let Some(job) = inner.jobs.get_mut(&id) {
                     job.status = JobStatus::Active;
+                    admission_waits.push((
+                        job.tenant.clone(),
+                        job.submitted.elapsed().as_micros() as u64,
+                    ));
                     inner.rr.admit(id);
                 }
             }
@@ -690,7 +942,9 @@ fn promote(inner: &mut Inner, max_active: usize) {
 /// report on the job's stream and feed; terminal outcomes are returned
 /// for the scheduler to commit (the Done event is sent after commit, so
 /// a waiter never observes a terminal event before the server map does).
-fn run_slice(slice: Slice) -> SliceEnd {
+/// The report the slice produced (if the engine stepped at all) rides
+/// along for the scheduler's metrics commit.
+fn run_slice(slice: Slice) -> (SliceEnd, Option<Box<EpochReport>>) {
     let Slice {
         id,
         tenant,
@@ -727,7 +981,7 @@ fn run_slice(slice: Slice) -> SliceEnd {
     };
 
     if cancel.is_cancelled() {
-        return finalize(JobStatus::Cancelled, state, None);
+        return (finalize(JobStatus::Cancelled, state, None), None);
     }
 
     let mut state = match state {
@@ -736,16 +990,19 @@ fn run_slice(slice: Slice) -> SliceEnd {
             let frame = match frame {
                 Some(f) => f,
                 None => {
-                    return finalize(
-                        JobStatus::Failed,
+                    return (
+                        finalize(
+                            JobStatus::Failed,
+                            None,
+                            Some("job has neither state nor frame".to_string()),
+                        ),
                         None,
-                        Some("job has neither state nor frame".to_string()),
                     )
                 }
             };
             match engine.start(&frame) {
                 Ok(s) => s,
-                Err(e) => return finalize(JobStatus::Failed, None, Some(e.to_string())),
+                Err(e) => return (finalize(JobStatus::Failed, None, Some(e.to_string())), None),
             }
         }
     };
@@ -757,7 +1014,10 @@ fn run_slice(slice: Slice) -> SliceEnd {
         state.downstream_evals(),
         state.elapsed_secs(),
     ) {
-        return finalize(JobStatus::BudgetExhausted, Some(state), None);
+        return (
+            finalize(JobStatus::BudgetExhausted, Some(state), None),
+            None,
+        );
     }
 
     let report = {
@@ -765,7 +1025,12 @@ fn run_slice(slice: Slice) -> SliceEnd {
         span.field("job", id.0 as f64);
         match engine.step(&mut state) {
             Ok(r) => r,
-            Err(e) => return finalize(JobStatus::Failed, Some(state), Some(e.to_string())),
+            Err(e) => {
+                return (
+                    finalize(JobStatus::Failed, Some(state), Some(e.to_string())),
+                    None,
+                )
+            }
         }
     };
     if let Some(feed) = &feed {
@@ -773,7 +1038,7 @@ fn run_slice(slice: Slice) -> SliceEnd {
     }
     let _ = events.send(JobEvent::Epoch(report.clone()));
 
-    if report.done {
+    let end = if report.done {
         finalize(JobStatus::Completed, Some(state), None)
     } else if budget.exhausted(
         report.epochs_completed,
@@ -783,5 +1048,6 @@ fn run_slice(slice: Slice) -> SliceEnd {
         finalize(JobStatus::BudgetExhausted, Some(state), None)
     } else {
         SliceEnd::Continue(Box::new(state))
-    }
+    };
+    (end, Some(Box::new(report)))
 }

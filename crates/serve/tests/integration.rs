@@ -229,6 +229,149 @@ fn checkpoint_all_then_restart_preserves_job_ids_and_results() {
 }
 
 #[test]
+fn resumed_stream_does_not_replay_events_seen_before_restart() {
+    let frame = frame();
+    let dir = scratch_dir("resume-stream");
+    let feed_dir = dir.join("feeds");
+    let config = ServerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        feed_dir: Some(feed_dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let mut server = JobServer::new(config.clone()).unwrap();
+    let job = server
+        .submit("acme", &frame, long_engine(), Budget::epochs(6))
+        .unwrap();
+
+    // Observe at least one epoch live, then quiesce so the count of
+    // pre-restart epochs is exact.
+    assert!(matches!(job.next_event(), Some(JobEvent::Epoch(_))));
+    server.pause();
+    let seen_before = 1 + job.progress().len();
+    assert!(seen_before < 6, "budget must not be exhausted pre-restart");
+    // Shut down while still paused: the checkpoint then captures exactly
+    // the quiesced state whose epochs the stream has already delivered.
+    assert_eq!(server.shutdown().unwrap(), 1);
+
+    let (_server2, handles) = JobServer::resume(config).unwrap();
+    let resumed = &handles[0];
+    let mut reports = Vec::new();
+    let outcome = loop {
+        match resumed.next_event().expect("stream ends with Done") {
+            JobEvent::Epoch(r) => reports.push(r),
+            JobEvent::Done(o) => break o,
+        }
+    };
+
+    // Ordering contract: the resumed stream starts exactly one epoch
+    // after the last pre-restart report — nothing seen before the
+    // restart is re-emitted — and stays gapless through the terminal
+    // event.
+    assert_eq!(
+        reports.first().unwrap().epochs_completed,
+        seen_before + 1,
+        "first resumed event must continue, not replay"
+    );
+    for pair in reports.windows(2) {
+        assert_eq!(pair[1].epochs_completed, pair[0].epochs_completed + 1);
+    }
+    assert_eq!(outcome.status, JobStatus::BudgetExhausted);
+    assert_eq!(outcome.epochs, 6);
+    assert_eq!(reports.last().unwrap().epochs_completed, 6);
+
+    // The progress feed is truncated on resume, so it too contains only
+    // post-restart epochs.
+    let text = std::fs::read_to_string(feed_dir.join(format!("{}.jsonl", resumed.id()))).unwrap();
+    let feed_epochs: Vec<usize> = text
+        .lines()
+        .filter_map(|l| telemetry::Event::from_json(l).ok())
+        .filter_map(|e| match e {
+            telemetry::Event::Span(s) if s.name == "serve.epoch" => s
+                .fields
+                .iter()
+                .find(|(k, _)| k == "epochs_completed")
+                .map(|(_, v)| *v as usize),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        feed_epochs,
+        (seen_before + 1..=6).collect::<Vec<_>>(),
+        "feed holds exactly the post-restart epochs, no replays"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn status_endpoint_reports_jobs_metrics_and_cache() {
+    let frame = frame();
+    let server = JobServer::new(ServerConfig {
+        status_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.status_addr().expect("status server is running");
+
+    let job = server
+        .submit("acme", &frame, fast_engine(), Budget::unlimited())
+        .unwrap();
+    let outcome = job.wait().unwrap();
+    assert_eq!(outcome.status, JobStatus::Completed);
+
+    // /metrics: Prometheus text with the tenant label on scoped metrics.
+    let metrics = serve::scrape(addr, "/metrics").unwrap();
+    assert!(
+        metrics.contains("# TYPE serve_epoch_us summary"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("serve_epoch_us{tenant=\"acme\",quantile=\"0.99\"}"));
+    assert!(metrics.contains("serve_epochs{tenant=\"acme\"}"));
+    assert!(metrics.contains("serve_admission_wait_us{tenant=\"acme\""));
+
+    // /status: JSON with the job row, pool + cache stats, time series.
+    let status = serve::scrape(addr, "/status").unwrap();
+    let doc = serde_json::parse(&status).unwrap();
+    let map = doc.as_map().unwrap();
+    let jobs = map
+        .iter()
+        .find(|(k, _)| k == "jobs")
+        .and_then(|(_, v)| v.as_array())
+        .unwrap();
+    assert_eq!(jobs.len(), 1);
+    let row = jobs[0].as_map().unwrap();
+    let field = |k: &str| row.iter().find(|(n, _)| n == k).map(|(_, v)| v).unwrap();
+    assert_eq!(field("tenant"), &serde::Value::Str("acme".to_string()));
+    assert_eq!(field("status"), &serde::Value::Str("Completed".to_string()));
+    assert!(field("epochs_completed").as_u64().unwrap() > 0);
+    assert!(field("best_score").as_f64().unwrap() >= field("base_score").as_f64().unwrap());
+    for key in ["queue_depth", "active", "pool", "cache", "series"] {
+        assert!(map.iter().any(|(k, _)| k == key), "missing {key}: {status}");
+    }
+    // The per-job time series carry the budget burn-down and best score.
+    let series = map
+        .iter()
+        .find(|(k, _)| k == "series")
+        .and_then(|(_, v)| v.as_map())
+        .unwrap();
+    let id = job.id();
+    for signal in [
+        "best_score",
+        "budget_remaining",
+        "cache_hit_rate",
+        "epoch_us",
+    ] {
+        let name = format!("{id}.{signal}");
+        let points = series
+            .iter()
+            .find(|(k, _)| *k == name)
+            .and_then(|(_, v)| v.as_array())
+            .unwrap_or_else(|| panic!("missing series {name}"));
+        assert!(!points.is_empty());
+    }
+}
+
+#[test]
 fn resume_without_a_checkpoint_dir_is_an_error() {
     assert!(matches!(
         JobServer::resume(ServerConfig::default()),

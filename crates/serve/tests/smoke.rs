@@ -54,6 +54,93 @@ fn live_cancel_stops_within_one_epoch_boundary() {
 }
 
 #[test]
+fn live_status_scrapes_during_a_two_tenant_run() {
+    let frame = frame();
+    let server = JobServer::new(ServerConfig {
+        status_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.status_addr().unwrap();
+    let a = server
+        .submit("tenant-a", &frame, long_engine(31), Budget::secs(0.6))
+        .unwrap();
+    let b = server
+        .submit("tenant-b", &frame, long_engine(32), Budget::secs(0.6))
+        .unwrap();
+
+    // Both tenants are mid-run: scrape live, repeatedly, and require the
+    // pages to reflect both tenants with well-formed payloads. Metrics
+    // are recorded after the slice's progress event is delivered (the
+    // scheduler records outside its lock), so poll with a deadline
+    // rather than asserting on the first scrape.
+    assert!(matches!(a.next_event(), Some(JobEvent::Epoch(_))));
+    assert!(matches!(b.next_event(), Some(JobEvent::Epoch(_))));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let metrics = loop {
+        let metrics = serve::scrape(addr, "/metrics").unwrap();
+        let complete = ["tenant-a", "tenant-b"].iter().all(|tenant| {
+            metrics.contains(&format!("serve_epochs{{tenant=\"{tenant}\"}}"))
+                && metrics.contains(&format!(
+                    "serve_epoch_us{{tenant=\"{tenant}\",quantile=\"0.99\"}}"
+                ))
+        });
+        if complete {
+            break metrics;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "live /metrics never showed both tenants: {metrics}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    assert!(metrics.contains("# TYPE serve_epochs counter"), "{metrics}");
+    for _ in 0..3 {
+        let status = serve::scrape(addr, "/status").unwrap();
+        let doc = serde_json::parse(&status).expect("live /status is valid JSON");
+        let jobs = doc
+            .as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == "jobs").map(|(_, v)| v))
+            .and_then(|v| v.as_array())
+            .unwrap();
+        assert_eq!(jobs.len(), 2, "both tenants visible: {status}");
+    }
+
+    let oa = a.wait().unwrap();
+    let ob = b.wait().unwrap();
+    assert_eq!(oa.status, JobStatus::BudgetExhausted);
+    assert_eq!(ob.status, JobStatus::BudgetExhausted);
+
+    // After the run: budget burn-down series exist per job and the final
+    // budget_remaining point is (near) zero.
+    let status = serve::scrape(addr, "/status").unwrap();
+    let doc = serde_json::parse(&status).unwrap();
+    let series = doc
+        .as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == "series").map(|(_, v)| v))
+        .and_then(|v| v.as_map())
+        .unwrap();
+    for job in [a.id(), b.id()] {
+        let name = format!("{job}.budget_remaining");
+        let points = series
+            .iter()
+            .find(|(k, _)| *k == name)
+            .and_then(|(_, v)| v.as_array())
+            .unwrap_or_else(|| panic!("missing {name}"));
+        let last = points.last().unwrap().as_map().unwrap();
+        let value = last
+            .iter()
+            .find(|(k, _)| k == "value")
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap();
+        assert!(
+            value < 0.5,
+            "budget burn-down should approach zero, got {value}"
+        );
+    }
+}
+
+#[test]
 fn equal_budget_tenants_finish_within_25_percent_of_each_other() {
     let frame = frame();
     let server = JobServer::new(ServerConfig::default()).unwrap();

@@ -49,18 +49,22 @@
 mod event;
 mod metrics;
 mod route;
+mod scoped;
 mod sink;
 mod span;
 mod summary;
+mod timeseries;
 
 pub use event::{CountEvent, Event, SpanEvent};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, N_BUCKETS};
 pub use route::{current_route, route, RouteGuard, RouterSink};
+pub use scoped::{LabelSet, Scope, ScopedRegistry, ScopedSnapshot};
 pub use sink::{
     emit, enabled, flush, install, uninstall, FanoutSink, JsonLinesSink, MemorySink, NullSink, Sink,
 };
 pub use span::{current_span, parent_scope, span, ParentScope, SpanGuard, SpanId};
 pub use summary::{SpanRow, Summary};
+pub use timeseries::{TimePoint, TimeSeries, TimeSeriesStore};
 
 use std::sync::OnceLock;
 

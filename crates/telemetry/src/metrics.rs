@@ -315,6 +315,66 @@ mod tests {
     }
 
     #[test]
+    fn all_zero_histogram_snapshot() {
+        // Zero is a real sample (bucket 0), not an empty histogram: count
+        // and quantiles must reflect it, min must be 0 by observation.
+        let h = Histogram::default();
+        for _ in 0..5 {
+            h.record(0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!((s.p50, s.p90, s.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_histogram_snapshot() {
+        let h = Histogram::default();
+        h.record(42);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 42);
+        assert_eq!(s.min, 42);
+        assert_eq!(s.max, 42);
+        // Quantiles clamp to the observed max, not the bucket bound (63).
+        assert_eq!((s.p50, s.p90, s.p99), (42, 42, 42));
+    }
+
+    #[test]
+    fn empty_histogram_min_is_zero_not_sentinel() {
+        // The internal min register starts at u64::MAX; the snapshot must
+        // never leak that sentinel.
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.min, 0);
+        assert_eq!(
+            (s.p50, s.p90, s.p99),
+            (0, 0, 0),
+            "quantiles defined at count==0"
+        );
+    }
+
+    #[test]
+    fn snapshot_serialization_is_insertion_order_independent() {
+        // Same metrics registered in opposite orders must serialise to
+        // identical bytes — artifact diffing depends on it.
+        let mk = |names: &[&str]| {
+            let r = Registry::new();
+            for n in names {
+                r.counter(n).add(n.len() as u64);
+                r.histogram(&format!("h.{n}")).record(7);
+            }
+            serde_json::to_string(&r.snapshot()).unwrap()
+        };
+        assert_eq!(
+            mk(&["alpha", "beta", "gamma"]),
+            mk(&["gamma", "beta", "alpha"])
+        );
+    }
+
+    #[test]
     fn snapshot_is_sorted_by_name() {
         let r = Registry::new();
         r.counter("z").inc();

@@ -100,6 +100,12 @@ impl RouterSink {
     }
 
     /// Remove and return the sink for `label`.
+    ///
+    /// Synchronizes with in-flight [`Sink::record`] calls: dispatch holds
+    /// the route-table read lock while delivering, so once the write lock
+    /// here is acquired no further events can reach the removed sink —
+    /// threads still holding the label fall back cleanly from the next
+    /// event on.
     pub fn remove_route(&self, label: &str) -> Option<Arc<dyn Sink>> {
         self.routes.write().unwrap().remove(label)
     }
@@ -117,10 +123,20 @@ impl RouterSink {
 
 impl Sink for RouterSink {
     fn record(&self, event: &Event) {
-        let routed = current_route()
-            .and_then(|label| self.routes.read().unwrap().get(label.as_ref()).cloned());
-        if let Some(sink) = routed.as_ref().or(self.fallback.as_ref()) {
-            sink.record(event);
+        // Deliver while holding the read lock: `remove_route` takes the
+        // write lock, so it cannot return while a routed delivery is in
+        // flight — after it returns, the removed sink is guaranteed to
+        // receive no further events even from threads still carrying the
+        // label (they fall back from the next event on).
+        if let Some(label) = current_route() {
+            let routes = self.routes.read().unwrap();
+            if let Some(sink) = routes.get(label.as_ref()) {
+                sink.record(event);
+                return;
+            }
+        }
+        if let Some(fallback) = &self.fallback {
+            fallback.record(event);
         }
     }
 
@@ -204,6 +220,65 @@ mod tests {
         router.record(&count("dropped"));
         // Nothing to assert beyond "did not panic": the event is gone.
         assert!(router.is_empty());
+    }
+
+    #[test]
+    fn remove_route_synchronizes_with_inflight_records() {
+        // Emitters hammer the router on route labels that another thread
+        // is concurrently adding and removing. Invariants: no panic, no
+        // event lost (each lands in the route sink or the fallback), and
+        // after remove_route returns, the removed sink's count is frozen.
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        let fallback = Arc::new(MemorySink::new());
+        let router = Arc::new(RouterSink::with_fallback(fallback.clone()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let emitted = Arc::new(AtomicUsize::new(0));
+
+        let emitters: Vec<_> = (0..4)
+            .map(|i| {
+                let router = Arc::clone(&router);
+                let stop = Arc::clone(&stop);
+                let emitted = Arc::clone(&emitted);
+                std::thread::spawn(move || {
+                    let label = format!("job-{}", i % 2);
+                    let _g = route(&label);
+                    while !stop.load(Ordering::Relaxed) {
+                        router.record(&count("e"));
+                        emitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+
+        // Churn the route table while emitters run, checking the frozen-
+        // after-remove guarantee on every cycle.
+        let mut removed_total = 0usize;
+        for cycle in 0..200 {
+            let label = format!("job-{}", cycle % 2);
+            let sink = Arc::new(MemorySink::new());
+            router.add_route(&label, sink.clone());
+            std::thread::yield_now();
+            router.remove_route(&label);
+            let frozen = sink.len();
+            std::thread::yield_now();
+            assert_eq!(
+                sink.len(),
+                frozen,
+                "sink received events after remove_route returned"
+            );
+            removed_total += frozen;
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for t in emitters {
+            t.join().unwrap();
+        }
+        // Conservation: every emitted event reached exactly one sink.
+        assert_eq!(
+            emitted.load(Ordering::Relaxed),
+            fallback.len() + removed_total
+        );
     }
 
     #[test]

@@ -7,15 +7,62 @@
 //! ```sh
 //! cargo run --release --example serve_demo
 //! ```
+//!
+//! Observability flags:
+//!
+//! ```text
+//! --status [ADDR]     start the introspection endpoint (default
+//!                     127.0.0.1:0) and self-scrape /metrics + /status
+//!                     when the run finishes
+//! --trace-out <PATH>  stream telemetry events to a JSON-lines file —
+//!                     feed it to `trace_tool` for flamegraphs and
+//!                     critical-path / attribution reports
+//! --quiet             suppress the per-epoch progress lines
+//! ```
 
 use serve::{Budget, JobEvent, JobServer, ServerConfig};
 use std::sync::mpsc;
+use std::sync::Arc;
 use tabular::{SynthSpec, Task};
 
 fn main() {
+    // ----- flags ---------------------------------------------------------
+    let mut status: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--status" => {
+                let addr = args.peek().filter(|v| !v.starts_with("--")).cloned();
+                if addr.is_some() {
+                    args.next();
+                }
+                status = Some(addr.unwrap_or_else(|| "127.0.0.1:0".to_string()));
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out needs a path"));
+            }
+            "--quiet" => quiet = true,
+            other => panic!("unknown flag `{other}` (see the doc comment)"),
+        }
+    }
+    if let Some(path) = &trace_out {
+        let sink = telemetry::JsonLinesSink::create(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("open {path}: {e}"));
+        telemetry::install(Arc::new(sink));
+    }
+
     // One server per process: it owns the shared compute substrate that
     // all tenants' searches draw from.
-    let server = JobServer::new(ServerConfig::default()).expect("start server");
+    let server = JobServer::new(ServerConfig {
+        status_addr: status.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    if let Some(addr) = server.status_addr() {
+        println!("status endpoint live at http://{addr} (/metrics, /status)\n");
+    }
 
     // Two tenants, two datasets, two very different budgets.
     let retail = SynthSpec::new("retail-churn", 240, 6, Task::Classification)
@@ -81,13 +128,17 @@ fn main() {
     while outcomes.len() < 2 {
         let (id, tenant, event) = rx.recv().expect("stream open");
         match event {
-            JobEvent::Epoch(r) => println!(
-                "{id} [{tenant:>8}] epoch {:>2}  best {:.4} ({:+.4})  {} features",
-                r.epochs_completed,
-                r.best_score,
-                r.best_score - r.base_score,
-                r.best_features.len(),
-            ),
+            JobEvent::Epoch(r) => {
+                if !quiet {
+                    println!(
+                        "{id} [{tenant:>8}] epoch {:>2}  best {:.4} ({:+.4})  {} features",
+                        r.epochs_completed,
+                        r.best_score,
+                        r.best_score - r.base_score,
+                        r.best_features.len(),
+                    )
+                }
+            }
             JobEvent::Done(outcome) => {
                 println!("{id} [{tenant:>8}] done: {:?}", outcome.status);
                 outcomes.push(outcome);
@@ -121,5 +172,35 @@ fn main() {
                 frame.n_cols()
             );
         }
+    }
+
+    // Self-scrape: show what an operator's Prometheus scrape and status
+    // poll would see for this run.
+    if let Some(addr) = server.status_addr() {
+        let metrics = serve::scrape(addr, "/metrics").expect("scrape /metrics");
+        println!("\n== /metrics (per-tenant excerpt) ==");
+        for line in metrics.lines().filter(|l| {
+            l.starts_with("serve_epochs")
+                || l.starts_with("serve_evals")
+                || (l.starts_with("serve_epoch_us") && l.contains("quantile"))
+        }) {
+            println!("{line}");
+        }
+        let status_page = serve::scrape(addr, "/status").expect("scrape /status");
+        println!("\n== /status ==\n{status_page}");
+    }
+    if let Some(path) = &trace_out {
+        // Append counter totals so the trace is self-contained for
+        // trace_tool's cache-efficiency report.
+        for (name, value) in &telemetry::global().snapshot().counters {
+            telemetry::emit(&telemetry::Event::Count(telemetry::CountEvent {
+                name: name.clone(),
+                value: *value,
+            }));
+        }
+        telemetry::flush();
+        telemetry::uninstall();
+        println!("\ntrace written to {path}; analyse it with:");
+        println!("  cargo run --release -p bench --bin trace_tool -- {path}");
     }
 }

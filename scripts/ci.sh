@@ -40,9 +40,32 @@ cargo test -q -p learners --test nn_parity
 echo "==> serve integration suite"
 cargo test -q -p serve --test integration
 
+echo "==> trace_tool golden-output suite"
+cargo test -q -p bench --test trace_golden
+
 if [[ "$quick" -eq 0 ]]; then
-    echo "==> serve smoke (release): live cancel bound + tenant fairness"
-    cargo test -q -p serve --release --test smoke
+    echo "==> serve smoke (release): live cancel bound, tenant fairness, status scrapes"
+    # Single-threaded: the cancel-bound test is timing-sensitive and the
+    # status test loads every core with two live tenants.
+    cargo test -q -p serve --release --test smoke -- --test-threads=1
+
+    echo "==> observability end-to-end (release): serve_demo trace -> trace_tool"
+    cargo build --release -q --example serve_demo -p e-afe
+    cargo build --release -q -p bench --bin trace_tool
+    obs_dir="$(mktemp -d)"
+    ./target/release/examples/serve_demo --quiet --status \
+        --trace-out "$obs_dir/serve_trace.jsonl" > "$obs_dir/demo.out"
+    grep -q 'serve_epochs{tenant="tenant-a"}' "$obs_dir/demo.out" \
+        || { echo "serve_demo self-scrape missing per-tenant metrics"; exit 1; }
+    grep -q '"budget_remaining"' "$obs_dir/demo.out" \
+        || { echo "serve_demo /status missing budget burn-down"; exit 1; }
+    ./target/release/trace_tool "$obs_dir/serve_trace.jsonl" \
+        --folded "$obs_dir/serve.folded" --critical-path > "$obs_dir/trace.out"
+    [[ -s "$obs_dir/serve.folded" ]] \
+        || { echo "trace_tool produced an empty folded flamegraph"; exit 1; }
+    grep -q 'critical path' "$obs_dir/trace.out" \
+        || { echo "trace_tool produced no critical-path report"; exit 1; }
+    rm -rf "$obs_dir"
 
     echo "==> perf_serve smoke (release): served scores bit-identical to direct"
     cargo build --release -q -p bench --bin perf_serve

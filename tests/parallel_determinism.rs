@@ -378,6 +378,71 @@ fn checkpoint_resume_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn server_observability_is_a_pure_observer() {
+    // Full observability on — per-tenant scoped metrics, SLO thresholds
+    // set low enough to trip on every slice, the status server being
+    // scraped while the scheduler runs — must not move a bit of any
+    // served result relative to the same engine run solo with
+    // observability off. (The global telemetry sink is deliberately NOT
+    // installed here: other tests in this binary own it.)
+    use serve::{Budget, JobServer, JobStatus, ServerConfig, SloConfig};
+
+    let frame = frame();
+    let cfg_a = fast_config();
+    let mut cfg_b = fast_config();
+    cfg_b.seed = cfg_a.seed.wrapping_add(303);
+    let solo_a = Engine::nfs(cfg_a.clone()).run(&frame).unwrap();
+    let solo_b = Engine::nfs(cfg_b.clone()).run(&frame).unwrap();
+
+    let server = JobServer::new(ServerConfig {
+        status_addr: Some("127.0.0.1:0".to_string()),
+        slo: SloConfig {
+            epoch_p99_us: Some(1), // trips on every slice
+            admission_wait_p99_us: Some(1),
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.status_addr().unwrap();
+    let a = server
+        .submit("tenant-a", &frame, Engine::nfs(cfg_a), Budget::unlimited())
+        .unwrap();
+    let b = server
+        .submit("tenant-b", &frame, Engine::nfs(cfg_b), Budget::unlimited())
+        .unwrap();
+    // Scrape both endpoints while the scheduler is live: reads must be
+    // pure observers too.
+    a.next_event();
+    serve::scrape(addr, "/metrics").unwrap();
+    serve::scrape(addr, "/status").unwrap();
+    let oa = a.wait().unwrap();
+    let ob = b.wait().unwrap();
+    assert_eq!(oa.status, JobStatus::Completed);
+    assert_eq!(ob.status, JobStatus::Completed);
+
+    assert_bit_identical(
+        &solo_a,
+        &oa.result.unwrap(),
+        "tenant-a observed-vs-solo scores",
+    );
+    assert_bit_identical(
+        &solo_b,
+        &ob.result.unwrap(),
+        "tenant-b observed-vs-solo scores",
+    );
+    // The observability plane actually saw the run it must not perturb.
+    let snap = server.metrics().snapshot();
+    for tenant in ["tenant-a", "tenant-b"] {
+        let scope = snap.get(&[("tenant", tenant)]).unwrap();
+        assert!(scope.counter("serve.epochs") > 0, "{tenant} epochs counted");
+        assert!(
+            scope.counter("serve.slo.epoch_us_breaches") > 0,
+            "{tenant}: a 1 us epoch SLO must have tripped"
+        );
+    }
+}
+
+#[test]
 fn server_restart_with_two_tenants_matches_solo_runs() {
     // Two tenants share one server — one scheduler interleaving their
     // epochs round-robin, one content-addressed score cache — and the
