@@ -1,0 +1,299 @@
+//! **SIMD kernel benchmark** — the pinned-reduction-tree kernels in the
+//! `simd` crate against naive strict-order scalar loops, at the vector
+//! lengths the learners actually use (GEMV rows, RBF distances, CWS
+//! table scans).
+//!
+//! Three kernels, each timed at several lengths:
+//!
+//! - `dot` — the lane-tree dot product vs a single-accumulator
+//!   sequential loop. The sequential loop's summation order is a strict
+//!   FP dependency chain, so the compiler cannot auto-vectorise it; the
+//!   tree's four independent accumulators are where the speedup comes
+//!   from (and the documented reduction order is why it is still
+//!   deterministic — DESIGN.md §13).
+//! - `sq_dist` — squared Euclidean distance, same comparison (the GP RBF
+//!   fill's inner loop).
+//! - `axpy` — `out[i] += a·x[i]`: elementwise, bitwise tier-independent,
+//!   reported for completeness (the naive loop vectorises here too, so
+//!   expect parity rather than a win).
+//!
+//! Before any timing, the dispatched kernels are asserted bit-identical
+//! to the portable tier on every benchmarked length.
+//!
+//! Regenerate: `scripts/bench_simd.sh` (or
+//! `cargo run -p bench --release --bin perf_simd`).
+//!
+//! ```text
+//! --smoke            assert dispatched dot <= naive at the gate length,
+//!                    no artifact; exit 1 on failure (the CI gate)
+//! --repeats <n>      timing repeats per cell, min taken     (default 5)
+//! --seed <n>         input data seed                        (default 0xEAFE)
+//! --out <dir>        artifact directory                     (default bench_results)
+//! --threads <n>      worker-thread ceiling, 0 = all cores   (default 0)
+//! --quiet            suppress per-length progress lines
+//! --metrics          print the end-of-run telemetry summary
+//! --trace-out <p>    stream telemetry events to a JSON-lines file
+//! ```
+
+use bench::{fmt_secs, CommonArgs, TextTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Vector lengths covering the learners' working sizes: small GEMV rows
+/// up through CWS table scans and RBF rows.
+const LENGTHS: &[usize] = &[64, 256, 1024, 4096, 16384];
+/// The `--smoke` / CI-gate length.
+const SMOKE_LENGTH: usize = 4096;
+/// Work per timing sample, in f64 multiply-adds (iterations scale down
+/// as the vectors grow so every cell does comparable work).
+const WORK_PER_SAMPLE: usize = 8_000_000;
+
+/// Naive sequential dot product: one accumulator, ascending order — the
+/// strict-FP baseline the lane tree replaced.
+fn dot_naive(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Naive sequential squared distance.
+fn sq_dist_naive(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Naive axpy.
+fn axpy_naive(out: &mut [f64], a: f64, x: &[f64]) {
+    for (o, v) in out.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: String,
+    n: usize,
+    naive_secs: f64,
+    simd_secs: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Data {
+    isa: String,
+    rows: Vec<KernelRow>,
+}
+
+struct Args {
+    smoke: bool,
+    repeats: usize,
+    seed: u64,
+    common: CommonArgs,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        repeats: 5,
+        seed: 0xE_AFE,
+        common: CommonArgs::default(),
+    };
+    let mut threads = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--repeats" => args.repeats = value("--repeats").parse().expect("int repeats"),
+            "--seed" => args.seed = value("--seed").parse().expect("int seed"),
+            "--out" => args.common.out = std::path::PathBuf::from(value("--out")),
+            "--threads" => threads = value("--threads").parse().expect("int threads"),
+            "--quiet" => args.common.quiet = true,
+            "--metrics" => args.common.metrics = true,
+            "--trace-out" => {
+                args.common.trace_out = Some(std::path::PathBuf::from(value("--trace-out")))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --smoke --repeats n --seed n --out dir --threads n --quiet \
+                     --metrics --trace-out path"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    assert!(args.repeats >= 1, "--repeats must be >= 1");
+    runtime::set_global_threads(threads);
+    args.common.install_telemetry();
+    args
+}
+
+fn inputs(seed: u64, n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ n as u64);
+    let a = (0..n).map(|_| rng.gen_range(-2.0f64..2.0)).collect();
+    let b = (0..n).map(|_| rng.gen_range(-2.0f64..2.0)).collect();
+    (a, b)
+}
+
+/// Minimum wall-clock over `repeats` samples of `iters` kernel calls.
+fn time_min(repeats: usize, iters: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        for _ in 0..iters {
+            run();
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Time one (kernel, length) cell: returns (naive_secs, simd_secs) for
+/// the same number of kernel calls each.
+fn time_cell(kernel: &str, a: &[f64], b: &[f64], repeats: usize) -> (f64, f64) {
+    let n = a.len();
+    let iters = (WORK_PER_SAMPLE / n).max(1);
+    match kernel {
+        "dot" => (
+            time_min(repeats, iters, || {
+                black_box(dot_naive(black_box(a), black_box(b)));
+            }),
+            time_min(repeats, iters, || {
+                black_box(simd::dot(black_box(a), black_box(b)));
+            }),
+        ),
+        "sq_dist" => (
+            time_min(repeats, iters, || {
+                black_box(sq_dist_naive(black_box(a), black_box(b)));
+            }),
+            time_min(repeats, iters, || {
+                black_box(simd::sq_dist(black_box(a), black_box(b)));
+            }),
+        ),
+        "axpy" => {
+            let mut out = vec![0.0; n];
+            let naive = time_min(repeats, iters, || {
+                axpy_naive(black_box(&mut out), black_box(0.5), black_box(a));
+            });
+            out.fill(0.0);
+            let tree = time_min(repeats, iters, || {
+                simd::axpy(black_box(&mut out), black_box(0.5), black_box(a));
+            });
+            black_box(&out);
+            (naive, tree)
+        }
+        other => unreachable!("unknown kernel {other}"),
+    }
+}
+
+/// The dispatched tier must be bitwise the portable tier on every length
+/// before any timing is trusted.
+fn assert_tiers_bitwise(seed: u64) {
+    for &n in LENGTHS {
+        let (a, b) = inputs(seed, n);
+        assert_eq!(
+            simd::dot(&a, &b).to_bits(),
+            simd::dot_portable(&a, &b).to_bits(),
+            "dot tier mismatch at n={n}"
+        );
+        assert_eq!(
+            simd::sq_dist(&a, &b).to_bits(),
+            simd::sq_dist_portable(&a, &b).to_bits(),
+            "sq_dist tier mismatch at n={n}"
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!("== perf_simd: pinned-tree kernels vs naive sequential loops ==");
+    println!(
+        "settings: repeats={} seed={:#x} threads={} isa={} (simd-arch feature {}) cpu=[{}]",
+        args.repeats,
+        args.seed,
+        runtime::global_threads(),
+        simd::active_isa().name(),
+        if simd::arch_feature_enabled() {
+            "on"
+        } else {
+            "off"
+        },
+        simd::detected_cpu_features().join(", "),
+    );
+    assert_tiers_bitwise(args.seed);
+
+    if args.smoke {
+        // CI gate: the lane-tree dot product must not lose to the naive
+        // sequential loop at the gate length. The naive loop is a strict
+        // FP dependency chain the compiler cannot vectorise, so the tree
+        // should win on any tier; losing means the dispatch or the tree
+        // itself regressed.
+        let (a, b) = inputs(args.seed, SMOKE_LENGTH);
+        let (naive_secs, simd_secs) = time_cell("dot", &a, &b, args.repeats.max(5));
+        println!(
+            "dot n={SMOKE_LENGTH}: naive {} simd {} ({:.2}x)",
+            fmt_secs(naive_secs),
+            fmt_secs(simd_secs),
+            naive_secs / simd_secs,
+        );
+        if simd_secs > naive_secs {
+            eprintln!(
+                "SMOKE FAIL: simd dot ({}) slower than naive sequential ({})",
+                fmt_secs(simd_secs),
+                fmt_secs(naive_secs)
+            );
+            std::process::exit(1);
+        }
+        println!("smoke ok: simd dot <= naive, tiers bit-identical");
+        return;
+    }
+
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec!["Kernel", "n", "Naive", "SIMD", "Speedup"]);
+    for kernel in ["dot", "sq_dist", "axpy"] {
+        for &n in LENGTHS {
+            let (a, b) = inputs(args.seed, n);
+            let (naive_secs, simd_secs) = time_cell(kernel, &a, &b, args.repeats);
+            let speedup = naive_secs / simd_secs;
+            if !args.common.quiet {
+                eprintln!("  {kernel} n={n}: {speedup:.2}x");
+            }
+            table.row(vec![
+                kernel.to_string(),
+                n.to_string(),
+                fmt_secs(naive_secs),
+                fmt_secs(simd_secs),
+                format!("{speedup:.2}x"),
+            ]);
+            rows.push(KernelRow {
+                kernel: kernel.to_string(),
+                n,
+                naive_secs,
+                simd_secs,
+                speedup,
+            });
+        }
+    }
+    table.print();
+    args.common.write_json(
+        "BENCH_simd.json",
+        &Data {
+            isa: simd::active_isa().name().to_string(),
+            rows,
+        },
+    );
+    args.common.finish();
+}

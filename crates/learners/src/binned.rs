@@ -25,7 +25,7 @@
 //! [`TreeConfig::max_bins`]: crate::tree::TreeConfig
 
 use crate::error::{LearnError, Result};
-use runtime::{fingerprint_values, Hasher128, ScoreCache};
+use runtime::{fingerprint_values, Hasher128, ScoreCache, WorkerPool};
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, OnceLock};
 
@@ -334,6 +334,76 @@ pub fn accumulate_reg(col: &BinnedColumn, rows: &[usize], y: &[f64], out: &mut V
     }
 }
 
+// ---------------------------------------------------------------------
+// Feature-parallel accumulation — LightGBM-style feature partitioning.
+//
+// Each feature's node histogram is built by exactly one worker-pool task
+// scanning `rows` in ascending order, so every per-feature histogram is
+// bit-identical to a serial `accumulate_*` call; `WorkerPool::map`
+// returns results in submission order, so the merged Vec is in fixed
+// feature-index order regardless of which thread finished first.
+// N-thread output ≡ 1-thread output, bitwise (DESIGN.md §13).
+// ---------------------------------------------------------------------
+
+/// Minimum `rows × features` product before a histogram batch is worth
+/// shipping to the worker pool (below this, task overhead dominates the
+/// `O(rows)` scans).
+pub const HIST_PARALLEL_GRAIN: usize = 65_536;
+
+/// Whether a histogram batch of `n_features` columns over `n_rows` rows
+/// should fan out across the worker pool.
+fn hist_batch_parallel(n_features: usize, n_rows: usize) -> bool {
+    runtime::global_threads() != 1
+        && n_features >= 2
+        && n_rows.saturating_mul(n_features) >= HIST_PARALLEL_GRAIN
+}
+
+/// Accumulate one class histogram per column, partitioning features
+/// across the worker pool when the batch is large enough. Output order is
+/// `cols` order and every histogram is bit-identical to a serial
+/// [`accumulate_class`] call at any thread count.
+pub fn accumulate_class_parallel(
+    cols: &[&BinnedColumn],
+    rows: &[usize],
+    y: &[usize],
+    n_classes: usize,
+) -> Vec<Vec<u32>> {
+    let one = |col: &BinnedColumn| {
+        let mut h = Vec::new();
+        accumulate_class(col, rows, y, n_classes, &mut h);
+        h
+    };
+    if hist_batch_parallel(cols.len(), rows.len()) {
+        telemetry::count("binned.hist_parallel_batches", 1);
+        WorkerPool::new().map(cols.to_vec(), |_ctx, col| one(col))
+    } else {
+        cols.iter().map(|col| one(col)).collect()
+    }
+}
+
+/// Accumulate one regression histogram per column, partitioning features
+/// across the worker pool when the batch is large enough. Output order is
+/// `cols` order; per-feature sums are accumulated in ascending row order
+/// by a single task, so every histogram is bit-identical to a serial
+/// [`accumulate_reg`] call at any thread count.
+pub fn accumulate_reg_parallel(
+    cols: &[&BinnedColumn],
+    rows: &[usize],
+    y: &[f64],
+) -> Vec<Vec<RegBin>> {
+    let one = |col: &BinnedColumn| {
+        let mut h = Vec::new();
+        accumulate_reg(col, rows, y, &mut h);
+        h
+    };
+    if hist_batch_parallel(cols.len(), rows.len()) {
+        telemetry::count("binned.hist_parallel_batches", 1);
+        WorkerPool::new().map(cols.to_vec(), |_ctx, col| one(col))
+    } else {
+        cols.iter().map(|col| one(col)).collect()
+    }
+}
+
 /// Sibling subtraction: the right child's histogram is the parent's minus
 /// the left child's, element-wise — `O(n_bins)` instead of `O(rows)`.
 /// Counts are integers, so the subtracted histogram is bit-identical to
@@ -480,6 +550,27 @@ mod tests {
             assert_eq!(s.n, r.n);
             assert!((s.sum - r.sum).abs() < 1e-9);
             assert!((s.sumsq - r.sumsq).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn batched_accumulation_matches_per_column_serial() {
+        let a: Vec<f64> = (0..300).map(|i| ((i * 13) % 29) as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| ((i * 7) % 11) as f64).collect();
+        let yc: Vec<usize> = (0..300).map(|i| (i * 5) % 3).collect();
+        let yr: Vec<f64> = (0..300).map(|i| (i as f64).cos()).collect();
+        let ca = BinnedColumn::build(&a, 32);
+        let cb = BinnedColumn::build(&b, 32);
+        let rows: Vec<usize> = (0..300).filter(|r| r % 4 != 1).collect();
+        let batch_c = accumulate_class_parallel(&[&ca, &cb], &rows, &yc, 3);
+        let batch_r = accumulate_reg_parallel(&[&ca, &cb], &rows, &yr);
+        for (f, col) in [&ca, &cb].into_iter().enumerate() {
+            let mut hc = Vec::new();
+            accumulate_class(col, &rows, &yc, 3, &mut hc);
+            assert_eq!(batch_c[f], hc, "class feature {f}");
+            let mut hr = Vec::new();
+            accumulate_reg(col, &rows, &yr, &mut hr);
+            assert_eq!(batch_r[f], hr, "reg feature {f}");
         }
     }
 

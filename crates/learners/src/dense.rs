@@ -21,14 +21,18 @@
 //! Two invariants are pinned by `crates/learners/tests/nn_parity.rs` and
 //! `tests/parallel_determinism.rs`:
 //!
-//! 1. **Batched == scalar.** Every batched kernel keeps the exact
-//!    per-output, ascending-`k` summation order of the per-sample code
-//!    (`Dense::forward`/`Dense::backward`), and gradient accumulation
-//!    over a microbatch visits rows in ascending order — the same
-//!    per-cell addend sequence the per-sample loop produces. The
-//!    retained per-sample path ([`NnBackend::Scalar`], the testing
-//!    reference with the old allocation/copy cost profile) therefore
-//!    trains to **bit-identical** parameters.
+//! 1. **Batched == scalar.** Every inner product — in the batched
+//!    kernels here *and* in the per-sample code
+//!    (`Dense::forward`/`Dense::backward`) — reduces through the pinned
+//!    SIMD lane tree (`simd::dot`, DESIGN.md §13): four independent
+//!    lane accumulators over chunks of 4, `(0+1)+(2+3)`, sequential
+//!    ascending tail. Elementwise gradient updates are `simd::axpy`
+//!    (one multiply + one add per cell, never FMA), and microbatch
+//!    gradient accumulation visits rows in ascending order — the same
+//!    per-cell addend sequence on both backends. The retained
+//!    per-sample path ([`NnBackend::Scalar`], the testing reference
+//!    with the old allocation/copy cost profile) therefore trains to
+//!    **bit-identical** parameters, on every ISA tier.
 //! 2. **1 thread == N threads.** Each minibatch is split into a *fixed
 //!    microbatch partition* of [`TRAIN_MICROBATCH`] rows. Every
 //!    microbatch accumulates into its own zeroed partial slab, and the
@@ -68,7 +72,10 @@ const INFER_MICROBATCH: usize = 256;
 /// Minimum `rows × parameters` product before a minibatch (or an
 /// inference pass) is worth shipping to the worker pool; below this the
 /// scoped-thread setup of `WorkerPool::map` costs more than it saves.
-const PARALLEL_GRAIN: usize = 262_144;
+/// Public so the parity suite can pin behaviour exactly at and one past
+/// the boundary (`nn_parity.rs`); crossing it must never change results,
+/// only where they are computed.
+pub const PARALLEL_GRAIN: usize = 262_144;
 
 /// Which training/inference implementation a neural learner runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -535,8 +542,9 @@ fn grad_slices(grads: &mut [f64], s: LayerSpec) -> (&mut [f64], &mut [f64]) {
 }
 
 /// Batched dense forward: `out[r] = W x[r] + b` for every row.
-/// Per output: `b + Σ_k w[o][k]·x[k]` accumulated in ascending `k` from
-/// 0.0 — the exact `Dense::forward` summation order.
+/// Per output: `b + dot(w[o], x)` where the dot product is the pinned
+/// SIMD lane tree (DESIGN.md §13) — the exact `Dense::forward` reduction,
+/// so the scalar and batched backends stay bit-identical.
 fn dense_forward(w: &[f64], b: &[f64], x: &Mat, out: &mut Mat) {
     let n_in = x.cols();
     debug_assert_eq!(w.len(), n_in * out.cols());
@@ -544,21 +552,18 @@ fn dense_forward(w: &[f64], b: &[f64], x: &Mat, out: &mut Mat) {
     for r in 0..x.rows() {
         let xr = x.row(r);
         for ((slot, wrow), bias) in out.row_mut(r).iter_mut().zip(w.chunks_exact(n_in)).zip(b) {
-            let mut acc = 0.0;
-            for (wv, xv) in wrow.iter().zip(xr) {
-                acc += wv * xv;
-            }
-            *slot = bias + acc;
+            *slot = bias + simd::dot(wrow, xr);
         }
     }
 }
 
 /// Batched dense backward. For each row in ascending order, and each
-/// output `o` in ascending order: `gb[o] += g`, then the fused inner
-/// loop `gw[o][k] += g·x[k]; dx[k] += g·w[o][k]` in ascending `k` — the
-/// exact `Dense::backward` accumulation sequence. `dx` rows are zeroed
-/// here (the per-sample path allocates a fresh zeroed `dx`); pass `None`
-/// for the first layer where the input gradient is unused.
+/// output `o` in ascending order: `gb[o] += g`, then the elementwise
+/// [`simd::axpy`] updates `gw[o][k] += g·x[k]` and `dx[k] += g·w[o][k]`
+/// — per cell the exact `Dense::backward` expression (one multiply, one
+/// add, no FMA), so any ISA tier is bitwise identical. `dx` rows are
+/// zeroed here (the per-sample path allocates a fresh zeroed `dx`); pass
+/// `None` for the first layer where the input gradient is unused.
 fn dense_backward(
     w: &[f64],
     x: &Mat,
@@ -585,14 +590,8 @@ fn dense_backward(
                     .zip(w.chunks_exact(n_in))
                 {
                     *gbo += g;
-                    for ((gwk, wk), (xk, dxk)) in gwrow
-                        .iter_mut()
-                        .zip(wrow)
-                        .zip(xr.iter().zip(dxr.iter_mut()))
-                    {
-                        *gwk += g * xk;
-                        *dxk += g * wk;
-                    }
+                    simd::axpy(gwrow, g, xr);
+                    simd::axpy(dxr, g, wrow);
                 }
             }
             None => {
@@ -600,9 +599,7 @@ fn dense_backward(
                     dyr.iter().zip(gb.iter_mut()).zip(gw.chunks_exact_mut(n_in))
                 {
                     *gbo += g;
-                    for (gwk, xk) in gwrow.iter_mut().zip(xr) {
-                        *gwk += g * xk;
-                    }
+                    simd::axpy(gwrow, g, xr);
                 }
             }
         }

@@ -6,13 +6,16 @@
 //! documented substitution (DESIGN.md §2): the paper's scikit-learn GP has
 //! the same cubic wall and its Table V datasets are small.
 //!
-//! Perf notes (DESIGN.md §10): training rows live in a contiguous
-//! row-major [`Mat`], the kernel matrix is filled from row slices, the
-//! factorisation uses the row-slice Cholesky with a bounded
+//! Perf notes (DESIGN.md §10, §13): training rows live in a contiguous
+//! row-major [`Mat`], the kernel matrix is filled from row slices with
+//! the RBF distance reduced through the pinned SIMD lane tree
+//! (`linalg::sq_dist` → `simd::sq_dist`), the factorisation uses the
+//! row-slice Cholesky (inner products on the same tree) with a bounded
 //! jitter-escalation retry for numerically non-PD kernels, and posterior
 //! mean prediction is chunked over the worker pool for large test sets
-//! (each row's kernel sum keeps its ascending train-row order, so the
-//! result is thread-count invariant).
+//! (each row's kernel-weighted sum over training rows keeps its
+//! ascending sequential order — that outer sum is part of the
+//! bit-reproducibility contract and is *not* lane-reassociated).
 
 use crate::dense::Mat;
 use crate::error::{LearnError, Result};

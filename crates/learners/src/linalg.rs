@@ -6,9 +6,16 @@
 //! row slices (one bounds check per row, contiguous inner loops) instead
 //! of per-element [`SquareMatrix::get`]/[`SquareMatrix::set`] calls. The
 //! per-element path is kept as [`SquareMatrix::cholesky_ref`], the scalar
-//! testing reference the parity suite and `perf_nn` compare against: both
-//! paths execute the identical per-element operation sequence, so their
-//! outputs are bit-identical.
+//! testing reference the parity suite and `perf_nn` compare against.
+//!
+//! Every inner-product accumulation here — the Cholesky row updates, the
+//! forward substitution, and the free [`dot`]/[`sq_dist`] helpers — runs
+//! through the `simd` crate's pinned reduction tree (DESIGN.md §13). The
+//! reference path gathers its operands per-element but reduces through
+//! the *portable* tier of the same tree, so fast ≡ reference stays
+//! bitwise while both sides share the one documented summation order.
+//! The backward substitution walks a strided column, so it keeps its
+//! sequential scalar loop (`O(n²)`, not worth a gather).
 
 use crate::error::{LearnError, Result};
 
@@ -92,16 +99,10 @@ impl SquareMatrix {
             let src_i = &self.data[i * n..(i + 1) * n];
             for j in 0..i {
                 let row_j = &above[j * n..(j + 1) * n];
-                let mut sum = src_i[j];
-                for (lik, ljk) in row_i[..j].iter().zip(&row_j[..j]) {
-                    sum -= lik * ljk;
-                }
+                let sum = src_i[j] - simd::dot(&row_i[..j], &row_j[..j]);
                 row_i[j] = sum / row_j[j];
             }
-            let mut sum = src_i[i];
-            for lik in &row_i[..i] {
-                sum -= lik * lik;
-            }
+            let sum = src_i[i] - simd::dot(&row_i[..i], &row_i[..i]);
             if sum <= 0.0 {
                 return Err(LearnError::Numerical(format!(
                     "cholesky failed: non-positive pivot {sum:.3e} at {i}"
@@ -112,19 +113,27 @@ impl SquareMatrix {
         Ok(l)
     }
 
-    /// Per-element `get`/`set` Cholesky — the scalar testing reference
-    /// for [`SquareMatrix::cholesky`] (identical arithmetic, no row
-    /// slicing). Kept for the parity suite and the `perf_nn` benchmark;
-    /// production paths use the row-slice factorisation.
+    /// Per-element `get` Cholesky — the testing reference for
+    /// [`SquareMatrix::cholesky`] (no row slicing, no dispatch). Kept for
+    /// the parity suite and the `perf_nn` benchmark; production paths use
+    /// the row-slice factorisation. Operands are gathered element by
+    /// element, then reduced through the *portable* tier of the pinned
+    /// tree ([`simd::dot_portable`]), so this stays bit-identical to the
+    /// fast path whichever ISA tier the fast path dispatches to.
     pub fn cholesky_ref(&self) -> Result<SquareMatrix> {
         let n = self.n;
         let mut l = SquareMatrix::zeros(n);
+        let mut li = Vec::with_capacity(n);
+        let mut lj = Vec::with_capacity(n);
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = self.get(i, j);
+                li.clear();
+                lj.clear();
                 for k in 0..j {
-                    sum -= l.get(i, k) * l.get(j, k);
+                    li.push(l.get(i, k));
+                    lj.push(l.get(j, k));
                 }
+                let sum = self.get(i, j) - simd::dot_portable(&li, &lj);
                 if i == j {
                     if sum <= 0.0 {
                         return Err(LearnError::Numerical(format!(
@@ -183,10 +192,7 @@ impl SquareMatrix {
         let mut x = vec![0.0; n];
         for i in 0..n {
             let row_i = &self.data[i * n..(i + 1) * n];
-            let mut sum = b[i];
-            for (lik, xk) in row_i[..i].iter().zip(&x[..i]) {
-                sum -= lik * xk;
-            }
+            let sum = b[i] - simd::dot(&row_i[..i], &x[..i]);
             let d = row_i[i];
             if d.abs() < 1e-300 {
                 return Err(LearnError::Numerical("singular triangular solve".into()));
@@ -235,18 +241,19 @@ impl SquareMatrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, reduced through the pinned
+/// lane tree (re-exported from the `simd` crate so every learner sums
+/// in the one documented order).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    simd::dot(a, b)
 }
 
-/// Squared Euclidean distance between two equal-length slices.
+/// Squared Euclidean distance between two equal-length slices, reduced
+/// through the pinned lane tree.
 #[inline]
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    simd::sq_dist(a, b)
 }
 
 #[cfg(test)]
@@ -372,13 +379,12 @@ mod tests {
             }
         }
         let b: Vec<f64> = (0..n).map(|i| (i as f64 - 2.5) / 3.0).collect();
-        // Reference forward substitution, per-element indexing.
+        // Reference forward substitution: per-element gather, portable
+        // tier of the pinned reduction tree.
         let mut xf = vec![0.0; n];
         for i in 0..n {
-            let mut sum = b[i];
-            for (k, &xk) in xf.iter().enumerate().take(i) {
-                sum -= l.get(i, k) * xk;
-            }
+            let li: Vec<f64> = (0..i).map(|k| l.get(i, k)).collect();
+            let sum = b[i] - simd::dot_portable(&li, &xf[..i]);
             xf[i] = sum / l.get(i, i);
         }
         let got = l.solve_lower(&b).unwrap();

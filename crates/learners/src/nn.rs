@@ -45,25 +45,28 @@ impl Dense {
         self.w.first().map_or(0, Vec::len)
     }
 
-    /// Forward pass for one sample.
+    /// Forward pass for one sample. Each output's inner product runs
+    /// through the pinned SIMD lane tree ([`simd::dot`]) — the same
+    /// reduction the flat batched kernels use, which is what keeps the
+    /// scalar and batched training backends bit-identical.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         self.w
             .iter()
             .zip(&self.b)
-            .map(|(row, b)| b + row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>())
+            .map(|(row, b)| b + simd::dot(row, x))
             .collect()
     }
 
     /// Backward pass: accumulate parameter gradients for (x, dy) and return
-    /// the gradient with respect to the input.
+    /// the gradient with respect to the input. Per-output updates are the
+    /// elementwise [`simd::axpy`] (one multiply, one add per element, any
+    /// tier — bitwise identical to the plain loops they replace).
     pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
         let mut dx = vec![0.0; self.n_in()];
         for (o, &g) in dy.iter().enumerate() {
             self.gb[o] += g;
-            for (i, &xi) in x.iter().enumerate() {
-                self.gw[o][i] += g * xi;
-                dx[i] += g * self.w[o][i];
-            }
+            simd::axpy(&mut self.gw[o], g, x);
+            simd::axpy(&mut dx, g, &self.w[o]);
         }
         dx
     }

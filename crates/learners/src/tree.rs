@@ -495,6 +495,13 @@ impl<'a> Builder<'a> {
         best
     }
 
+    /// Histogram split finding in three phases (DESIGN.md §13): classify
+    /// every candidate feature, batch-accumulate the ones that need an
+    /// `O(rows)` pass (feature-parallel across the worker pool, merged in
+    /// fixed feature order so any thread count is bitwise identical to
+    /// one), then scan serially in the shuffled `feature_pool` order the
+    /// node drew — the scan order carries the strict `gain >` tie-break,
+    /// so it must not change with the accumulation schedule.
     fn best_split_hist(
         &mut self,
         binned: &BinnedDataset,
@@ -507,11 +514,20 @@ impl<'a> Builder<'a> {
         let rows = &self.rows[lo..hi];
         let labels = self.labels;
         let msl = self.cfg.min_samples_leaf;
-        let left = &mut self.scratch.left_counts;
-        let right = &mut self.scratch.right_counts;
-        let codes_buf = &mut self.scratch.codes;
-        let mut node_hists: Vec<(usize, Hist)> = Vec::with_capacity(k);
-        let mut best: Option<Candidate> = None;
+
+        /// Where one candidate feature's histogram comes from.
+        enum Plan {
+            /// Small classification node: sort the node's codes and scan
+            /// the runs instead of building a dense histogram.
+            Sparse,
+            /// Sibling subtraction already produced this feature's node
+            /// histogram — skip the `O(rows)` accumulation pass.
+            Ready(Hist),
+            /// Needs accumulation; index into the batched results.
+            Batched(usize),
+        }
+        let mut plans: Vec<(usize, Plan)> = Vec::with_capacity(k);
+        let mut batch_features: Vec<usize> = Vec::new();
         for i in 0..k {
             let feature = self.feature_pool[i];
             let col = binned.column(feature);
@@ -523,8 +539,51 @@ impl<'a> Builder<'a> {
             // scan the runs instead — bit-identical boundaries and gains
             // (integer counts), O(rows log rows), nothing stored for the
             // children (they are even smaller and take this path too).
-            if inherited_pos.is_none() && rows.len() < col.n_bins() {
-                if let Labels::Class { y, n_classes } = labels {
+            let plan = match inherited_pos {
+                None if rows.len() < col.n_bins() && matches!(labels, Labels::Class { .. }) => {
+                    Plan::Sparse
+                }
+                Some(p) => {
+                    self.hists_subtracted += 1;
+                    Plan::Ready(inherited.swap_remove(p).1)
+                }
+                None => {
+                    batch_features.push(feature);
+                    Plan::Batched(batch_features.len() - 1)
+                }
+            };
+            plans.push((feature, plan));
+        }
+
+        // Accumulate every needed histogram in one batch — one feature per
+        // worker-pool task, merged back in `batch_features` order.
+        let cols: Vec<&binned::BinnedColumn> =
+            batch_features.iter().map(|&f| binned.column(f)).collect();
+        let mut batched: Vec<Option<Hist>> = match labels {
+            Labels::Class { y, n_classes } => {
+                binned::accumulate_class_parallel(&cols, rows, y, n_classes)
+                    .into_iter()
+                    .map(|h| Some(Hist::Class(h)))
+                    .collect()
+            }
+            Labels::Reg(y) => binned::accumulate_reg_parallel(&cols, rows, y)
+                .into_iter()
+                .map(|h| Some(Hist::Reg(h)))
+                .collect(),
+        };
+
+        let left = &mut self.scratch.left_counts;
+        let right = &mut self.scratch.right_counts;
+        let codes_buf = &mut self.scratch.codes;
+        let mut node_hists: Vec<(usize, Hist)> = Vec::with_capacity(k);
+        let mut best: Option<Candidate> = None;
+        for (feature, plan) in plans {
+            let col = binned.column(feature);
+            let hist = match plan {
+                Plan::Sparse => {
+                    let Labels::Class { y, n_classes } = labels else {
+                        unreachable!("sparse scan is classification-only")
+                    };
                     codes_buf.clear();
                     codes_buf.extend(rows.iter().map(|&r| (col.codes().get(r), y[r])));
                     self.sparse_scans += 1;
@@ -543,26 +602,10 @@ impl<'a> Builder<'a> {
                     }
                     continue;
                 }
-            }
-            // Sibling subtraction already produced this feature's node
-            // histogram — skip the O(n_rows) accumulation pass.
-            let hist = match inherited_pos {
-                Some(p) => {
-                    self.hists_subtracted += 1;
-                    inherited.swap_remove(p).1
-                }
-                None => match labels {
-                    Labels::Class { y, n_classes } => {
-                        let mut h = Vec::new();
-                        binned::accumulate_class(col, rows, y, n_classes, &mut h);
-                        Hist::Class(h)
-                    }
-                    Labels::Reg(y) => {
-                        let mut h = Vec::new();
-                        binned::accumulate_reg(col, rows, y, &mut h);
-                        Hist::Reg(h)
-                    }
-                },
+                Plan::Ready(h) => h,
+                Plan::Batched(idx) => batched[idx]
+                    .take()
+                    .expect("each batched histogram scans once"),
             };
             let scanned = match (&hist, labels) {
                 (Hist::Class(h), Labels::Class { n_classes, .. }) => {

@@ -71,6 +71,63 @@ fn dims(batch: usize, extra: usize) -> usize {
     batch * 3 + extra
 }
 
+/// Microbatch gradient reduction pinned exactly at the pool-dispatch
+/// boundary: the batched trainer ships a minibatch to the worker pool
+/// only when `rows × params >= PARALLEL_GRAIN`, a condition the random
+/// sizes above never reach. Row counts one below, exactly at, and one
+/// past the boundary must all train bit-identically to the scalar
+/// reference — on one thread and on four — so crossing the dispatch
+/// threshold can move *where* partials are computed but never a bit of
+/// what they sum to.
+#[test]
+fn pool_grain_boundary_row_counts_bit_identical() {
+    use learners::dense::{PARALLEL_GRAIN, TRAIN_MICROBATCH};
+
+    let n_features = 20usize;
+    let cfg_of = |rows: usize| MlpConfig {
+        hidden: 64,
+        epochs: 1,
+        batch_size: rows, // one full-size minibatch per epoch
+        seed: 77,
+        ..Default::default()
+    };
+    // Parameter count depends only on the topology, not the row count —
+    // probe it with a tiny fit instead of hard-coding layer arithmetic.
+    let mut rng = StdRng::seed_from_u64(424);
+    let probe_x = matrix(&mut rng, 16, n_features);
+    let probe_y = labels(&probe_x);
+    let mut probe = MlpClassifier::new(cfg_of(16));
+    probe.fit(&probe_x, &probe_y, 2).unwrap();
+    let n_params = probe.trained_params().unwrap().len();
+    let rows_at = PARALLEL_GRAIN.div_ceil(n_params);
+    assert!(
+        rows_at > TRAIN_MICROBATCH + 1,
+        "boundary minibatch must span several microbatches (rows_at = {rows_at})"
+    );
+
+    for rows in [rows_at - 1, rows_at, rows_at + 1] {
+        let x = matrix(&mut rng, rows, n_features);
+        let y = labels(&x);
+        let base = cfg_of(rows);
+        let mut scalar = MlpClassifier::new(MlpConfig {
+            backend: NnBackend::Scalar,
+            ..base
+        });
+        scalar.fit(&x, &y, 2).unwrap();
+
+        runtime::set_global_threads(1);
+        let mut batched_1t = MlpClassifier::new(base);
+        batched_1t.fit(&x, &y, 2).unwrap();
+        runtime::set_global_threads(4);
+        let mut batched_4t = MlpClassifier::new(base);
+        batched_4t.fit(&x, &y, 2).unwrap();
+        runtime::set_global_threads(0);
+
+        assert_params_bit_equal(batched_1t.trained_params(), scalar.trained_params());
+        assert_params_bit_equal(batched_4t.trained_params(), scalar.trained_params());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -19,7 +19,11 @@
 //! operations in the same order. Hoisting is limited to values — `ln w`
 //! per support element, `eʳ` per `(i, k)` — never to algebraic rewrites
 //! (`w.ln() / r` stays a division; it is *not* replaced by a `1/r`
-//! multiply, whose rounding differs). The proptest suite in
+//! multiply, whose rounding differs). The CWS scans are staged through
+//! the `simd` crate's elementwise kernels (DESIGN.md §13), which keep
+//! exactly those per-element expressions in every ISA tier — there is no
+//! reduction anywhere in a sketch, so SIMD here is pure lane-parallel
+//! elementwise work and bit-identity is structural. The proptest suite in
 //! `tests/table_parity.rs` pins all five families bit-identical to the
 //! scalar reference.
 //!
@@ -181,6 +185,16 @@ impl DrawTables {
     /// minimum per hash index. Candidate order per hash index matches the
     /// scalar path's support order, and the comparison is the same strict
     /// `<`, so ties resolve identically.
+    ///
+    /// The CWS inner loops are staged through the `simd` crate's
+    /// elementwise kernels (DESIGN.md §13): `t`, then `r·(t−β)`, then
+    /// `exp`, then the final division, each as one pass over the table
+    /// row. Every element still goes through the scalar path's exact
+    /// expression sequence — the division stays a division, `floor`
+    /// rounds the same in every tier, and `exp` stays the scalar libm
+    /// call — so sketches are bit-identical whichever tier runs. Only
+    /// the min-tracking scan stays a plain loop (it carries the
+    /// cross-iteration argmin state).
     fn sketch_with(&self, store: &Store, support: &[(usize, f64)]) -> Vec<SigElement> {
         let d = self.d;
         match self.family {
@@ -208,19 +222,27 @@ impl DrawTables {
                 let mut best_a = vec![f64::INFINITY; d];
                 let mut best_k = vec![0u32; d];
                 let mut best_t = vec![0i32; d];
+                let mut t_buf = vec![0.0f64; d];
+                let mut a_buf = vec![0.0f64; d];
                 for &(k, w) in support {
                     let lnw = w.ln();
                     let base = k * d;
+                    let r = &store.r[base..base + d];
+                    let beta = &store.beta[base..base + d];
+                    // t = ⌊ln w / r + β⌋ ; a = c / (exp(r·(t−β)) · eʳ)
+                    simd::div_add_floor(&mut t_buf, lnw, r, beta);
+                    simd::mul_sub(&mut a_buf, r, &t_buf, beta);
+                    simd::exp_inplace(&mut a_buf);
+                    simd::div_prod(
+                        &mut a_buf,
+                        &store.c[base..base + d],
+                        &store.er[base..base + d],
+                    );
                     for i in 0..d {
-                        let r = store.r[base + i];
-                        let beta = store.beta[base + i];
-                        let t = (lnw / r + beta).floor();
-                        let y = (r * (t - beta)).exp();
-                        let a = store.c[base + i] / (y * store.er[base + i]);
-                        if a < best_a[i] {
-                            best_a[i] = a;
+                        if a_buf[i] < best_a[i] {
+                            best_a[i] = a_buf[i];
                             best_k[i] = k as u32;
-                            best_t[i] = discretize_t(t);
+                            best_t[i] = discretize_t(t_buf[i]);
                         }
                     }
                 }
@@ -237,18 +259,22 @@ impl DrawTables {
                 let mut best_a = vec![f64::INFINITY; d];
                 let mut best_k = vec![0u32; d];
                 let mut best_t = vec![0i32; d];
+                let mut t_buf = vec![0.0f64; d];
+                let mut a_buf = vec![0.0f64; d];
                 for &(k, w) in support {
                     let base = k * d;
+                    let r = &store.r[base..base + d];
+                    let beta = &store.beta[base..base + d];
+                    // t = ⌊w / r + β⌋ ; a = c / max(r·(t−β), MIN_POSITIVE)
+                    simd::div_add_floor(&mut t_buf, w, r, beta);
+                    simd::mul_sub(&mut a_buf, r, &t_buf, beta);
+                    simd::max_scalar(&mut a_buf, f64::MIN_POSITIVE);
+                    simd::div_into(&mut a_buf, &store.c[base..base + d]);
                     for i in 0..d {
-                        let r = store.r[base + i];
-                        let beta = store.beta[base + i];
-                        let t = (w / r + beta).floor();
-                        let y = (r * (t - beta)).max(f64::MIN_POSITIVE);
-                        let a = store.c[base + i] / y;
-                        if a < best_a[i] {
-                            best_a[i] = a;
+                        if a_buf[i] < best_a[i] {
+                            best_a[i] = a_buf[i];
                             best_k[i] = k as u32;
-                            best_t[i] = discretize_t(t);
+                            best_t[i] = discretize_t(t_buf[i]);
                         }
                     }
                 }

@@ -268,6 +268,12 @@ impl WorkerPool {
         map_span.field("workers", (extra + 1) as f64);
 
         if extra == 0 {
+            if want > 1 && n > 1 {
+                // Parallelism was wanted but the global budget is spent
+                // (e.g. a feature-parallel histogram batch nested inside a
+                // per-tree forest task) — run inline on the caller.
+                telemetry::count("pool.inline_fallback", 1);
+            }
             return items
                 .into_iter()
                 .enumerate()

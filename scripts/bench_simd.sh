@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate bench_results/BENCH_simd.json: the pinned-reduction-tree
+# SIMD kernels (dot / sq_dist / axpy) vs naive strict-order sequential
+# loops, at the vector lengths the learners use. Built with the
+# `simd-arch` feature so the committed numbers show the std::arch tier
+# the CPU dispatches to (the artifact header records the active ISA and
+# detected CPU features); pass nothing extra for the portable tier via
+# `cargo build --release -p bench --bin perf_simd` by hand.
+# Timed on one thread: these are single-core kernel microbenchmarks.
+# Usage: scripts/bench_simd.sh [extra flags passed to perf_simd]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --features simd-arch --bin perf_simd
+
+echo "=== perf_simd ==="
+./target/release/perf_simd --quiet --threads 1 "$@" | tee bench_results/perf_simd_run.log
+echo "artifact written to bench_results/BENCH_simd.json"

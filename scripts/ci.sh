@@ -28,14 +28,24 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> split-method parity suite"
-cargo test -q --test hist_parity
+# The kernel parity suites run twice: once on the portable SIMD tier
+# (no features) and once with the `simd-arch` std::arch tier compiled in
+# and runtime-dispatched — both must hold bit-for-bit (DESIGN.md §13).
+run_kernel_parity() {
+    echo "==> split-method parity suite $1"
+    cargo test -q $2 --test hist_parity
 
-echo "==> minhash table/batch parity suite"
-cargo test -q -p minhash --test table_parity
+    echo "==> minhash table/batch parity suite $1"
+    cargo test -q -p minhash $2 --test table_parity
 
-echo "==> NN batched-vs-scalar parity suite"
-cargo test -q -p learners --test nn_parity
+    echo "==> NN batched-vs-scalar parity suite $1"
+    cargo test -q -p learners $2 --test nn_parity
+
+    echo "==> simd dispatch/reduction-tree parity suite $1"
+    cargo test -q -p simd $2
+}
+run_kernel_parity "(portable tier)" ""
+run_kernel_parity "(simd-arch tier)" "--features simd-arch"
 
 echo "==> serve integration suite"
 cargo test -q -p serve --test integration
@@ -67,21 +77,20 @@ if [[ "$quick" -eq 0 ]]; then
         || { echo "trace_tool produced no critical-path report"; exit 1; }
     rm -rf "$obs_dir"
 
-    echo "==> perf_serve smoke (release): served scores bit-identical to direct"
-    cargo build --release -q -p bench --bin perf_serve
-    ./target/release/perf_serve --smoke --quiet
-
-    echo "==> perf_forest smoke (release): histogram must not lose to exact"
-    cargo build --release -q -p bench --bin perf_forest
-    ./target/release/perf_forest --smoke --quiet
-
-    echo "==> perf_minhash smoke (release): table path must not lose to naive"
-    cargo build --release -q -p bench --bin perf_minhash
-    ./target/release/perf_minhash --smoke --quiet
-
-    echo "==> perf_nn smoke (release): batched kernels must not lose to scalar"
-    cargo build --release -q -p bench --bin perf_nn
-    ./target/release/perf_nn --smoke --quiet --threads 1
+    # Every perf_* bin carries a --smoke mode asserting its optimised
+    # path does not lose to its retained reference (and, where relevant,
+    # stays bit-identical to it).
+    run_perf_smoke() {
+        local bin="$1" why="$2"; shift 2
+        echo "==> $bin smoke (release): $why"
+        cargo build --release -q -p bench --bin "$bin"
+        "./target/release/$bin" --smoke --quiet "$@"
+    }
+    run_perf_smoke perf_serve  "served scores bit-identical to direct"
+    run_perf_smoke perf_forest "histogram must not lose to exact"
+    run_perf_smoke perf_minhash "table path must not lose to naive"
+    run_perf_smoke perf_nn     "batched kernels must not lose to scalar" --threads 1
+    run_perf_smoke perf_simd   "lane-tree kernels must not lose to naive loops" --threads 1
 
     echo "==> telemetry overhead smoke (release)"
     # Disabled-telemetry instrumentation must stay near-free; the test
@@ -94,6 +103,6 @@ echo "==> cargo doc --no-deps (warnings denied, first-party crates)"
 # vendor/ stand-ins are workspace members but not ours to lint.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p e-afe -p telemetry -p runtime -p tabular -p learners \
-    -p minhash -p rl -p eafe -p eafe-stats -p serve -p bench
+    -p minhash -p rl -p eafe -p eafe-stats -p serve -p bench -p simd
 
 echo "CI gate passed."

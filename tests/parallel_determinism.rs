@@ -179,6 +179,100 @@ fn binned_forest_identical_across_thread_counts() {
 }
 
 #[test]
+fn feature_parallel_histograms_identical_across_thread_counts() {
+    // The feature-parallel histogram batch (one worker-pool task per
+    // feature, merged in fixed feature-index order — DESIGN.md §13) must
+    // be invisible: the 4-thread batch, the 1-thread batch, and a plain
+    // per-column serial accumulation are all bitwise the same histograms.
+    // 8 features × 12k rows clears HIST_PARALLEL_GRAIN, so the 4-thread
+    // run genuinely fans out.
+    use learners::binned::{
+        accumulate_class, accumulate_class_parallel, accumulate_reg, accumulate_reg_parallel,
+        HIST_PARALLEL_GRAIN,
+    };
+    use learners::BinnedColumn;
+
+    let n_rows = 12_000usize;
+    let n_features = 8usize;
+    assert!(n_rows * n_features >= HIST_PARALLEL_GRAIN);
+    let cols: Vec<BinnedColumn> = (0..n_features)
+        .map(|f| {
+            let vals: Vec<f64> = (0..n_rows)
+                .map(|r| (((r * (13 + f * 7)) % 997) as f64 * 0.37).sin() * 50.0)
+                .collect();
+            BinnedColumn::build(&vals, 64)
+        })
+        .collect();
+    let col_refs: Vec<&BinnedColumn> = cols.iter().collect();
+    let rows: Vec<usize> = (0..n_rows).filter(|r| r % 5 != 2).collect();
+    let yc: Vec<usize> = (0..n_rows).map(|r| (r * 11) % 4).collect();
+    let yr: Vec<f64> = (0..n_rows).map(|r| (r as f64 * 0.01).cos()).collect();
+
+    runtime::set_global_threads(1);
+    let class_1t = accumulate_class_parallel(&col_refs, &rows, &yc, 4);
+    let reg_1t = accumulate_reg_parallel(&col_refs, &rows, &yr);
+    runtime::set_global_threads(4);
+    let class_4t = accumulate_class_parallel(&col_refs, &rows, &yc, 4);
+    let reg_4t = accumulate_reg_parallel(&col_refs, &rows, &yr);
+    runtime::set_global_threads(0);
+
+    assert_eq!(class_1t, class_4t, "class histograms 1-vs-4 threads");
+    for (f, (a, b)) in reg_1t.iter().zip(&reg_4t).enumerate() {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.n, y.n, "reg counts feature {f}");
+            assert_eq!(x.sum.to_bits(), y.sum.to_bits(), "reg sums feature {f}");
+            assert_eq!(
+                x.sumsq.to_bits(),
+                y.sumsq.to_bits(),
+                "reg sumsq feature {f}"
+            );
+        }
+    }
+    // Both match a plain per-column serial pass.
+    for (f, col) in col_refs.iter().enumerate() {
+        let mut hc = Vec::new();
+        accumulate_class(col, &rows, &yc, 4, &mut hc);
+        assert_eq!(class_4t[f], hc, "batched class vs serial, feature {f}");
+        let mut hr = Vec::new();
+        accumulate_reg(col, &rows, &yr, &mut hr);
+        for (x, y) in reg_4t[f].iter().zip(&hr) {
+            assert_eq!((x.n, x.sum.to_bits()), (y.n, y.sum.to_bits()));
+        }
+    }
+}
+
+#[test]
+fn gp_predict_identical_across_thread_counts() {
+    // GP posterior-mean prediction chunks test rows over the worker pool
+    // and reduces each row's RBF distances through the pinned SIMD lane
+    // tree; neither may move a bit between thread counts. 700 test rows ×
+    // 400 capped training rows clears the predict grain, so the 4-thread
+    // run genuinely fans out.
+    use learners::{GaussianProcess, GpConfig};
+
+    let n = 700usize;
+    let xs: Vec<Vec<f64>> = (0..3)
+        .map(|f| {
+            (0..n)
+                .map(|r| (r as f64 * 0.013 + f as f64).sin() * 3.0)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = (0..n).map(|r| (r as f64 * 0.02).cos() * 2.0).collect();
+    let mut gp = GaussianProcess::new(GpConfig::default());
+    gp.fit(&xs, &y).unwrap();
+
+    runtime::set_global_threads(1);
+    let single = gp.predict(&xs).unwrap();
+    runtime::set_global_threads(4);
+    let multi = gp.predict(&xs).unwrap();
+    runtime::set_global_threads(0);
+    for (a, b) in single.iter().zip(&multi) {
+        assert_eq!(a.to_bits(), b.to_bits(), "gp predict 1-vs-4 threads");
+    }
+}
+
+#[test]
 fn mlp_training_identical_across_thread_counts() {
     // The batched NN trainer splits every minibatch into fixed-size
     // microbatches and reduces their gradient partials serially in chunk
