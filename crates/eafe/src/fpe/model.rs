@@ -141,7 +141,15 @@ impl FpeModel {
     /// Eq. (7) `p = C_D(MinHash(f̃, d))`, with `p` oriented so that higher
     /// means better (see [`crate::reward`] for the Eq. 8 mapping).
     pub fn score_feature(&self, values: &[f64]) -> Result<f64> {
-        let compressed = self.repr.represent(values)?;
+        self.score_compressed(self.repr.represent(values)?)
+    }
+
+    /// Classify an externally assembled compressed representation.
+    /// The chunk-at-a-time scoring path (`crate::chunked`) builds the
+    /// vector by streaming a column's chunks through the compressor and
+    /// hands the result here, so a candidate is scored without ever being
+    /// materialized as a flat column.
+    pub fn score_compressed(&self, compressed: Vec<f64>) -> Result<f64> {
         let x: Vec<Vec<f64>> = compressed.into_iter().map(|v| vec![v]).collect();
         Ok(self.classifier.predict_positive_proba(&x)?[0])
     }

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod chunked;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod reward;
 pub mod state;
 pub mod step;
 
+pub use chunked::ChunkedSearch;
 pub use config::{CachedEvaluator, EafeConfig};
 pub use engine::{Engine, Gate};
 pub use error::{EafeError, Result};

@@ -113,53 +113,86 @@ impl Operator {
         }
     }
 
-    /// Apply a unary operator to a slice of values.
-    fn apply_unary(self, a: &[f64]) -> Vec<f64> {
-        match self {
-            Operator::Log => a.iter().map(|&x| (x.abs() + 1.0).ln()).collect(),
-            Operator::Sqrt => a.iter().map(|&x| x.abs().sqrt()).collect(),
-            Operator::Reciprocal => a
-                .iter()
-                .map(|&x| if x.abs() < DIV_EPS { 0.0 } else { 1.0 / x })
-                .collect(),
-            Operator::MinMaxNorm => {
-                let lo = a.iter().copied().fold(f64::INFINITY, f64::min);
-                let hi = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let span = hi - lo;
-                if !span.is_finite() || span < DIV_EPS {
-                    return vec![0.0; a.len()];
-                }
-                a.iter().map(|&x| (x - lo) / span).collect()
-            }
-            _ => unreachable!("binary operator applied as unary"),
-        }
+    /// True when [`Operator::apply`] needs whole-column min/max bounds
+    /// before any element can be produced (min-max normalisation). Chunk
+    /// pipelines run the [`Operator::column_bounds`] prepass first.
+    pub fn needs_bounds(self) -> bool {
+        matches!(self, Operator::MinMaxNorm)
     }
 
-    /// Apply a binary operator element-wise.
-    fn apply_binary(self, a: &[f64], b: &[f64]) -> Vec<f64> {
-        debug_assert_eq!(a.len(), b.len());
+    /// The whole-column prepass for bounded operators: `(min, max)` via
+    /// row-order `f64::min`/`f64::max` folds. Chunk pipelines reproduce
+    /// this by folding across chunks in row order (the fold chains are
+    /// element-wise identical, so bounds — and every value derived from
+    /// them — match the flat computation bit for bit).
+    pub fn column_bounds(values: &[f64]) -> (f64, f64) {
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    }
+
+    /// Apply the operator to one chunk of rows, appending to `out`.
+    /// `bounds` must be `Some(column_bounds(a_full))` when
+    /// [`Operator::needs_bounds`]; splitting a column into chunks and
+    /// calling this per chunk is bit-identical to one [`Operator::apply`]
+    /// over the flat column. Non-finite outputs are clamped to 0.
+    pub fn apply_chunk(self, a: &[f64], b: &[f64], bounds: Option<(f64, f64)>, out: &mut Vec<f64>) {
+        let start = out.len();
+        out.reserve(a.len());
         match self {
-            Operator::Add => a.iter().zip(b).map(|(x, y)| x + y).collect(),
-            Operator::Subtract => a.iter().zip(b).map(|(x, y)| x - y).collect(),
-            Operator::Multiply => a.iter().zip(b).map(|(x, y)| x * y).collect(),
-            Operator::Divide => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| if y.abs() < DIV_EPS { 0.0 } else { x / y })
-                .collect(),
-            Operator::Modulo => a
-                .iter()
-                .zip(b)
-                .map(|(&x, &y)| {
+            Operator::Log => out.extend(a.iter().map(|&x| (x.abs() + 1.0).ln())),
+            Operator::Sqrt => out.extend(a.iter().map(|&x| x.abs().sqrt())),
+            Operator::Reciprocal => {
+                out.extend(
+                    a.iter()
+                        .map(|&x| if x.abs() < DIV_EPS { 0.0 } else { 1.0 / x }),
+                )
+            }
+            Operator::MinMaxNorm => {
+                let (lo, hi) = bounds.expect("MinMaxNorm requires column bounds");
+                let span = hi - lo;
+                if !span.is_finite() || span < DIV_EPS {
+                    out.extend(std::iter::repeat_n(0.0, a.len()));
+                } else {
+                    out.extend(a.iter().map(|&x| (x - lo) / span));
+                }
+            }
+            Operator::Add => {
+                debug_assert_eq!(a.len(), b.len());
+                out.extend(a.iter().zip(b).map(|(x, y)| x + y));
+            }
+            Operator::Subtract => {
+                debug_assert_eq!(a.len(), b.len());
+                out.extend(a.iter().zip(b).map(|(x, y)| x - y));
+            }
+            Operator::Multiply => {
+                debug_assert_eq!(a.len(), b.len());
+                out.extend(a.iter().zip(b).map(|(x, y)| x * y));
+            }
+            Operator::Divide => {
+                debug_assert_eq!(a.len(), b.len());
+                out.extend(
+                    a.iter()
+                        .zip(b)
+                        .map(|(x, y)| if y.abs() < DIV_EPS { 0.0 } else { x / y }),
+                );
+            }
+            Operator::Modulo => {
+                debug_assert_eq!(a.len(), b.len());
+                out.extend(a.iter().zip(b).map(|(&x, &y)| {
                     let m = y.abs();
                     if m < DIV_EPS {
                         0.0
                     } else {
                         x - m * (x / m).floor()
                     }
-                })
-                .collect(),
-            _ => unreachable!("unary operator applied as binary"),
+                }));
+            }
+        }
+        for v in &mut out[start..] {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
         }
     }
 
@@ -167,16 +200,13 @@ impl Operator {
     /// operators only the first (paper: "in this case, feature₁ and
     /// feature₂ are the same feature"). Non-finite outputs are clamped to 0.
     pub fn apply(self, a: &[f64], b: &[f64]) -> Vec<f64> {
-        let mut out = if self.is_unary() {
-            self.apply_unary(a)
+        let bounds = if self.needs_bounds() {
+            Some(Self::column_bounds(a))
         } else {
-            self.apply_binary(a, b)
+            None
         };
-        for v in &mut out {
-            if !v.is_finite() {
-                *v = 0.0;
-            }
-        }
+        let mut out = Vec::with_capacity(a.len());
+        self.apply_chunk(a, b, bounds, &mut out);
         out
     }
 }
@@ -343,6 +373,32 @@ mod tests {
         let b = col("f1", &[1.0, 2.0]);
         let h = GeneratedFeature::generate(Operator::Sqrt, &b, 0, &b, 0);
         assert!(!h.is_degenerate());
+    }
+
+    #[test]
+    fn chunked_apply_matches_flat_apply_bitwise() {
+        let a: Vec<f64> = (0..257)
+            .map(|i| ((i as f64 * 0.37).sin() * 50.0).round() / 2.0 - 10.0)
+            .collect();
+        let mut b: Vec<f64> = (0..257)
+            .map(|i| ((i as f64 * 0.61).cos() * 8.0).round())
+            .collect();
+        b[3] = 0.0;
+        b[100] = -0.0;
+        for op in Operator::ALL {
+            let flat = op.apply(&a, &b);
+            for chunk_rows in [1usize, 7, 64, 256, 257, 500] {
+                let bounds = op.needs_bounds().then(|| Operator::column_bounds(&a));
+                let mut chunked = Vec::new();
+                for (ca, cb) in a.chunks(chunk_rows).zip(b.chunks(chunk_rows)) {
+                    op.apply_chunk(ca, cb, bounds, &mut chunked);
+                }
+                assert_eq!(flat.len(), chunked.len());
+                for (x, y) in flat.iter().zip(&chunked) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{op} chunk_rows={chunk_rows}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -267,7 +267,7 @@ impl SearchState {
 }
 
 impl Engine {
-    fn make_evaluator(&self) -> CachedEvaluator {
+    pub(crate) fn make_evaluator(&self) -> CachedEvaluator {
         match &self.cache {
             Some(shared) => runtime::Evaluator::with_cache(
                 self.config.evaluator.clone(),

@@ -13,7 +13,119 @@
 use crate::error::{MinHashError, Result};
 use crate::families::{HashFamily, WeightedMinHasher};
 use crate::signature::Signature;
+use crate::tables::{draw_tables, StreamSketcher};
 use serde::{Deserialize, Serialize};
+
+/// Small floor added to every weight so all samples stay in the support.
+const WEIGHT_FLOOR: f64 = 1e-6;
+
+/// Streaming accumulator for the finite min/max bounds
+/// [`SampleCompressor::to_weights`] normalises by — pass 1 of the two-pass
+/// chunked sketch. Absorbing a column's chunks in row order produces
+/// bounds bit-identical to the flat fold: each bound is the same
+/// sequential `f64::min` / `f64::max` fold over the finite values in row
+/// order (order matters for the `-0.0`/`0.0` bit pattern, so no
+/// set-shortcut is taken).
+#[derive(Debug, Clone, Copy)]
+pub struct WeightBounds {
+    lo: f64,
+    hi: f64,
+}
+
+impl Default for WeightBounds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WeightBounds {
+    /// Empty bounds (no finite value absorbed yet).
+    pub fn new() -> Self {
+        WeightBounds {
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one batch of raw values into the bounds, in row order.
+    pub fn absorb(&mut self, values: &[f64]) {
+        for &v in values {
+            if v.is_finite() {
+                self.lo = self.lo.min(v);
+                self.hi = self.hi.max(v);
+            }
+        }
+    }
+
+    /// Whether any finite value has been absorbed.
+    pub fn has_finite(&self) -> bool {
+        self.lo <= self.hi
+    }
+
+    /// The weight of one raw value under these bounds — the exact
+    /// per-element expression of [`SampleCompressor::to_weights`].
+    fn weight(&self, v: f64) -> f64 {
+        if !self.has_finite() {
+            return WEIGHT_FLOOR;
+        }
+        let span = (self.hi - self.lo).max(1e-12);
+        if v.is_finite() {
+            (v - self.lo) / span + WEIGHT_FLOOR
+        } else {
+            WEIGHT_FLOOR
+        }
+    }
+}
+
+/// Pass 2 of the two-pass chunked sketch: feed raw column values chunk by
+/// chunk (in row order) and finish into the column's [`Signature`],
+/// bit-identical to [`SampleCompressor::signature`] over the concatenated
+/// column. Created by [`SampleCompressor::begin_signature`] with the
+/// bounds from pass 1.
+#[derive(Debug)]
+pub struct SignatureStream {
+    sketcher: StreamSketcher,
+    bounds: WeightBounds,
+    next_row: usize,
+    support_buf: Vec<(usize, f64)>,
+}
+
+impl SignatureStream {
+    /// Absorb the next chunk of raw column values (rows
+    /// `next_row..next_row + chunk.len()`).
+    pub fn absorb(&mut self, chunk: &[f64]) {
+        self.support_buf.clear();
+        for (off, &v) in chunk.iter().enumerate() {
+            let w = self.bounds.weight(v);
+            // Same support filter as the one-shot path: only strictly
+            // positive finite weights can win a hash.
+            if w > 0.0 && w.is_finite() {
+                self.support_buf.push((self.next_row + off, w));
+            }
+        }
+        self.sketcher.absorb(&self.support_buf);
+        self.next_row += chunk.len();
+    }
+
+    /// Rows absorbed so far.
+    pub fn rows(&self) -> usize {
+        self.next_row
+    }
+
+    /// Finish into the signature; errors on an empty column or an empty
+    /// support, exactly like the one-shot path.
+    pub fn finish(self) -> Result<Signature> {
+        if self.next_row == 0 {
+            return Err(MinHashError::EmptyInput);
+        }
+        if self.sketcher.is_empty() {
+            return Err(MinHashError::InvalidParam(
+                "weight vector has empty support (all weights zero)".into(),
+            ));
+        }
+        Ok(Signature::new(self.sketcher.finish()))
+    }
+}
 
 /// Compresses feature columns of arbitrary length into `d` values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,24 +163,9 @@ impl SampleCompressor {
     /// scale to [0, 1] and add a small floor so every sample stays in the
     /// support. Non-finite values get the floor weight.
     pub fn to_weights(values: &[f64]) -> Vec<f64> {
-        const FLOOR: f64 = 1e-6;
-        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        if finite.is_empty() {
-            return vec![FLOOR; values.len()];
-        }
-        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let span = (hi - lo).max(1e-12);
-        values
-            .iter()
-            .map(|&v| {
-                if v.is_finite() {
-                    (v - lo) / span + FLOOR
-                } else {
-                    FLOOR
-                }
-            })
-            .collect()
+        let mut bounds = WeightBounds::new();
+        bounds.absorb(values);
+        values.iter().map(|&v| bounds.weight(v)).collect()
     }
 
     /// The column's MinHash signature over [`to_weights`](Self::to_weights)
@@ -96,6 +193,21 @@ impl SampleCompressor {
         let weights: Vec<Vec<f64>> = columns.iter().map(|c| Self::to_weights(c)).collect();
         let refs: Vec<&[f64]> = weights.iter().map(|w| w.as_slice()).collect();
         self.hasher.signature_batch(&refs)
+    }
+
+    /// Begin a streaming signature over a column whose raw values will
+    /// arrive chunk by chunk — pass 2 of the two-pass chunked sketch.
+    /// `bounds` must come from a pass-1 [`WeightBounds`] fold over the
+    /// same column in the same row order; the finished signature is then
+    /// bit-identical to [`signature`](Self::signature) over the flat
+    /// column.
+    pub fn begin_signature(&self, bounds: WeightBounds) -> SignatureStream {
+        SignatureStream {
+            sketcher: draw_tables(&self.hasher).stream(),
+            bounds,
+            next_row: 0,
+            support_buf: Vec::new(),
+        }
     }
 
     /// Gather the compressed vector for a column from its precomputed
@@ -139,8 +251,22 @@ impl SampleCompressor {
         Ok(out)
     }
 
-    /// In-place z-score normalisation; near-constant vectors flatten to 0.
-    fn normalize(out: &mut [f64]) {
+    /// Map one gathered value the way
+    /// [`compress_with_signature`](Self::compress_with_signature) does:
+    /// non-finite values become 0. Chunked gathers use this per selected
+    /// index to stay bit-identical to the flat gather.
+    pub fn gather_value(v: f64) -> f64 {
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// In-place z-score normalisation — public so chunked gathers can
+    /// apply the exact flat-path normalisation to an externally assembled
+    /// compressed vector; near-constant vectors flatten to 0.
+    pub fn normalize(out: &mut [f64]) {
         let n = out.len() as f64;
         let mean = out.iter().sum::<f64>() / n;
         let var = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
@@ -242,6 +368,70 @@ mod tests {
     #[test]
     fn empty_input_errors() {
         assert!(compressor().compress(&[]).is_err());
+    }
+
+    fn streamed_signature(c: &SampleCompressor, values: &[f64], chunk_rows: usize) -> Signature {
+        let mut bounds = WeightBounds::new();
+        for chunk in values.chunks(chunk_rows) {
+            bounds.absorb(chunk);
+        }
+        let mut stream = c.begin_signature(bounds);
+        for chunk in values.chunks(chunk_rows) {
+            stream.absorb(chunk);
+        }
+        assert_eq!(stream.rows(), values.len());
+        stream.finish().unwrap()
+    }
+
+    #[test]
+    fn streamed_signature_matches_flat_for_every_family() {
+        let values: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.73).sin() * 25.0 - 4.0)
+            .collect();
+        for family in HashFamily::ALL {
+            let c = SampleCompressor::new(family, 48, 0xBEEF).unwrap();
+            let flat = c.signature(&values).unwrap();
+            for chunk_rows in [1usize, 7, 128, 500, 1000] {
+                assert_eq!(
+                    streamed_signature(&c, &values, chunk_rows),
+                    flat,
+                    "{family:?} chunk_rows={chunk_rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_signature_matches_flat_with_nonfinite_and_negatives() {
+        let mut values: Vec<f64> = (0..300).map(|i| (i as f64) - 150.0).collect();
+        values[3] = f64::NAN;
+        values[77] = f64::INFINITY;
+        values[150] = -0.0;
+        values[151] = 0.0;
+        let c = compressor();
+        let flat = c.signature(&values).unwrap();
+        assert_eq!(streamed_signature(&c, &values, 64), flat);
+    }
+
+    #[test]
+    fn streamed_empty_column_errors_like_flat() {
+        let c = compressor();
+        let stream = c.begin_signature(WeightBounds::new());
+        assert!(stream.finish().is_err());
+    }
+
+    #[test]
+    fn streamed_gather_matches_flat_compression() {
+        let values: Vec<f64> = (0..400).map(|i| (i as f64 * 1.9).cos() * 7.0).collect();
+        let c = compressor();
+        let flat = c.compress_normalized(&values).unwrap();
+        let sig = streamed_signature(&c, &values, 96);
+        let mut gathered: Vec<f64> = sig
+            .keys()
+            .map(|k| SampleCompressor::gather_value(values[k]))
+            .collect();
+        SampleCompressor::normalize(&mut gathered);
+        assert_eq!(gathered, flat);
     }
 
     #[test]

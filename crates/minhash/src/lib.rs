@@ -25,8 +25,8 @@ pub mod rng;
 pub mod signature;
 pub mod tables;
 
-pub use compressor::SampleCompressor;
+pub use compressor::{SampleCompressor, SignatureStream, WeightBounds};
 pub use error::{MinHashError, Result};
 pub use families::{HashFamily, WeightedMinHasher};
 pub use signature::{generalized_jaccard, SigElement, Signature};
-pub use tables::{clear_draw_tables, draw_tables, DrawTables};
+pub use tables::{clear_draw_tables, draw_tables, DrawTables, StreamSketcher};

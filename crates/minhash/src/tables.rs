@@ -180,11 +180,31 @@ impl DrawTables {
             .collect()
     }
 
-    /// The per-column kernel: loop support outer (hoisting `ln w`), hash
-    /// index inner (stride-1 over the table row), tracking the running
-    /// minimum per hash index. Candidate order per hash index matches the
-    /// scalar path's support order, and the comparison is the same strict
-    /// `<`, so ties resolve identically.
+    /// The per-column kernel: one fresh [`SketchState`] absorbed over the
+    /// whole support, then finished.
+    fn sketch_with(&self, store: &Store, support: &[(usize, f64)]) -> Vec<SigElement> {
+        let mut state = SketchState::new(self.d);
+        self.absorb_with(store, &mut state, support);
+        self.finish_state(state)
+    }
+
+    /// Start an incremental sketch over this table: absorb support pairs
+    /// chunk by chunk, then [`StreamSketcher::finish`]. Absorbing chunks in
+    /// ascending-index order reproduces [`sketch`](DrawTables::sketch) over
+    /// the concatenated support bit-for-bit — the running-minimum updates
+    /// are the exact same comparison sequence, merely split across calls.
+    pub fn stream(self: &Arc<Self>) -> StreamSketcher {
+        StreamSketcher {
+            tables: Arc::clone(self),
+            state: SketchState::new(self.d),
+        }
+    }
+
+    /// Absorb one batch of support pairs into running state. Loop support
+    /// outer (hoisting `ln w`), hash index inner (stride-1 over the table
+    /// row), tracking the running minimum per hash index. Candidate order
+    /// per hash index matches the scalar path's support order, and the
+    /// comparison is the same strict `<`, so ties resolve identically.
     ///
     /// The CWS inner loops are staged through the `simd` crate's
     /// elementwise kernels (DESIGN.md §13): `t`, then `r·(t−β)`, then
@@ -195,96 +215,151 @@ impl DrawTables {
     /// call — so sketches are bit-identical whichever tier runs. Only
     /// the min-tracking scan stays a plain loop (it carries the
     /// cross-iteration argmin state).
-    fn sketch_with(&self, store: &Store, support: &[(usize, f64)]) -> Vec<SigElement> {
+    fn absorb_with(&self, store: &Store, state: &mut SketchState, support: &[(usize, f64)]) {
         let d = self.d;
         match self.family {
             HashFamily::MinHash => {
-                let mut best_h = vec![u64::MAX; d];
-                let mut best_k = vec![0u32; d];
-                let mut first = true;
                 for &(k, _) in support {
                     let row = &store.h[k * d..k * d + d];
+                    let first = !state.any;
                     for (i, &h) in row.iter().enumerate() {
-                        if first || h < best_h[i] {
-                            best_h[i] = h;
-                            best_k[i] = k as u32;
+                        if first || h < state.best_h[i] {
+                            state.best_h[i] = h;
+                            state.best_k[i] = k as u32;
                         }
                     }
-                    first = false;
+                    state.any = true;
                 }
-                best_k
-                    .into_iter()
-                    .map(|key| SigElement { key, t: 0 })
-                    .collect()
             }
             HashFamily::Icws | HashFamily::ZeroBitCws | HashFamily::Pcws => {
-                let keep_t = self.family != HashFamily::ZeroBitCws;
-                let mut best_a = vec![f64::INFINITY; d];
-                let mut best_k = vec![0u32; d];
-                let mut best_t = vec![0i32; d];
-                let mut t_buf = vec![0.0f64; d];
-                let mut a_buf = vec![0.0f64; d];
                 for &(k, w) in support {
                     let lnw = w.ln();
                     let base = k * d;
                     let r = &store.r[base..base + d];
                     let beta = &store.beta[base..base + d];
                     // t = ⌊ln w / r + β⌋ ; a = c / (exp(r·(t−β)) · eʳ)
-                    simd::div_add_floor(&mut t_buf, lnw, r, beta);
-                    simd::mul_sub(&mut a_buf, r, &t_buf, beta);
-                    simd::exp_inplace(&mut a_buf);
+                    simd::div_add_floor(&mut state.t_buf, lnw, r, beta);
+                    simd::mul_sub(&mut state.a_buf, r, &state.t_buf, beta);
+                    simd::exp_inplace(&mut state.a_buf);
                     simd::div_prod(
-                        &mut a_buf,
+                        &mut state.a_buf,
                         &store.c[base..base + d],
                         &store.er[base..base + d],
                     );
-                    for i in 0..d {
-                        if a_buf[i] < best_a[i] {
-                            best_a[i] = a_buf[i];
-                            best_k[i] = k as u32;
-                            best_t[i] = discretize_t(t_buf[i]);
-                        }
-                    }
+                    state.take_minima(k);
                 }
-                best_k
-                    .into_iter()
-                    .zip(best_t)
-                    .map(|(key, t)| SigElement {
-                        key,
-                        t: if keep_t { t } else { 0 },
-                    })
-                    .collect()
             }
             HashFamily::Ccws => {
-                let mut best_a = vec![f64::INFINITY; d];
-                let mut best_k = vec![0u32; d];
-                let mut best_t = vec![0i32; d];
-                let mut t_buf = vec![0.0f64; d];
-                let mut a_buf = vec![0.0f64; d];
                 for &(k, w) in support {
                     let base = k * d;
                     let r = &store.r[base..base + d];
                     let beta = &store.beta[base..base + d];
                     // t = ⌊w / r + β⌋ ; a = c / max(r·(t−β), MIN_POSITIVE)
-                    simd::div_add_floor(&mut t_buf, w, r, beta);
-                    simd::mul_sub(&mut a_buf, r, &t_buf, beta);
-                    simd::max_scalar(&mut a_buf, f64::MIN_POSITIVE);
-                    simd::div_into(&mut a_buf, &store.c[base..base + d]);
-                    for i in 0..d {
-                        if a_buf[i] < best_a[i] {
-                            best_a[i] = a_buf[i];
-                            best_k[i] = k as u32;
-                            best_t[i] = discretize_t(t_buf[i]);
-                        }
-                    }
+                    simd::div_add_floor(&mut state.t_buf, w, r, beta);
+                    simd::mul_sub(&mut state.a_buf, r, &state.t_buf, beta);
+                    simd::max_scalar(&mut state.a_buf, f64::MIN_POSITIVE);
+                    simd::div_into(&mut state.a_buf, &store.c[base..base + d]);
+                    state.take_minima(k);
                 }
-                best_k
-                    .into_iter()
-                    .zip(best_t)
-                    .map(|(key, t)| SigElement { key, t })
-                    .collect()
             }
         }
+    }
+
+    /// Turn finished running state into signature elements.
+    fn finish_state(&self, state: SketchState) -> Vec<SigElement> {
+        let keep_t = !matches!(self.family, HashFamily::MinHash | HashFamily::ZeroBitCws);
+        state
+            .best_k
+            .into_iter()
+            .zip(state.best_t)
+            .map(|(key, t)| SigElement {
+                key,
+                t: if keep_t { t } else { 0 },
+            })
+            .collect()
+    }
+}
+
+/// Running per-hash-index argmin state shared by the one-shot and
+/// streaming kernels.
+#[derive(Debug)]
+struct SketchState {
+    best_a: Vec<f64>,
+    best_h: Vec<u64>,
+    best_k: Vec<u32>,
+    best_t: Vec<i32>,
+    t_buf: Vec<f64>,
+    a_buf: Vec<f64>,
+    /// Whether any support pair has been absorbed yet.
+    any: bool,
+}
+
+impl SketchState {
+    fn new(d: usize) -> Self {
+        SketchState {
+            best_a: vec![f64::INFINITY; d],
+            best_h: vec![u64::MAX; d],
+            best_k: vec![0u32; d],
+            best_t: vec![0i32; d],
+            t_buf: vec![0.0f64; d],
+            a_buf: vec![0.0f64; d],
+            any: false,
+        }
+    }
+
+    /// Fold the just-computed `a_buf`/`t_buf` for dimension `k` into the
+    /// running minima (the CWS argmin update).
+    fn take_minima(&mut self, k: usize) {
+        for i in 0..self.best_a.len() {
+            if self.a_buf[i] < self.best_a[i] {
+                self.best_a[i] = self.a_buf[i];
+                self.best_k[i] = k as u32;
+                self.best_t[i] = discretize_t(self.t_buf[i]);
+            }
+        }
+        self.any = true;
+    }
+}
+
+/// Incremental sketcher over one [`DrawTables`]: absorb `(dimension,
+/// weight)` support pairs chunk by chunk, then [`finish`] into signature
+/// elements. Feeding the same pairs in the same order as a one-shot
+/// [`DrawTables::sketch`] call produces bit-identical elements — the
+/// chunk-at-a-time execution layer sketches out-of-core columns without
+/// ever materialising the full support.
+///
+/// [`finish`]: StreamSketcher::finish
+#[derive(Debug)]
+pub struct StreamSketcher {
+    tables: Arc<DrawTables>,
+    state: SketchState,
+}
+
+impl StreamSketcher {
+    /// Absorb one batch of support pairs (weights must be strictly
+    /// positive and finite, as produced by the support filter). Call with
+    /// batches in ascending dimension order for parity with the one-shot
+    /// path.
+    pub fn absorb(&mut self, support: &[(usize, f64)]) {
+        if support.is_empty() {
+            return;
+        }
+        let k_needed = support.iter().map(|&(k, _)| k + 1).max().unwrap_or(0);
+        self.tables.ensure(k_needed);
+        let store = self.tables.store.read().unwrap();
+        self.tables.absorb_with(&store, &mut self.state, support);
+    }
+
+    /// Whether no support pair has been absorbed yet (an all-zero column).
+    pub fn is_empty(&self) -> bool {
+        !self.state.any
+    }
+
+    /// Finish the sketch. The result is unspecified when
+    /// [`is_empty`](StreamSketcher::is_empty) — callers enforce the
+    /// non-empty-support contract, mirroring the one-shot path's error.
+    pub fn finish(self) -> Vec<SigElement> {
+        self.tables.finish_state(self.state)
     }
 }
 

@@ -612,6 +612,39 @@ impl Introspection {
         ])
     }
 
+    /// Process-wide chunked-frame residency and spill traffic (the
+    /// out-of-core data layer's working-set gauges), so an operator can
+    /// see budget pressure per scrape without attaching to any job.
+    fn frame_value(&self) -> serde::Value {
+        let f = tabular::global_frame_stats();
+        serde::Value::Map(vec![
+            (
+                "chunks_resident".to_string(),
+                serde::Value::U64(f.chunks_resident),
+            ),
+            (
+                "resident_bytes".to_string(),
+                serde::Value::U64(f.resident_bytes),
+            ),
+            (
+                "chunks_spilled".to_string(),
+                serde::Value::U64(f.chunks_spilled),
+            ),
+            (
+                "chunks_evicted".to_string(),
+                serde::Value::U64(f.chunks_evicted),
+            ),
+            (
+                "chunks_loaded".to_string(),
+                serde::Value::U64(f.chunks_loaded),
+            ),
+            (
+                "chunks_decoded".to_string(),
+                serde::Value::U64(f.chunks_decoded),
+            ),
+        ])
+    }
+
     fn series_value(&self) -> serde::Value {
         let series = self
             .metrics
@@ -657,13 +690,29 @@ impl StatusSource for Introspection {
                 ]),
             ),
             ("cache".to_string(), self.cache_value()),
+            ("frame".to_string(), self.frame_value()),
             ("series".to_string(), self.series_value()),
         ]);
         serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_string())
     }
 
     fn metrics_text(&self) -> String {
-        self.metrics.snapshot().to_prometheus()
+        let mut out = self.metrics.snapshot().to_prometheus();
+        // Chunked-frame gauges are process-global (they aggregate over every
+        // live frame, across tenants), so they are appended directly rather
+        // than routed through the per-tenant scoped registry.
+        let f = tabular::global_frame_stats();
+        for (name, kind, value) in [
+            ("frame_chunks_resident", "gauge", f.chunks_resident),
+            ("frame_resident_bytes", "gauge", f.resident_bytes),
+            ("frame_chunks_spilled", "counter", f.chunks_spilled),
+            ("frame_chunks_evicted", "counter", f.chunks_evicted),
+            ("frame_chunks_loaded", "counter", f.chunks_loaded),
+            ("frame_chunks_decoded", "counter", f.chunks_decoded),
+        ] {
+            out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+        }
+        out
     }
 }
 

@@ -179,7 +179,17 @@ impl DataFrame {
 
     /// A single row as a dense feature vector.
     pub fn row(&self, i: usize) -> Vec<f64> {
-        self.columns.iter().map(|c| c.values[i]).collect()
+        let mut out = Vec::with_capacity(self.n_cols());
+        self.row_into(i, &mut out);
+        out
+    }
+
+    /// Write row `i` into `out` (cleared first). Row-scanning hot loops use
+    /// this with one reused buffer instead of allocating per call via
+    /// [`row`](Self::row).
+    pub fn row_into(&self, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.columns.iter().map(|c| c.values[i]));
     }
 
     /// Append a feature column; must match the frame's row count.

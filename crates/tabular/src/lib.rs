@@ -4,6 +4,10 @@
 //!
 //! - [`DataFrame`] / [`Column`] / [`Label`] — the dataset representation
 //!   `D⟨F, y⟩` from the paper's problem formulation;
+//! - [`chunk`] / [`store`] / [`budget`] — the out-of-core layer: compressed
+//!   chunked columns ([`ChunkedFrame`]), pluggable chunk persistence
+//!   ([`ColumnStore`] with in-memory and mmap-backed `.eafc` backends), and
+//!   resident-bytes budgeting with LRU spill/evict ([`FrameBudget`]);
 //! - [`split`] — train/test and (stratified) k-fold index generation;
 //! - [`sample`] — subsampling and bootstrap utilities;
 //! - [`csv`] — simple persistence;
@@ -14,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
+pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod error;
@@ -21,11 +27,15 @@ pub mod frame;
 pub mod registry;
 pub mod sample;
 pub mod split;
+pub mod store;
 pub mod synth;
 
+pub use budget::{global_frame_stats, FrameBudget, FrameStats};
+pub use chunk::{ChunkEncoding, ChunkOptions, ChunkedColumn, ChunkedFrame, DEFAULT_CHUNK_ROWS};
 pub use column::Column;
 pub use error::{Result, TabularError};
 pub use frame::{DataFrame, Label, Task};
 pub use registry::{find_dataset, DatasetInfo, TARGET_DATASETS};
 pub use split::Split;
+pub use store::{ChunkTicket, ColumnStore, InMemoryStore, MmapStore, StoreKind};
 pub use synth::SynthSpec;

@@ -11,9 +11,11 @@
 //!
 //! Generation is fully deterministic given a [`SynthSpec`] (including seed).
 
+use crate::chunk::{ChunkEncoding, ChunkOptions, ChunkedFrame};
 use crate::column::Column;
 use crate::error::{Result, TabularError};
 use crate::frame::{DataFrame, Label, Task};
+use crate::store::ColumnStore;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal, Normal, Uniform};
@@ -87,6 +89,25 @@ impl SynthSpec {
     pub fn generate(&self) -> Result<DataFrame> {
         generate(self)
     }
+
+    /// Generate the dataset chunk-at-a-time, emitting encoded chunks
+    /// directly to `store` under the given chunk options, so the feature
+    /// matrix never materializes in RAM (peak feature memory is one
+    /// chunk-row stripe plus whatever the budget keeps resident).
+    ///
+    /// Deterministic for a given `(spec, chunk_rows)`: every `(column,
+    /// chunk)` pair draws from its own seed-derived RNG stream, so output
+    /// is independent of generation order but *does* depend on the chunk
+    /// size. The streamed dataset is therefore a sibling of
+    /// [`generate`](Self::generate)'s (same marginals, planted terms, and
+    /// label construction), not a bit-copy of it.
+    pub fn generate_chunked(
+        &self,
+        opts: ChunkOptions,
+        store: Box<dyn ColumnStore>,
+    ) -> Result<ChunkedFrame> {
+        generate_chunked(self, opts, store)
+    }
 }
 
 /// The unary primitives used in planted compositions. These mirror the
@@ -140,7 +161,35 @@ impl PlantedTerm {
     }
 }
 
-fn generate(spec: &SynthSpec) -> Result<DataFrame> {
+/// The marginal distributions columns are drawn from, shared by the in-RAM
+/// and streaming generators.
+struct Marginals {
+    normal: Normal,
+    lognormal: LogNormal,
+    uniform: Uniform,
+}
+
+impl Marginals {
+    fn new() -> Self {
+        Marginals {
+            normal: Normal::new(0.0, 1.0).expect("valid normal"),
+            lognormal: LogNormal::new(0.0, 0.5).expect("valid lognormal"),
+            uniform: Uniform::new(-1.0f64, 1.0),
+        }
+    }
+
+    fn sample(&self, kind: u8, scale: f64, rng: &mut StdRng) -> f64 {
+        match kind {
+            0 => self.normal.sample(rng) * scale,
+            1 => self.lognormal.sample(rng) * scale,
+            2 => self.uniform.sample(rng) * scale,
+            // integer-ish encoded categorical
+            _ => rng.gen_range(0..8) as f64,
+        }
+    }
+}
+
+fn validate(spec: &SynthSpec) -> Result<usize> {
     if spec.n_samples == 0 || spec.n_features == 0 {
         return Err(TabularError::Empty(format!(
             "synthetic dataset `{}` must have rows and columns",
@@ -157,30 +206,12 @@ fn generate(spec: &SynthSpec) -> Result<DataFrame> {
             "informative_fraction must be in [0,1]".into(),
         ));
     }
-    let depth = spec.composition_depth.clamp(1, 4);
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ hash_name(&spec.name));
+    Ok(spec.composition_depth.clamp(1, 4))
+}
 
-    // --- base feature matrix, column-major, mixed marginal distributions ---
-    let normal = Normal::new(0.0, 1.0).expect("valid normal");
-    let lognormal = LogNormal::new(0.0, 0.5).expect("valid lognormal");
-    let uniform = Uniform::new(-1.0f64, 1.0);
-    let mut columns: Vec<Column> = Vec::with_capacity(spec.n_features);
-    for j in 0..spec.n_features {
-        let kind = rng.gen_range(0..4u8);
-        let scale = 10f64.powi(rng.gen_range(-1..2));
-        let values: Vec<f64> = (0..spec.n_samples)
-            .map(|_| match kind {
-                0 => normal.sample(&mut rng) * scale,
-                1 => lognormal.sample(&mut rng) * scale,
-                2 => uniform.sample(&mut rng) * scale,
-                // integer-ish encoded categorical
-                _ => rng.gen_range(0..8) as f64,
-            })
-            .collect();
-        columns.push(Column::new(format!("f{j}"), values));
-    }
-
-    // --- choose informative columns and plant composition terms ---
+/// Choose informative columns and plant composition terms. Draw order is
+/// part of the determinism contract for [`SynthSpec::generate`].
+fn plant_terms(spec: &SynthSpec, depth: usize, rng: &mut StdRng) -> Vec<PlantedTerm> {
     let n_informative = ((spec.n_features as f64 * spec.informative_fraction).round() as usize)
         .clamp(1, spec.n_features);
     let n_terms = (n_informative / 2).clamp(1, 8);
@@ -211,6 +242,44 @@ fn generate(spec: &SynthSpec) -> Result<DataFrame> {
             weight: rng.gen_range(0.5..1.5),
         });
     }
+    terms
+}
+
+/// Turn the latent signal into the task's label vector.
+fn labels_from_z(spec: &SynthSpec, z: Vec<f64>) -> Label {
+    match spec.task {
+        Task::Regression => Label::Reg(z),
+        Task::Classification => {
+            let cuts = quantile_cuts(&z, spec.n_classes);
+            let y: Vec<usize> = z
+                .iter()
+                .map(|&v| cuts.iter().take_while(|&&c| v > c).count())
+                .collect();
+            Label::Class {
+                y,
+                n_classes: spec.n_classes,
+            }
+        }
+    }
+}
+
+fn generate(spec: &SynthSpec) -> Result<DataFrame> {
+    let depth = validate(spec)?;
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ hash_name(&spec.name));
+
+    // --- base feature matrix, column-major, mixed marginal distributions ---
+    let marginals = Marginals::new();
+    let mut columns: Vec<Column> = Vec::with_capacity(spec.n_features);
+    for j in 0..spec.n_features {
+        let kind = rng.gen_range(0..4u8);
+        let scale = 10f64.powi(rng.gen_range(-1..2));
+        let values: Vec<f64> = (0..spec.n_samples)
+            .map(|_| marginals.sample(kind, scale, &mut rng))
+            .collect();
+        columns.push(Column::new(format!("f{j}"), values));
+    }
+
+    let terms = plant_terms(spec, depth, &mut rng);
 
     // --- latent signal z per row ---
     let mut z = vec![0.0f64; spec.n_samples];
@@ -237,23 +306,89 @@ fn generate(spec: &SynthSpec) -> Result<DataFrame> {
         }
     }
 
-    // --- labels ---
-    let label = match spec.task {
-        Task::Regression => Label::Reg(z),
-        Task::Classification => {
-            let cuts = quantile_cuts(&z, spec.n_classes);
-            let y: Vec<usize> = z
-                .iter()
-                .map(|&v| cuts.iter().take_while(|&&c| v > c).count())
-                .collect();
-            Label::Class {
-                y,
-                n_classes: spec.n_classes,
-            }
-        }
-    };
+    DataFrame::new(spec.name.clone(), columns, labels_from_z(spec, z))
+}
 
-    DataFrame::new(spec.name.clone(), columns, label)
+/// SplitMix64-style finalizer deriving one independent stream seed per
+/// `(column, chunk)` pair for the streaming generator.
+fn derive_stream_seed(base: u64, col: u64, chunk: u64) -> u64 {
+    let mut x =
+        base ^ col.wrapping_mul(0x9E3779B97F4A7C15) ^ chunk.wrapping_mul(0xD1B54A32D192ED03);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+fn generate_chunked(
+    spec: &SynthSpec,
+    opts: ChunkOptions,
+    store: Box<dyn ColumnStore>,
+) -> Result<ChunkedFrame> {
+    let depth = validate(spec)?;
+    let base_seed = spec.seed ^ hash_name(&spec.name);
+    // Meta draws (column marginals, planted terms) come from one stream;
+    // per-(column, chunk) value draws each get their own derived stream so
+    // a chunk's contents are independent of generation order.
+    let mut meta_rng = StdRng::seed_from_u64(base_seed ^ 0x73747265616d); // "stream"
+    let marginals = Marginals::new();
+    let kinds_scales: Vec<(u8, f64)> = (0..spec.n_features)
+        .map(|_| {
+            let kind = meta_rng.gen_range(0..4u8);
+            let scale = 10f64.powi(meta_rng.gen_range(-1..2));
+            (kind, scale)
+        })
+        .collect();
+    let terms = plant_terms(spec, depth, &mut meta_rng);
+
+    let mut cf = ChunkedFrame::new_streaming(spec.name.clone(), spec.n_samples, opts, store);
+    for j in 0..spec.n_features {
+        cf.begin_column(format!("f{j}"));
+    }
+
+    // --- stripe sweep: one chunk-row stripe of all columns at a time ---
+    let chunk_rows = cf.chunk_rows();
+    let n_chunks = spec.n_samples.div_ceil(chunk_rows);
+    let mut stripe: Vec<Vec<f64>> = vec![Vec::with_capacity(chunk_rows); spec.n_features];
+    let mut z: Vec<f64> = Vec::with_capacity(spec.n_samples);
+    let mut row = vec![0.0f64; spec.n_features];
+    for k in 0..n_chunks {
+        let rows = chunk_rows.min(spec.n_samples - k * chunk_rows);
+        for (j, buf) in stripe.iter_mut().enumerate() {
+            let (kind, scale) = kinds_scales[j];
+            let mut crng = StdRng::seed_from_u64(derive_stream_seed(base_seed, j as u64, k as u64));
+            buf.clear();
+            buf.extend((0..rows).map(|_| marginals.sample(kind, scale, &mut crng)));
+        }
+        for i in 0..rows {
+            for (j, buf) in stripe.iter().enumerate() {
+                row[j] = buf[i];
+            }
+            z.push(
+                terms
+                    .iter()
+                    .map(|t| t.weight * (t.eval(&row) / 3.0).tanh())
+                    .sum(),
+            );
+        }
+        for (j, buf) in stripe.iter().enumerate() {
+            cf.append_chunk(j, ChunkEncoding::encode(buf))?;
+        }
+    }
+
+    // --- additive noise, relative to signal spread (own derived stream) ---
+    let z_std = std_of(&z).max(1e-9);
+    if spec.noise > 0.0 {
+        let mut noise_rng = StdRng::seed_from_u64(base_seed ^ 0x6e6f697365); // "noise"
+        let noise = Normal::new(0.0, spec.noise * z_std).expect("valid noise");
+        for zi in z.iter_mut() {
+            *zi += noise.sample(&mut noise_rng);
+        }
+    }
+
+    cf.set_label(labels_from_z(spec, z))?;
+    Ok(cf)
 }
 
 /// Quantile cut points splitting values into `k` roughly equal classes.
@@ -364,6 +499,44 @@ mod tests {
             .with_classes(1)
             .generate()
             .is_err());
+    }
+
+    #[test]
+    fn chunked_generation_is_deterministic_and_well_shaped() {
+        use crate::budget::FrameBudget;
+        use crate::store::InMemoryStore;
+        let spec = SynthSpec::new("stream", 5_000, 6, Task::Classification).with_seed(42);
+        let opts = ChunkOptions::default()
+            .with_chunk_rows(512)
+            .with_budget(FrameBudget::from_bytes(24 * 1024));
+        let a = spec
+            .generate_chunked(opts, Box::new(InMemoryStore::new()))
+            .unwrap();
+        let b = spec
+            .generate_chunked(opts, Box::new(InMemoryStore::new()))
+            .unwrap();
+        assert_eq!(a.n_rows(), 5_000);
+        assert_eq!(a.n_cols(), 6);
+        assert_eq!(a.task(), Task::Classification);
+        assert!(
+            a.stats().chunks_spilled > 0,
+            "tight budget should spill during generation"
+        );
+        let da = a.to_dataframe().unwrap();
+        let db = b.to_dataframe().unwrap();
+        assert_eq!(da, db);
+        for c in da.columns() {
+            assert!(c.is_finite());
+        }
+        // A different seed gives different data.
+        let c = spec
+            .clone()
+            .with_seed(43)
+            .generate_chunked(opts, Box::new(InMemoryStore::new()))
+            .unwrap()
+            .to_dataframe()
+            .unwrap();
+        assert_ne!(da, c);
     }
 
     #[test]

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate bench_results/BENCH_frame.json: the out-of-core chunked
+# columnar data layer (compressed chunks, mmap-backed .eafc spill under a
+# FrameBudget) vs the flat in-RAM DataFrame baseline, plus a full chunked
+# NFS engine pass at 10M rows under a 64 MiB budget (vs a 320 MiB f64
+# footprint). Peak RSS per mode is VmHWM measured in per-mode child
+# processes. Timed on one worker thread: the artifact isolates the data
+# layer, not the parallel runtime.
+# Usage: scripts/bench_frame.sh [extra flags passed to perf_frame]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin perf_frame
+
+echo "=== perf_frame ==="
+./target/release/perf_frame --quiet --threads 1 \
+    --engine-rows 10000000 --engine-budget-mb 64 "$@" \
+    | tee bench_results/perf_frame_run.log
+echo "artifact written to bench_results/BENCH_frame.json"

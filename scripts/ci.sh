@@ -47,6 +47,9 @@ run_kernel_parity() {
 run_kernel_parity "(portable tier)" ""
 run_kernel_parity "(simd-arch tier)" "--features simd-arch"
 
+echo "==> out-of-core chunk parity suite (encode/decode, spill, histogram)"
+cargo test -q -p tabular --test chunk_parity
+
 echo "==> serve integration suite"
 cargo test -q -p serve --test integration
 
@@ -91,6 +94,7 @@ if [[ "$quick" -eq 0 ]]; then
     run_perf_smoke perf_minhash "table path must not lose to naive"
     run_perf_smoke perf_nn     "batched kernels must not lose to scalar" --threads 1
     run_perf_smoke perf_simd   "lane-tree kernels must not lose to naive loops" --threads 1
+    run_perf_smoke perf_frame  "chunked pipeline bit-identical to flat, <=1.15x, budget spills" --threads 1
 
     echo "==> telemetry overhead smoke (release)"
     # Disabled-telemetry instrumentation must stay near-free; the test

@@ -472,6 +472,70 @@ fn checkpoint_resume_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn chunked_engine_matches_flat_across_thread_counts() {
+    // The out-of-core driver (DESIGN.md §14) replays the exact RNG
+    // streams, candidate draws, and evaluation order of the in-RAM
+    // engine, so a full fixed-seed run over compressed chunks — even
+    // under a budget tight enough to force spill/evict churn — must be
+    // bit-identical to `Engine::run` on the flat frame, at 1 and at 4
+    // worker threads.
+    use tabular::{ChunkOptions, ChunkedFrame, FrameBudget, InMemoryStore};
+
+    let frame = frame();
+    let opts = ChunkOptions::default()
+        .with_chunk_rows(32)
+        .with_budget(FrameBudget::from_bytes(2048));
+    for threads in [1usize, 4] {
+        runtime::set_global_threads(threads);
+        let flat = Engine::nfs(fast_config()).run(&frame).unwrap();
+        let chunked =
+            ChunkedFrame::from_dataframe(&frame, opts, Box::new(InMemoryStore::new())).unwrap();
+        let (out, engineered) = Engine::nfs(fast_config()).run_chunked(chunked).unwrap();
+        runtime::set_global_threads(0);
+        assert_bit_identical(
+            &flat,
+            &out,
+            &format!("chunked-vs-flat engine, {threads} threads"),
+        );
+        // The engineered chunked frame holds the same columns bit for bit.
+        let back = engineered.to_dataframe().unwrap();
+        assert_eq!(back.n_rows(), frame.n_rows());
+        assert!(
+            engineered.stats().chunks_spilled > 0,
+            "the 2 KiB budget must actually exercise the spill path"
+        );
+    }
+}
+
+#[test]
+fn chunked_engine_mmap_rerun_matches_memory_store() {
+    // Same engine, same seed, different column store: a rerun backed by
+    // an on-disk `.eafc` mmap store must reproduce the in-memory-store
+    // run bit for bit — the storage backend is invisible to the search.
+    use tabular::{ChunkOptions, ChunkedFrame, FrameBudget, InMemoryStore, MmapStore};
+
+    let frame = frame();
+    let opts = ChunkOptions::default()
+        .with_chunk_rows(32)
+        .with_budget(FrameBudget::from_bytes(2048));
+    let dir = std::env::temp_dir().join(format!("eafe-det-mmap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mem_frame =
+        ChunkedFrame::from_dataframe(&frame, opts, Box::new(InMemoryStore::new())).unwrap();
+    let (mem_out, _) = Engine::nfs(fast_config()).run_chunked(mem_frame).unwrap();
+
+    let store = MmapStore::create(dir.join("det.eafc")).unwrap();
+    let mapped_frame = ChunkedFrame::from_dataframe(&frame, opts, Box::new(store)).unwrap();
+    let (mmap_out, _) = Engine::nfs(fast_config())
+        .run_chunked(mapped_frame)
+        .unwrap();
+
+    assert_bit_identical(&mem_out, &mmap_out, "mmap-store rerun vs memory store");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn server_observability_is_a_pure_observer() {
     // Full observability on — per-tenant scoped metrics, SLO thresholds
     // set low enough to trip on every slice, the status server being
