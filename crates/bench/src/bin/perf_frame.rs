@@ -368,38 +368,31 @@ fn finish_child(
 }
 
 /// Re-exec this binary to run one configuration in a fresh process (so
-/// each mode gets its own `VmHWM`).
+/// each mode gets its own `VmHWM`). A failing child fails this run with
+/// its own exit code (see `bench::run_self_child`).
 fn spawn_child(args: &Args, mode: &str, rows: usize, budget_mb: u64) -> ChildResult {
-    let exe = std::env::current_exe().expect("current_exe");
-    let output = std::process::Command::new(exe)
-        .args([
-            "--child",
-            mode,
-            "--rows",
-            &rows.to_string(),
-            "--cols",
-            &args.cols.to_string(),
-            "--chunk-rows",
-            &args.chunk_rows.to_string(),
-            "--budget-mb",
-            &budget_mb.to_string(),
-            "--seed",
-            &args.seed.to_string(),
-            "--threads",
-            &args.threads.to_string(),
-        ])
-        .output()
-        .expect("spawn child");
-    let stdout = String::from_utf8_lossy(&output.stdout);
-    if !output.status.success() {
-        eprintln!("{}", String::from_utf8_lossy(&output.stderr));
-        panic!("child mode {mode} failed: {}", output.status);
-    }
-    let line = stdout
-        .lines()
-        .find_map(|l| l.strip_prefix("RESULT "))
-        .unwrap_or_else(|| panic!("child mode {mode} printed no RESULT line:\n{stdout}"));
-    serde_json::from_str(line).expect("parse child result")
+    let child_args: Vec<String> = [
+        "--child",
+        mode,
+        "--rows",
+        &rows.to_string(),
+        "--cols",
+        &args.cols.to_string(),
+        "--chunk-rows",
+        &args.chunk_rows.to_string(),
+        "--budget-mb",
+        &budget_mb.to_string(),
+        "--seed",
+        &args.seed.to_string(),
+        "--threads",
+        &args.threads.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let what = format!("mode {mode}");
+    let stdout = bench::run_self_child(&child_args, &what);
+    serde_json::from_str(bench::child_result_line(&stdout, &what)).expect("parse child result")
 }
 
 // ---------------------------------------------------------------------------

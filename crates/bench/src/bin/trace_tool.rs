@@ -1,7 +1,7 @@
 //! Offline trace analysis for `--trace-out` JSON-lines files.
 //!
 //! ```text
-//! trace_tool <trace.jsonl> [sections]
+//! trace_tool <trace.jsonl> [more.jsonl ...] [sections]
 //!
 //!   --folded [PATH]       collapsed-stack flamegraph output (inferno /
 //!                         speedscope folded format); written to PATH,
@@ -11,6 +11,13 @@
 //!                         (default `job`), inherited down the tree
 //!   --cache               cache-efficiency report from counter totals
 //! ```
+//!
+//! Several trace files merge into one report: file `p`'s spans are
+//! tagged with a `process = p` field (order of the command line), span
+//! ids are re-based so per-process id counters never collide, and
+//! counter totals sum. `--attribution process` then splits time per
+//! process — the natural view for a distributed run's coordinator +
+//! worker trace files.
 //!
 //! With no section flags, every report prints to stdout. Typical
 //! flamegraph pipeline:
@@ -27,13 +34,24 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
-    let Some(input) = args.next().filter(|a| a != "--help" && a != "-h") else {
+    // Leading non-flag arguments are input files; several merge into one
+    // report with per-file `process` tags.
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    while let Some(path) = args
+        .peek()
+        .filter(|a| !a.starts_with("--") && *a != "-h")
+        .cloned()
+    {
+        inputs.push(PathBuf::from(path));
+        args.next();
+    }
+    if inputs.is_empty() {
         eprintln!(
-            "usage: trace_tool <trace.jsonl> [--folded [PATH|-]] [--critical-path] \
-             [--attribution [KEY]] [--cache]"
+            "usage: trace_tool <trace.jsonl> [more.jsonl ...] [--folded [PATH|-]] \
+             [--critical-path] [--attribution [KEY]] [--cache]"
         );
         return ExitCode::FAILURE;
-    };
+    }
 
     // Section selection; an optional value follows --folded/--attribution
     // when the next token is not itself a flag.
@@ -74,16 +92,24 @@ fn main() -> ExitCode {
         cache = true;
     }
 
-    let trace = match Trace::from_path(&PathBuf::from(&input)) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("trace_tool: {e}");
-            return ExitCode::FAILURE;
+    let mut traces = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        match Trace::from_path(path) {
+            Ok(t) => traces.push(t),
+            Err(e) => {
+                eprintln!("trace_tool: {e}");
+                return ExitCode::FAILURE;
+            }
         }
+    }
+    let trace = if traces.len() == 1 {
+        traces.pop().expect("one trace")
+    } else {
+        Trace::merged(traces)
     };
     eprintln!(
-        "loaded {}: {} spans, {} counters",
-        input,
+        "loaded {} file(s): {} spans, {} counters",
+        inputs.len(),
         trace.spans.len(),
         trace.counts.len()
     );

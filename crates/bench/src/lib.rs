@@ -651,6 +651,41 @@ pub fn print_header(what: &str, args: &CommonArgs) {
     );
 }
 
+/// Re-exec the current bench binary with `args` and return its stdout.
+///
+/// On child failure the child's stderr is relayed and this process exits
+/// with the child's own exit code (1 when it died to a signal) — a dead
+/// child must fail the whole bench run with a propagated status, never
+/// let the parent report partial results or panic into a misleading 101.
+pub fn run_self_child(args: &[String], what: &str) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let output = std::process::Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| {
+            eprintln!("failed to spawn child {what}: {e}");
+            std::process::exit(1);
+        });
+    if !output.status.success() {
+        eprint!("{}", String::from_utf8_lossy(&output.stderr));
+        eprintln!("child {what} failed: {}", output.status);
+        std::process::exit(output.status.code().unwrap_or(1));
+    }
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Extract the `RESULT {json}` line a self-exec'd child printed, exiting
+/// nonzero (not panicking) when the child produced none.
+pub fn child_result_line<'a>(stdout: &'a str, what: &str) -> &'a str {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("RESULT "))
+        .unwrap_or_else(|| {
+            eprintln!("child {what} printed no RESULT line:\n{stdout}");
+            std::process::exit(1);
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,6 +68,35 @@ impl Trace {
         Trace::parse(&text)
     }
 
+    /// Merge per-process traces (e.g. a distributed coordinator's file
+    /// plus each worker's) into one analyzable trace. File `p`'s spans
+    /// gain a `process = p` field — so `attribution("process")` splits
+    /// time per process — and their ids are re-based past every id of
+    /// the preceding files, keeping parent chains intact while ids that
+    /// collide across processes stay distinct. Counter totals sum, since
+    /// each process counted its own share of the run's work.
+    pub fn merged(traces: Vec<Trace>) -> Trace {
+        let mut out = Trace::default();
+        let mut offset: u64 = 0;
+        for (p, trace) in traces.into_iter().enumerate() {
+            let mut max_id = 0u64;
+            for mut s in trace.spans {
+                max_id = max_id.max(s.id);
+                s.id += offset;
+                if s.parent != 0 {
+                    s.parent += offset;
+                }
+                s.fields.push(("process".to_string(), p as f64));
+                out.spans.push(s);
+            }
+            offset += max_id;
+            for (name, value) in trace.counts {
+                *out.counts.entry(name).or_insert(0) += value;
+            }
+        }
+        out
+    }
+
     /// Index from span id to position, keeping the *first* occurrence
     /// when ids collide (synthetic ids in mixed streams).
     fn index(&self) -> HashMap<u64, usize> {
@@ -408,6 +437,52 @@ mod tests {
             report.contains("score_cache") && report.contains("50.0% hit rate"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn merged_traces_tag_processes_rebase_ids_and_sum_counters() {
+        // Two processes whose span ids collide (both use 1 and 2) and
+        // whose counters overlap — the coordinator/worker trace shape.
+        let coordinator = Trace::parse(
+            &[
+                span("run", 1, 0, 0, 100, &[]),
+                span("dist.slice", 2, 1, 10, 30, &[]),
+                count("evaluator.cache_hits", 40),
+                count("dist.shards_dispatched", 6),
+            ]
+            .join("\n"),
+        )
+        .unwrap();
+        let worker = Trace::parse(
+            &[
+                span("serve", 1, 0, 0, 80, &[]),
+                span("dist.shard", 2, 1, 5, 60, &[]),
+                count("evaluator.cache_hits", 10),
+            ]
+            .join("\n"),
+        )
+        .unwrap();
+        let merged = Trace::merged(vec![coordinator, worker]);
+
+        // Golden: folded stacks keep each process's parent chain intact.
+        assert_eq!(
+            merged.folded(),
+            "run 70\nrun;dist.slice 30\nserve 20\nserve;dist.shard 60\n"
+        );
+        // Golden: per-process attribution covers every span, nothing
+        // unattributed, ordered by descending self time.
+        assert_eq!(
+            merged.attribution("process"),
+            "time attribution by `process` (180 us total):\n  \
+             process=0                         100 us   55.6%\n  \
+             process=1                          80 us   44.4%\n"
+        );
+        // Overlapping counters sum; singletons pass through.
+        assert_eq!(merged.counts["evaluator.cache_hits"], 50);
+        assert_eq!(merged.counts["dist.shards_dispatched"], 6);
+        // Worker ids were re-based past the coordinator's (max id 2).
+        assert_eq!(merged.spans[2].id, 3);
+        assert_eq!(merged.spans[3].parent, 3);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! The coordinator: authoritative sequential search plus shard dispatch.
+//!
+//! The coordinator owns the only `SearchState`. Per slice it speculates
+//! the slice's compute-heavy work, shards it across live workers (shard
+//! `i` takes tasks `i, i+n, i+2n, …`), dispatches a wave, collects one
+//! result per in-flight shard, and merges returned cache snapshots in
+//! ascending shard-index order before running the real `Engine::step`.
+//! Merge order is fixed so the procedure is reproducible, and the merge
+//! itself is idempotent (content-addressed, debug-asserted-equal
+//! entries) — which together give the determinism contract:
+//! solo ≡ 1 worker ≡ N workers, bitwise.
+//!
+//! Failure handling: any transport error, ticket mismatch, or protocol
+//! violation kills the worker slot, re-queues the shard for a live
+//! worker (`dist.shards_retried`), and carries on. With zero live
+//! workers the warm rounds are skipped and the run continues solo.
+
+use crate::protocol::{Msg, ShardResult, ShardTasks, WorkShard, STREAM_WORKER};
+use crate::transport::Transport;
+use crate::Result;
+use eafe::{Engine, RunResult, SearchState};
+use runtime::evaluator::DEFAULT_CACHE_CAPACITY;
+use runtime::{derive_seed, dist_counters, ScoreCache};
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+use tabular::{Column, DataFrame};
+
+/// Drives one search across a set of worker connections.
+///
+/// Slots hold `None` once a worker dies; the coordinator never blocks on
+/// a dead slot again, so a late replay from a killed worker can never be
+/// received, and the ticket check guards the remaining window (a live
+/// worker answering out of order).
+pub struct Coordinator<T: Transport> {
+    workers: Vec<Option<T>>,
+    /// Content fingerprints of columns already dispatched for FPE
+    /// scoring this run — generated columns recur across epochs, and a
+    /// column's signature-cache entries depend only on its content, so
+    /// re-dispatching one buys nothing.
+    fpe_dispatched: HashSet<runtime::Fingerprint>,
+}
+
+impl<T: Transport> Coordinator<T> {
+    /// Adopt `workers` as the dispatch pool (may be empty — the run then
+    /// degrades to plain solo search).
+    pub fn new(workers: Vec<T>) -> Self {
+        for _ in &workers {
+            dist_counters::worker_up();
+        }
+        Coordinator {
+            workers: workers.into_iter().map(Some).collect(),
+            fpe_dispatched: HashSet::new(),
+        }
+    }
+
+    /// Worker connections still usable.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Run `engine`'s search on `frame` to completion, warming caches
+    /// through the workers before every slice. Returns exactly what a
+    /// solo [`Engine::run_full`] returns — bitwise.
+    pub fn run(&mut self, engine: &Engine, frame: &DataFrame) -> Result<(RunResult, DataFrame)> {
+        // The search evaluator must share a cache with the merge target;
+        // attach one if the caller's engine runs a private cache.
+        let engine = match &engine.cache {
+            Some(_) => engine.clone(),
+            None => engine
+                .clone()
+                .with_cache(Arc::new(ScoreCache::new(DEFAULT_CACHE_CAPACITY))),
+        };
+        self.broadcast(&Msg::Hello {
+            engine: engine.clone(),
+        });
+        let mut search = engine.start(frame)?;
+        let mut slice: u64 = 0;
+        while !search.is_done() {
+            self.warm_slice(&engine, &search, slice)?;
+            engine.step(&mut search)?;
+            slice += 1;
+        }
+        self.shutdown();
+        Ok(engine.finish(&search)?)
+    }
+
+    /// Speculate the next slice's work and warm the caches through the
+    /// workers: round 0 merges signature entries, round 1 merges
+    /// downstream scores. Errors here are engine errors (speculation
+    /// itself failed); worker failures only shrink the pool.
+    fn warm_slice(&mut self, engine: &Engine, search: &SearchState, slice: u64) -> Result<()> {
+        if self.live_workers() == 0 {
+            return Ok(());
+        }
+        let _span = telemetry::span("dist.slice");
+        let root = engine.config.seed;
+
+        // Pre-filter both rounds so workers only compute what the
+        // coordinator is actually missing: shipping work the local
+        // caches (or a previous dispatch) already cover would make the
+        // wave's critical path longer for zero fresh entries. Filtering
+        // is pure dedup — it never changes what `step` computes, so the
+        // determinism contract is untouched.
+        let mut columns = engine.speculate_fpe_columns(search)?;
+        columns.retain(|c| {
+            self.fpe_dispatched
+                .insert(runtime::fingerprint_values(&c.values))
+        });
+        if !columns.is_empty() {
+            let shards = make_shards(slice, 0, root, self.live_workers(), columns, |cols| {
+                ShardTasks::Fpe { columns: cols }
+            });
+            let round = self.run_round(shards);
+            let merging = Instant::now();
+            for result in round {
+                let fresh = runtime::sig_cache_merge(&result.sigs);
+                note_merge(result.sigs.len(), fresh);
+            }
+            dist_counters::wire(merging.elapsed().as_micros() as u64);
+        }
+
+        let (prefix, mut candidates) = engine.speculate_evals(search)?;
+        if !candidates.is_empty() && self.live_workers() > 0 {
+            let cache = engine
+                .cache
+                .as_ref()
+                .expect("coordinator engines always carry a shared cache")
+                .clone();
+            // Drop candidates whose evaluation is already in the shared
+            // cache (merged from workers or computed by an earlier real
+            // step) and slice-internal duplicates — the cache key is the
+            // exact fingerprint `step` will probe with.
+            let evaluator = engine.evaluator();
+            let mut seen: HashSet<runtime::Fingerprint> = HashSet::new();
+            candidates.retain(|candidate| {
+                let Ok(frame) = prefix.with_extra_columns(std::slice::from_ref(candidate)) else {
+                    return false;
+                };
+                let key = evaluator.cache_key(&frame);
+                seen.insert(key) && !cache.contains(key)
+            });
+            if !candidates.is_empty() {
+                let shards =
+                    make_shards(slice, 1, root, self.live_workers(), candidates, |cands| {
+                        ShardTasks::Eval {
+                            prefix: prefix.clone(),
+                            candidates: cands,
+                        }
+                    });
+                let round = self.run_round(shards);
+                let merging = Instant::now();
+                for result in round {
+                    let fresh = cache.merge(&result.scores);
+                    note_merge(result.scores.len(), fresh);
+                }
+                dist_counters::wire(merging.elapsed().as_micros() as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatch one round of shards and collect their results, waves of
+    /// at most one in-flight shard per live worker. Shards whose worker
+    /// dies (send failure, recv failure, ticket mismatch) re-queue for
+    /// the next wave; the round ends when every shard completed or no
+    /// workers remain (undone shards are simply not warmed). Results
+    /// come back sorted by shard index — the merge order contract.
+    fn run_round(&mut self, shards: Vec<WorkShard>) -> Vec<ShardResult> {
+        let mut queue: VecDeque<WorkShard> = shards.into();
+        let mut results: Vec<ShardResult> = Vec::new();
+        let mut completed: HashSet<u32> = HashSet::new();
+        while !queue.is_empty() && self.live_workers() > 0 {
+            let wire = Instant::now();
+            let wave_started = results.len();
+            // Send phase: hand each live worker the next queued shard.
+            let mut inflight: Vec<(usize, WorkShard)> = Vec::new();
+            for slot in 0..self.workers.len() {
+                if queue.is_empty() {
+                    break;
+                }
+                if self.workers[slot].is_none() {
+                    continue;
+                }
+                let shard = queue.pop_front().expect("queue non-empty");
+                dist_counters::dispatched(1);
+                telemetry::count("dist.shards_dispatched", 1);
+                let sent = self.workers[slot]
+                    .as_mut()
+                    .expect("slot checked live")
+                    .send(&Msg::Work(shard.clone()))
+                    .is_ok();
+                if sent {
+                    inflight.push((slot, shard));
+                } else {
+                    self.kill(slot);
+                    requeue(shard, &mut queue);
+                }
+            }
+            // Collect phase: one result per in-flight shard, validated
+            // against its ticket.
+            for (slot, shard) in inflight {
+                let reply = self.workers[slot].as_mut().expect("slot live").recv();
+                match reply {
+                    Ok(Msg::Result(result)) if result.matches(&shard) => {
+                        // Completed-shard dedup: should a replay slip
+                        // through, merge idempotence makes it harmless,
+                        // but we don't even merge it twice.
+                        if completed.insert(result.shard) {
+                            dist_counters::completed(1);
+                            telemetry::count("dist.shards_completed", 1);
+                            telemetry::record(
+                                &format!("dist.worker{slot}.busy_us"),
+                                result.busy_us,
+                            );
+                            results.push(result);
+                        }
+                    }
+                    Ok(_) | Err(_) => {
+                        self.kill(slot);
+                        requeue(shard, &mut queue);
+                    }
+                }
+            }
+            // Wire overhead = wave wall-clock minus the critical-path
+            // worker's compute time (shards run concurrently, so the
+            // slowest shard's busy time overlaps everything else); what
+            // remains is serialization, transport, and scheduling.
+            let wave_us = wire.elapsed().as_micros() as u64;
+            let busy_max = results[wave_started..]
+                .iter()
+                .map(|r| r.busy_us)
+                .max()
+                .unwrap_or(0);
+            let overhead = wave_us.saturating_sub(busy_max);
+            dist_counters::wire(overhead);
+            telemetry::record("dist.wire_us", overhead);
+        }
+        results.sort_by_key(|r| r.shard);
+        results
+    }
+
+    /// Send `msg` to every live worker, killing slots that fail.
+    fn broadcast(&mut self, msg: &Msg) {
+        for slot in 0..self.workers.len() {
+            let Some(worker) = self.workers[slot].as_mut() else {
+                continue;
+            };
+            if worker.send(msg).is_err() {
+                self.kill(slot);
+            }
+        }
+    }
+
+    /// Orderly shutdown: `Bye` to every live worker, then drop them all.
+    pub fn shutdown(&mut self) {
+        for slot in 0..self.workers.len() {
+            if let Some(worker) = self.workers[slot].as_mut() {
+                worker.send(&Msg::Bye).ok();
+                self.workers[slot] = None;
+                dist_counters::worker_down();
+            }
+        }
+    }
+
+    fn kill(&mut self, slot: usize) {
+        if self.workers[slot].take().is_some() {
+            dist_counters::worker_down();
+            telemetry::count("dist.worker_deaths", 1);
+        }
+    }
+}
+
+impl<T: Transport> Drop for Coordinator<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn requeue(shard: WorkShard, queue: &mut VecDeque<WorkShard>) {
+    dist_counters::retried(1);
+    telemetry::count("dist.shards_retried", 1);
+    queue.push_back(shard);
+}
+
+fn note_merge(total: usize, fresh: usize) {
+    dist_counters::merged(total as u64, fresh as u64);
+    telemetry::count("dist.entries_merged", total as u64);
+}
+
+/// Partition `tasks` into `n_shards` strided shards: shard `i` holds
+/// tasks `i, i+n, i+2n, …`, each stamped with its ticket seed
+/// `derive_seed(root, STREAM_WORKER, i)`. Striding keeps shard loads
+/// balanced whatever the task count, and the fixed rule means shard
+/// contents depend only on (task list, shard count) — never on worker
+/// identity or scheduling.
+fn make_shards(
+    slice: u64,
+    round: u32,
+    root: u64,
+    n_shards: usize,
+    tasks: Vec<Column>,
+    build: impl Fn(Vec<Column>) -> ShardTasks,
+) -> Vec<WorkShard> {
+    let n_shards = n_shards.min(tasks.len()).max(1);
+    let mut buckets: Vec<Vec<Column>> = (0..n_shards).map(|_| Vec::new()).collect();
+    for (k, task) in tasks.into_iter().enumerate() {
+        buckets[k % n_shards].push(task);
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, bucket)| WorkShard {
+            slice,
+            round,
+            shard: i as u32,
+            seed: derive_seed(root, STREAM_WORKER, i as u64),
+            tasks: build(bucket),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_sharding_balances_and_stamps_tickets() {
+        let tasks: Vec<Column> = (0..7)
+            .map(|i| Column::new(format!("c{i}"), vec![i as f64]))
+            .collect();
+        let shards = make_shards(2, 0, 41, 3, tasks, |columns| ShardTasks::Fpe { columns });
+        assert_eq!(shards.len(), 3);
+        let sizes: Vec<usize> = shards
+            .iter()
+            .map(|s| match &s.tasks {
+                ShardTasks::Fpe { columns } => columns.len(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+        for (i, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.shard, i as u32);
+            assert_eq!(shard.seed, derive_seed(41, STREAM_WORKER, i as u64));
+            assert_eq!(shard.slice, 2);
+        }
+        // Shard 0 holds tasks 0, 3, 6 — the strided rule.
+        let ShardTasks::Fpe { columns } = &shards[0].tasks else {
+            unreachable!()
+        };
+        let names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["c0", "c3", "c6"]);
+    }
+
+    #[test]
+    fn more_shards_than_tasks_collapses_to_task_count() {
+        let tasks = vec![Column::new("only", vec![1.0])];
+        let shards = make_shards(0, 1, 7, 4, tasks, |columns| ShardTasks::Fpe { columns });
+        assert_eq!(shards.len(), 1);
+    }
+}

@@ -40,7 +40,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rl::{returns_from_scores, rewards_to_go, score_gains, ReplayBuffer, RnnPolicy, StepCache};
 use serde::{DeError, Deserialize, Serialize, Value};
-use tabular::DataFrame;
+use tabular::{Column, DataFrame};
 
 /// Where a search currently stands; advanced by [`Engine::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -717,6 +717,156 @@ impl Engine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Speculation: predicting the next slice's compute-heavy work
+// ---------------------------------------------------------------------------
+
+impl Engine {
+    /// The caching evaluator this engine's searches use — public so a
+    /// distributed worker can score speculated candidate frames with the
+    /// identical scorer configuration (and so ship back content-addressed
+    /// cache entries the coordinator's own evaluator will hit).
+    pub fn evaluator(&self) -> CachedEvaluator {
+        self.make_evaluator()
+    }
+
+    /// FPE-score a candidate column through this engine's gate model, or
+    /// `None` when the engine has no FPE gate. Scoring sketches the column
+    /// through the process-wide signature cache, so calling this on
+    /// speculated columns warms the cache a subsequent [`Engine::step`]
+    /// (in this or another process, via snapshot/merge) will hit.
+    pub fn fpe_score(&self, values: &[f64]) -> Result<Option<f64>> {
+        match &self.gate {
+            Gate::Fpe(fpe) => Ok(Some(fpe.score_feature(values)?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Predict the candidate columns the *next* slice will FPE-score,
+    /// without advancing the search.
+    ///
+    /// Stage-1 prediction is **exact**: within an epoch, candidate
+    /// generation consumes policy and RNG state only — FPE scores feed the
+    /// replay buffer and the end-of-episode policy update, never the
+    /// within-epoch draws — so replaying generation from cloned state
+    /// yields precisely the columns `step` will score. Stage-2 prediction
+    /// is **optimistic**: an accepted candidate mutates the subgroups and
+    /// generation budget mid-epoch, diverging every later draw, so columns
+    /// past the first acceptance may be wasted work. Mispredictions cost
+    /// only compute: the signature cache is content-addressed and only
+    /// short-circuits recomputation, never changes a score.
+    #[allow(clippy::needless_range_loop)] // mirrors `step_stage1`'s notation
+    pub fn speculate_fpe_columns(&self, search: &SearchState) -> Result<Vec<Column>> {
+        let core = &search.core;
+        let cfg = &self.config;
+        if !matches!(self.gate, Gate::Fpe(_)) {
+            return Ok(Vec::new());
+        }
+        let (epoch, total_epochs, stage1) = match core.phase {
+            SearchPhase::Stage1 { epoch } => (epoch, cfg.stage1_epochs.max(1), true),
+            SearchPhase::Stage2 { epoch } => (epoch, cfg.stage2_epochs.max(1), false),
+            _ => return Ok(Vec::new()),
+        };
+        let mut rng = core.rng.to_rng();
+        let mut policies = core.policies.clone();
+        let epoch_frac = epoch as f64 / total_epochs as f64;
+        let n_agents = core.state.n_agents();
+        let budget_open = core.state.n_generated() < core.max_generated;
+        let mut columns = Vec::new();
+        for j in 0..n_agents {
+            policies[j].reset();
+            for t in 0..cfg.steps_per_epoch {
+                let x = core
+                    .state
+                    .embedding(j, t, cfg.steps_per_epoch, epoch_frac, cfg.max_order);
+                let cache = policies[j].step(&x, &mut rng)?;
+                let op = Operator::from_action(cache.action);
+                let feat = generate_candidate(&core.state, j, op, &mut rng);
+                // Stage 1 scores every structurally sound candidate; stage 2
+                // additionally requires the generation budget to be open
+                // (mirrors `structurally_ok` in `step_stage2`).
+                if !feat.is_degenerate() && feat.order <= cfg.max_order && (stage1 || budget_open) {
+                    columns.push(feat.column);
+                }
+            }
+            // No policy update: updates only influence later epochs, and we
+            // predict exactly one slice ahead.
+        }
+        Ok(columns)
+    }
+
+    /// Predict the candidate frames the *next* slice will send to the
+    /// downstream evaluator, without advancing the search. Returns the
+    /// shared frame prefix (the current selected frame) plus one candidate
+    /// column per predicted evaluation — evaluation `k`'s frame is
+    /// `prefix.with_extra_columns(&[candidates[k]])`, the same
+    /// construction `step` uses, so fingerprints line up entry for entry.
+    ///
+    /// The prediction assumes **no acceptance** during the slice: an
+    /// acceptance re-bases every later candidate on a larger selected
+    /// frame, so entries past the first acceptance miss and are computed
+    /// locally. The prefix of predicted evaluations up to (and including)
+    /// the first acceptance is exact.
+    #[allow(clippy::needless_range_loop)] // mirrors `step_stage2`'s notation
+    pub fn speculate_evals(&self, search: &SearchState) -> Result<(DataFrame, Vec<Column>)> {
+        let core = &search.core;
+        let cfg = &self.config;
+        let prefix = core.state.selected_frame(&core.frame)?;
+        let mut candidates = Vec::new();
+        match core.phase {
+            SearchPhase::Seed => {
+                if core.state.n_generated() < core.max_generated {
+                    let drain_budget = cfg.steps_per_epoch * core.state.n_agents();
+                    let mut replay = core.replay.clone();
+                    for (_, feat) in replay.drain_by_priority().into_iter().take(drain_budget) {
+                        candidates.push(feat.column);
+                    }
+                }
+            }
+            SearchPhase::Stage2 { epoch } => {
+                let mut rng = core.rng.to_rng();
+                let mut gate_rng = core.gate_rng.to_rng();
+                let mut policies = core.policies.clone();
+                let mut fpe_gate = core.fpe_gate.clone();
+                let epoch_frac = epoch as f64 / cfg.stage2_epochs.max(1) as f64;
+                let n_agents = core.state.n_agents();
+                let budget_open = core.state.n_generated() < core.max_generated;
+                for j in 0..n_agents {
+                    policies[j].reset();
+                    for t in 0..cfg.steps_per_epoch {
+                        let x = core.state.embedding(
+                            j,
+                            t,
+                            cfg.steps_per_epoch,
+                            epoch_frac,
+                            cfg.max_order,
+                        );
+                        let cache = policies[j].step(&x, &mut rng)?;
+                        let op = Operator::from_action(cache.action);
+                        let feat = generate_candidate(&core.state, j, op, &mut rng);
+                        let structurally_ok =
+                            !feat.is_degenerate() && feat.order <= cfg.max_order && budget_open;
+                        let passes_gate = structurally_ok
+                            && match &self.gate {
+                                Gate::Fpe(fpe) => {
+                                    let p = fpe.score_feature(&feat.column.values)?;
+                                    fpe_gate.observe_and_pass(p)
+                                }
+                                Gate::RandomDrop { rate } => !gate_rng.gen_bool(*rate),
+                                Gate::None => true,
+                            };
+                        if passes_gate {
+                            candidates.push(feat.column);
+                        }
+                    }
+                }
+            }
+            SearchPhase::Stage1 { .. } | SearchPhase::Done => {}
+        }
+        Ok((prefix, candidates))
+    }
+}
+
 /// Generate one candidate feature for agent `j`: sample two subgroup
 /// members with replacement and apply the operator (paper Figure 3).
 fn generate_candidate(
@@ -912,6 +1062,112 @@ mod tests {
         let restored: SearchState = serde_json::from_str(&json).unwrap();
         assert_eq!(state.core, restored.core);
         assert!(restored.evaluator.is_none(), "evaluator is process-local");
+    }
+
+    #[test]
+    fn speculative_warming_preserves_results_bitwise() {
+        let frame = target_frame();
+        let cfg = fast_config();
+        let solo = Engine::nfs(cfg.clone()).run(&frame).unwrap();
+
+        // Warmed run: before every slice, evaluate all speculated frames
+        // into the shared cache — exactly what a distributed coordinator
+        // does with worker results — then step and compare bitwise.
+        let cache = std::sync::Arc::new(runtime::ScoreCache::new(4096));
+        let engine = Engine::nfs(cfg).with_cache(std::sync::Arc::clone(&cache));
+        let evaluator = engine.evaluator();
+        let mut state = engine.start(&frame).unwrap();
+        let mut warm_hits = 0u64;
+        while !state.is_done() {
+            let (prefix, candidates) = engine.speculate_evals(&state).unwrap();
+            for candidate in &candidates {
+                let speculative = prefix
+                    .with_extra_columns(std::slice::from_ref(candidate))
+                    .unwrap();
+                evaluator.evaluate(&speculative).unwrap();
+            }
+            let before = evaluator.stats();
+            engine.step(&mut state).unwrap();
+            warm_hits += evaluator.stats().since(&before).hits;
+        }
+        let (warmed, _) = engine.finish(&state).unwrap();
+        assert_eq!(solo.best_score.to_bits(), warmed.best_score.to_bits());
+        assert_eq!(solo.downstream_evals, warmed.downstream_evals);
+        assert_eq!(solo.generated_features, warmed.generated_features);
+        assert_eq!(solo.selected, warmed.selected);
+        for (a, b) in solo.trace.iter().zip(&warmed.trace) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert!(warm_hits > 0, "speculated evaluations must serve step hits");
+    }
+
+    #[test]
+    fn speculative_warming_holds_with_a_random_drop_gate() {
+        // E-AFE_D draws gate decisions from the dedicated gate stream;
+        // speculation must replay that stream without perturbing it.
+        let frame = target_frame();
+        let cfg = fast_config();
+        let solo = Engine::e_afe_d(cfg.clone(), 0.4).run(&frame).unwrap();
+
+        let cache = std::sync::Arc::new(runtime::ScoreCache::new(4096));
+        let engine = Engine::e_afe_d(cfg, 0.4).with_cache(std::sync::Arc::clone(&cache));
+        let evaluator = engine.evaluator();
+        let mut state = engine.start(&frame).unwrap();
+        while !state.is_done() {
+            let (prefix, candidates) = engine.speculate_evals(&state).unwrap();
+            for candidate in &candidates {
+                let speculative = prefix
+                    .with_extra_columns(std::slice::from_ref(candidate))
+                    .unwrap();
+                evaluator.evaluate(&speculative).unwrap();
+            }
+            engine.step(&mut state).unwrap();
+        }
+        let (warmed, _) = engine.finish(&state).unwrap();
+        assert_eq!(solo.best_score.to_bits(), warmed.best_score.to_bits());
+        assert_eq!(solo.downstream_evals, warmed.downstream_evals);
+        assert_eq!(solo.selected, warmed.selected);
+    }
+
+    #[test]
+    fn speculation_does_not_mutate_the_search() {
+        let frame = target_frame();
+        let engine = Engine::nfs(fast_config());
+        let mut state = engine.start(&frame).unwrap();
+        engine.step(&mut state).unwrap();
+        let before = state.core.clone();
+        engine.speculate_evals(&state).unwrap();
+        engine.speculate_fpe_columns(&state).unwrap();
+        assert_eq!(state.core, before);
+    }
+
+    #[test]
+    fn speculated_evals_prefix_matches_the_real_slice_until_acceptance() {
+        // With no gate, the first speculated candidate frame is exactly the
+        // first frame the slice evaluates: its cache entry must be hit.
+        let frame = target_frame();
+        let engine = Engine::nfs(fast_config());
+        let mut state = engine.start(&frame).unwrap();
+        let evaluator = state.evaluator.clone().unwrap();
+        while !state.is_done() {
+            let (prefix, candidates) = engine.speculate_evals(&state).unwrap();
+            if let Some(first) = candidates.first() {
+                let speculative = prefix
+                    .with_extra_columns(std::slice::from_ref(first))
+                    .unwrap();
+                let key = evaluator.cache_key(&speculative);
+                evaluator.evaluate(&speculative).unwrap();
+                assert!(evaluator.cache().contains(key));
+                let shard_hits_before = evaluator.stats();
+                engine.step(&mut state).unwrap();
+                assert!(
+                    evaluator.stats().since(&shard_hits_before).hits >= 1,
+                    "first speculated frame must be served from cache"
+                );
+            } else {
+                engine.step(&mut state).unwrap();
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! approximate.
 
 use crate::fingerprint::Fingerprint;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -108,6 +109,84 @@ impl CacheStats {
             len: self.len,
             capacity: self.capacity,
         }
+    }
+}
+
+/// Serde-serializable export of cache entries keyed by fingerprint,
+/// produced by [`ScoreCache::snapshot`] / [`ScoreCache::snapshot_since`]
+/// and replayed into another cache by [`ScoreCache::merge`].
+///
+/// Entries are sorted by fingerprint so the serialized form is
+/// deterministic regardless of shard iteration order. On the wire each
+/// entry is a `[hi, lo, value]` array: the 128-bit fingerprint travels as
+/// two `u64` halves because JSON has no 128-bit integer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSnapshot<V> {
+    /// `(fingerprint, value)` pairs in ascending fingerprint order.
+    pub entries: Vec<(Fingerprint, V)>,
+}
+
+impl<V> CacheSnapshot<V> {
+    /// Empty snapshot.
+    pub fn empty() -> Self {
+        CacheSnapshot {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of exported entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was exported.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<V> Default for CacheSnapshot<V> {
+    fn default() -> Self {
+        CacheSnapshot::empty()
+    }
+}
+
+impl<V: Serialize> Serialize for CacheSnapshot<V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.entries
+                .iter()
+                .map(|(fp, v)| {
+                    Value::Array(vec![
+                        ((fp.0 >> 64) as u64).to_value(),
+                        (fp.0 as u64).to_value(),
+                        v.to_value(),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for CacheSnapshot<V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new("expected array for CacheSnapshot"))?;
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            let parts = item
+                .as_array()
+                .ok_or_else(|| DeError::new("expected [hi, lo, value] entry"))?;
+            if parts.len() != 3 {
+                return Err(DeError::new("cache entry must be [hi, lo, value]"));
+            }
+            let hi = u64::from_value(&parts[0])?;
+            let lo = u64::from_value(&parts[1])?;
+            let fp = Fingerprint(((hi as u128) << 64) | lo as u128);
+            entries.push((fp, V::from_value(&parts[2])?));
+        }
+        Ok(CacheSnapshot { entries })
     }
 }
 
@@ -264,6 +343,83 @@ impl<V: Clone> ScoreCache<V> {
         self.len.fetch_sub(1, Ordering::AcqRel);
     }
 
+    /// Does the cache currently hold `key`? Unlike [`ScoreCache::get`]
+    /// this neither refreshes recency nor touches the hit/miss counters,
+    /// so warm-cache zero-miss invariants stay observable.
+    pub fn contains(&self, key: Fingerprint) -> bool {
+        self.shards[self.shard_of(key)]
+            .map
+            .lock()
+            .unwrap()
+            .contains_key(&key.0)
+    }
+
+    /// Current value of the logical LRU clock. Pair with
+    /// [`ScoreCache::snapshot_since`] to export only the entries touched
+    /// after a baseline (e.g. the working set of one work shard).
+    pub fn current_tick(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+
+    /// Export every resident entry, sorted by fingerprint.
+    pub fn snapshot(&self) -> CacheSnapshot<V> {
+        self.snapshot_since(0)
+    }
+
+    /// Export the entries whose recency is at or after `tick` (as returned
+    /// by [`ScoreCache::current_tick`] at the baseline), sorted by
+    /// fingerprint. Recency advances on both insert *and* lookup, so the
+    /// export is the baseline-onwards working set — a superset of the new
+    /// insertions, which is harmless because [`ScoreCache::merge`] is
+    /// idempotent.
+    pub fn snapshot_since(&self, tick: u64) -> CacheSnapshot<V> {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let map = shard.map.lock().unwrap();
+            for (&k, e) in map.iter() {
+                if e.last_used >= tick {
+                    entries.push((Fingerprint(k), e.value.clone()));
+                }
+            }
+        }
+        entries.sort_unstable_by_key(|(fp, _)| fp.0);
+        CacheSnapshot { entries }
+    }
+
+    /// Replay a snapshot into this cache and return how many entries were
+    /// new. Last writer wins on keys already present; since keys are
+    /// content-addressed fingerprints, both writers must hold the same
+    /// value — asserted in debug builds, so a fingerprint collision (or a
+    /// non-deterministic producer) fails loudly instead of silently
+    /// corrupting scores. Capacity and LRU eviction apply as usual.
+    pub fn merge(&self, snapshot: &CacheSnapshot<V>) -> usize
+    where
+        V: PartialEq + std::fmt::Debug,
+    {
+        let mut fresh = 0;
+        for (fp, value) in &snapshot.entries {
+            #[cfg(debug_assertions)]
+            {
+                let map = self.shards[self.shard_of(*fp)].map.lock().unwrap();
+                if let Some(existing) = map.get(&fp.0) {
+                    assert!(
+                        existing.value == *value,
+                        "cache merge: key {:032x} maps to two different values \
+                         ({:?} resident vs {:?} incoming)",
+                        fp.0,
+                        existing.value,
+                        value
+                    );
+                }
+            }
+            if !self.contains(*fp) {
+                fresh += 1;
+            }
+            self.insert(*fp, value.clone());
+        }
+        fresh
+    }
+
     /// Per-shard counters and occupancy, in shard-index order.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards.iter().map(|s| s.stats()).collect()
@@ -377,6 +533,108 @@ mod tests {
         );
         assert_eq!(shards.iter().map(|s| s.len).sum::<usize>(), agg.len);
         assert_eq!(agg.len, cache.len());
+    }
+
+    #[test]
+    fn snapshot_exports_sorted_and_merge_restores() {
+        let cache = ScoreCache::new(32);
+        for i in 0..20u128 {
+            cache.insert(fp(i), i as f64);
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 20);
+        assert!(
+            snap.entries.windows(2).all(|w| w[0].0 .0 < w[1].0 .0),
+            "snapshot must be sorted by fingerprint"
+        );
+        let other: ScoreCache<f64> = ScoreCache::new(32);
+        assert_eq!(other.merge(&snap), 20);
+        for i in 0..20u128 {
+            assert_eq!(other.get(fp(i)), Some(i as f64));
+        }
+        // Replaying the same snapshot is idempotent: nothing is new.
+        assert_eq!(other.merge(&snap), 0);
+        assert_eq!(other.len(), 20);
+    }
+
+    #[test]
+    fn snapshot_since_exports_only_the_recent_working_set() {
+        let cache = ScoreCache::new(64);
+        for i in 0..10u128 {
+            cache.insert(fp(i), i as f64);
+        }
+        let baseline = cache.current_tick();
+        cache.insert(fp(100), 100.0);
+        cache.insert(fp(101), 101.0);
+        assert_eq!(cache.get(fp(3)), Some(3.0)); // touched: joins the set
+        let snap = cache.snapshot_since(baseline);
+        let keys: Vec<u128> = snap.entries.iter().map(|(f, _)| f.0).collect();
+        assert_eq!(snap.len(), 3);
+        assert!(keys.contains(&fp(100).0));
+        assert!(keys.contains(&fp(101).0));
+        assert!(keys.contains(&fp(3).0));
+    }
+
+    #[test]
+    fn snapshot_serde_round_trips_exactly() {
+        let cache = ScoreCache::new(16);
+        cache.insert(fp(1), 0.1f64);
+        cache.insert(fp(2), -0.0f64);
+        cache.insert(fp(3), 3.0f64);
+        cache.insert(Fingerprint(u128::MAX - 7), f64::MIN_POSITIVE);
+        let snap = cache.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CacheSnapshot<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), snap.len());
+        for ((fa, va), (fb, vb)) in snap.entries.iter().zip(&back.entries) {
+            assert_eq!(fa, fb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "f64 payload must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn merge_overwrites_equal_values_without_growth() {
+        let a = ScoreCache::new(8);
+        let b = ScoreCache::new(8);
+        a.insert(fp(1), 1.5f64);
+        b.insert(fp(1), 1.5f64);
+        b.insert(fp(2), 2.5f64);
+        assert_eq!(a.merge(&b.snapshot()), 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(fp(1)), Some(1.5));
+        assert_eq!(a.get(fp(2)), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "two different values")]
+    #[cfg(debug_assertions)]
+    fn merge_panics_on_conflicting_values_in_debug() {
+        let a = ScoreCache::new(8);
+        let b = ScoreCache::new(8);
+        a.insert(fp(1), 1.0f64);
+        b.insert(fp(1), 2.0f64);
+        a.merge(&b.snapshot());
+    }
+
+    #[test]
+    fn merge_respects_capacity() {
+        let small: ScoreCache<f64> = ScoreCache::new(4);
+        let big = ScoreCache::new(64);
+        for i in 0..32u128 {
+            big.insert(fp(i), i as f64);
+        }
+        small.merge(&big.snapshot());
+        assert!(small.len() <= 4, "merge must evict to stay within capacity");
+    }
+
+    #[test]
+    fn contains_does_not_touch_counters() {
+        let cache = ScoreCache::new(8);
+        cache.insert(fp(1), 1.0f64);
+        assert!(cache.contains(fp(1)));
+        assert!(!cache.contains(fp(2)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
     }
 
     #[test]

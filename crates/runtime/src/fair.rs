@@ -136,6 +136,44 @@ mod tests {
     }
 
     #[test]
+    fn pause_mid_rotation_keeps_the_rest_fair_and_resume_rejoins_cleanly() {
+        // A tenant pausing a job maps to remove(); resuming maps to
+        // admit(). Pause "b" mid-rotation — after "a" was picked but
+        // before "b"'s turn came up — and the survivors must keep strict
+        // equal shares with no skipped or doubled turn at the seam.
+        let mut rr = RoundRobin::new();
+        for k in ["a", "b", "c"] {
+            rr.admit(k);
+        }
+        assert_eq!(rr.pick(), Some("a"));
+        assert!(rr.remove(&"b"), "pause drops the job from the rotation");
+        let picks: Vec<&str> = (0..6).map(|_| rr.pick().unwrap()).collect();
+        assert_eq!(picks, vec!["c", "a", "c", "a", "c", "a"]);
+
+        // While paused the job is simply absent — picks never yield it
+        // and its share flows to the active tenants (3 slices each over
+        // 6 picks above, not 2 of 9).
+        assert!(!rr.contains(&"b"));
+
+        // Resume mid-rotation: the job rejoins at the back, gets no
+        // catch-up burst for the slices it missed, and from the next
+        // full cycle on every tenant is back to exactly 1 pick per
+        // cycle.
+        rr.admit("b");
+        let resumed: Vec<&str> = (0..9).map(|_| rr.pick().unwrap()).collect();
+        assert_eq!(
+            resumed,
+            vec!["c", "a", "b", "c", "a", "b", "c", "a", "b"],
+            "resumed job takes one slot per cycle, no more"
+        );
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for k in resumed {
+            *counts.entry(k).or_default() += 1;
+        }
+        assert!(counts.values().all(|&n| n == 3), "equal shares: {counts:?}");
+    }
+
+    #[test]
     fn admit_is_idempotent() {
         let mut rr = RoundRobin::new();
         rr.admit(7);

@@ -24,7 +24,7 @@
 //! the signature with a plain gather, which keeps the cache insensitive to
 //! normalisation flavour.
 
-use crate::cache::{CacheStats, ScoreCache, ShardStats};
+use crate::cache::{CacheSnapshot, CacheStats, ScoreCache, ShardStats};
 use crate::fingerprint::{fingerprint_values, Fingerprint, Hasher128};
 use crate::pool::WorkerPool;
 use minhash::{SampleCompressor, Signature, WeightedMinHasher};
@@ -56,6 +56,47 @@ pub fn sig_cache_stats() -> CacheStats {
 /// Per-shard counters of the signature cache (for `--metrics` surfacing).
 pub fn sig_cache_shard_stats() -> Vec<ShardStats> {
     sig_cache().shard_stats()
+}
+
+/// Current logical clock of the process-wide signature cache; baseline
+/// for [`sig_cache_snapshot_since`].
+pub fn sig_cache_tick() -> u64 {
+    sig_cache().current_tick()
+}
+
+/// Export the global signature cache's entries touched at or after the
+/// `tick` baseline, as owned [`Signature`] payloads (the `Arc` wrapper is
+/// a process-local detail, so snapshots stay serde-serializable and
+/// merge-able across process boundaries).
+pub fn sig_cache_snapshot_since(tick: u64) -> CacheSnapshot<Signature> {
+    let inner = sig_cache().snapshot_since(tick);
+    CacheSnapshot {
+        entries: inner
+            .entries
+            .into_iter()
+            .map(|(fp, sig)| (fp, (*sig).clone()))
+            .collect(),
+    }
+}
+
+/// Export every resident entry of the global signature cache.
+pub fn sig_cache_snapshot() -> CacheSnapshot<Signature> {
+    sig_cache_snapshot_since(0)
+}
+
+/// Replay a signature snapshot (e.g. from another process) into the
+/// global cache; returns how many entries were new. Content-addressed
+/// keys make the merge idempotent, and in debug builds a key mapping to
+/// two different signatures panics.
+pub fn sig_cache_merge(snapshot: &CacheSnapshot<Signature>) -> usize {
+    let wrapped = CacheSnapshot {
+        entries: snapshot
+            .entries
+            .iter()
+            .map(|(fp, sig)| (*fp, Arc::new(sig.clone())))
+            .collect(),
+    };
+    sig_cache().merge(&wrapped)
 }
 
 fn raw_key(hasher: &WeightedMinHasher, weights: &[f64]) -> Fingerprint {
@@ -235,6 +276,37 @@ mod tests {
         let comp = compressor_signature_cached(&c, &v).unwrap();
         assert_eq!(*raw, h.signature(&v).unwrap());
         assert_eq!(*comp, c.signature(&v).unwrap());
+    }
+
+    #[test]
+    fn sig_snapshot_merge_round_trips_and_is_idempotent() {
+        let c = SampleCompressor::new(HashFamily::Pcws, 16, 0xD157).unwrap();
+        let values = col(7, 200);
+        let baseline = sig_cache_tick();
+        let direct = compressor_signature_cached(&c, &values).unwrap();
+        let snap = sig_cache_snapshot_since(baseline);
+        assert!(
+            snap.entries
+                .iter()
+                .any(|(k, sig)| *k == compressor_key(&c, &values) && *sig == *direct),
+            "snapshot must contain the entry sketched after the baseline"
+        );
+        // Merging a snapshot back into the cache it came from is a no-op
+        // (every key already resident with an equal value).
+        assert_eq!(sig_cache_merge(&snap), 0);
+        // A foreign entry merges in and is then served as a hit.
+        let foreign_values = col(77, 200);
+        let foreign_key = compressor_key(&c, &foreign_values);
+        let foreign_sig = c.signature(&foreign_values).unwrap();
+        let foreign = CacheSnapshot {
+            entries: vec![(foreign_key, foreign_sig.clone())],
+        };
+        let before = sig_cache_stats();
+        assert_eq!(sig_cache_merge(&foreign), 1);
+        let served = compressor_signature_cached(&c, &foreign_values).unwrap();
+        assert_eq!(*served, foreign_sig);
+        let after = sig_cache_stats();
+        assert_eq!(after.misses, before.misses, "merged entry must serve hits");
     }
 
     #[test]

@@ -645,6 +645,46 @@ impl Introspection {
         ])
     }
 
+    /// Process-wide distributed-search activity (the `dist` crate's
+    /// coordinator counters): shard flow, bytes on the wire, merge
+    /// traffic, and coordinator-side overhead. All zero unless a
+    /// coordinator runs in this process.
+    fn dist_value(&self) -> serde::Value {
+        let d = runtime::global_dist_stats();
+        serde::Value::Map(vec![
+            (
+                "workers_live".to_string(),
+                serde::Value::U64(d.workers_live),
+            ),
+            (
+                "shards_dispatched".to_string(),
+                serde::Value::U64(d.shards_dispatched),
+            ),
+            (
+                "shards_completed".to_string(),
+                serde::Value::U64(d.shards_completed),
+            ),
+            (
+                "shards_retried".to_string(),
+                serde::Value::U64(d.shards_retried),
+            ),
+            ("bytes_sent".to_string(), serde::Value::U64(d.bytes_sent)),
+            (
+                "bytes_received".to_string(),
+                serde::Value::U64(d.bytes_received),
+            ),
+            (
+                "entries_merged".to_string(),
+                serde::Value::U64(d.entries_merged),
+            ),
+            (
+                "entries_fresh".to_string(),
+                serde::Value::U64(d.entries_fresh),
+            ),
+            ("wire_us".to_string(), serde::Value::U64(d.wire_us)),
+        ])
+    }
+
     fn series_value(&self) -> serde::Value {
         let series = self
             .metrics
@@ -691,6 +731,7 @@ impl StatusSource for Introspection {
             ),
             ("cache".to_string(), self.cache_value()),
             ("frame".to_string(), self.frame_value()),
+            ("dist".to_string(), self.dist_value()),
             ("series".to_string(), self.series_value()),
         ]);
         serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_string())
@@ -709,6 +750,22 @@ impl StatusSource for Introspection {
             ("frame_chunks_evicted", "counter", f.chunks_evicted),
             ("frame_chunks_loaded", "counter", f.chunks_loaded),
             ("frame_chunks_decoded", "counter", f.chunks_decoded),
+        ] {
+            out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+        }
+        // Distributed-search counters are likewise process-global: one
+        // coordinator per process, counters shared across its runs.
+        let d = runtime::global_dist_stats();
+        for (name, kind, value) in [
+            ("dist_workers_live", "gauge", d.workers_live),
+            ("dist_shards_dispatched", "counter", d.shards_dispatched),
+            ("dist_shards_completed", "counter", d.shards_completed),
+            ("dist_shards_retried", "counter", d.shards_retried),
+            ("dist_bytes_sent", "counter", d.bytes_sent),
+            ("dist_bytes_received", "counter", d.bytes_received),
+            ("dist_entries_merged", "counter", d.entries_merged),
+            ("dist_entries_fresh", "counter", d.entries_fresh),
+            ("dist_wire_us", "counter", d.wire_us),
         ] {
             out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
         }

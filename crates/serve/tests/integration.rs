@@ -345,8 +345,20 @@ fn status_endpoint_reports_jobs_metrics_and_cache() {
     assert_eq!(field("status"), &serde::Value::Str("Completed".to_string()));
     assert!(field("epochs_completed").as_u64().unwrap() > 0);
     assert!(field("best_score").as_f64().unwrap() >= field("base_score").as_f64().unwrap());
-    for key in ["queue_depth", "active", "pool", "cache", "series"] {
+    for key in ["queue_depth", "active", "pool", "cache", "dist", "series"] {
         assert!(map.iter().any(|(k, _)| k == key), "missing {key}: {status}");
+    }
+    // Distributed-search counters surface on both pages (all zero here —
+    // no coordinator ran in this process — but the keys must exist).
+    assert!(metrics.contains("# TYPE dist_shards_completed counter"));
+    assert!(metrics.contains("# TYPE dist_workers_live gauge"));
+    let dist = map
+        .iter()
+        .find(|(k, _)| k == "dist")
+        .and_then(|(_, v)| v.as_map())
+        .unwrap();
+    for key in ["shards_completed", "bytes_sent", "wire_us"] {
+        assert!(dist.iter().any(|(k, _)| k == key), "missing dist.{key}");
     }
     // The per-job time series carry the budget burn-down and best score.
     let series = map

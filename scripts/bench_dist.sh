@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate bench_results/BENCH_dist.json: the distributed speculative
+# cache-warming coordinator (real worker child processes over loopback
+# TCP) vs the identical solo search, at 1/2/4 workers, with the bitwise
+# determinism contract asserted at every worker count. The workload's
+# downstream evaluator carries a synthetic per-evaluation latency (the
+# regime where distribution pays: evaluation cost is latency a worker
+# pool overlaps, not local CPU), recorded in the artifact alongside the
+# host CPU count and a delay-free CPU-bound contrast ratio.
+# Usage: scripts/bench_dist.sh [extra flags passed to perf_dist]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin perf_dist
+
+echo "=== perf_dist ==="
+./target/release/perf_dist --quiet "$@" \
+    | tee bench_results/perf_dist_run.log
+echo "artifact written to bench_results/BENCH_dist.json"

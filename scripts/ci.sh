@@ -53,6 +53,12 @@ cargo test -q -p tabular --test chunk_parity
 echo "==> serve integration suite"
 cargo test -q -p serve --test integration
 
+echo "==> dist loopback determinism suite (solo == 1 worker == N workers)"
+cargo test -q -p dist --test loopback
+
+echo "==> multi-process distributed determinism suite (real worker processes)"
+cargo test -q --test parallel_determinism multi_process
+
 echo "==> trace_tool golden-output suite"
 cargo test -q -p bench --test trace_golden
 
@@ -95,6 +101,7 @@ if [[ "$quick" -eq 0 ]]; then
     run_perf_smoke perf_nn     "batched kernels must not lose to scalar" --threads 1
     run_perf_smoke perf_simd   "lane-tree kernels must not lose to naive loops" --threads 1
     run_perf_smoke perf_frame  "chunked pipeline bit-identical to flat, <=1.15x, budget spills" --threads 1
+    run_perf_smoke perf_dist   "2-worker run bitwise == solo and no slower" --threads 1
 
     echo "==> telemetry overhead smoke (release)"
     # Disabled-telemetry instrumentation must stay near-free; the test
@@ -107,6 +114,6 @@ echo "==> cargo doc --no-deps (warnings denied, first-party crates)"
 # vendor/ stand-ins are workspace members but not ours to lint.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p e-afe -p telemetry -p runtime -p tabular -p learners \
-    -p minhash -p rl -p eafe -p eafe-stats -p serve -p bench -p simd
+    -p minhash -p rl -p eafe -p eafe-stats -p serve -p bench -p simd -p dist
 
 echo "CI gate passed."

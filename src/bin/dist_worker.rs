@@ -1,0 +1,56 @@
+//! Distributed-search worker process.
+//!
+//! Connects to a coordinator (`dist::Coordinator`) over TCP and serves
+//! its work shards until `Bye` or coordinator disconnect:
+//!
+//! ```text
+//! dist_worker --connect 127.0.0.1:4555 [--threads 4]
+//! ```
+//!
+//! `--threads` sizes this process's evaluation pool (0 = auto). The
+//! worker holds no search state — killing it mid-search costs the
+//! coordinator a shard retry, never a wrong result — so it is safe to
+//! add, restart, or kill workers at any point.
+
+use dist::{TcpTransport, Worker};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: dist_worker --connect HOST:PORT [--threads N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut connect: Option<String> = None;
+    let mut threads: usize = 0;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(args.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(addr) = connect else { usage() };
+    runtime::set_global_threads(threads);
+
+    let mut transport = match TcpTransport::connect(&addr) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dist_worker: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match Worker::serve(&mut transport) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dist_worker: session failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

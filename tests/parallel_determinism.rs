@@ -685,3 +685,124 @@ fn server_restart_with_two_tenants_matches_solo_runs() {
     }
     let _ = std::fs::remove_dir_all(&root);
 }
+
+// ---------------------------------------------------------------------------
+// Multi-process distribution (crates/dist): a coordinator in this process
+// drives real `dist_worker` child processes over TCP. The determinism
+// contract extends across process boundaries: solo ≡ N worker processes,
+// bitwise, at any per-worker thread count, even when a worker is killed
+// mid-search and its shard is reassigned.
+// ---------------------------------------------------------------------------
+
+fn spawn_worker_process(addr: &str, threads: usize) -> std::process::Child {
+    std::process::Command::new(env!("CARGO_BIN_EXE_dist_worker"))
+        .args(["--connect", addr, "--threads", &threads.to_string()])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn dist_worker")
+}
+
+/// Run `engine` through a coordinator with `n_workers` child processes
+/// (`threads` pool threads each). `kill_after_ms` kills the first child
+/// that long into the search to exercise shard reassignment.
+fn dist_run(
+    engine: &Engine,
+    frame: &DataFrame,
+    n_workers: usize,
+    threads: usize,
+    kill_after_ms: Option<u64>,
+) -> (RunResult, DataFrame) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let mut children: Vec<std::process::Child> = (0..n_workers)
+        .map(|_| spawn_worker_process(&addr, threads))
+        .collect();
+    let transports: Vec<dist::TcpTransport> = (0..n_workers)
+        .map(|_| dist::TcpTransport::from_stream(listener.accept().unwrap().0))
+        .collect();
+    let killer = kill_after_ms.map(|ms| {
+        let mut victim = children.remove(0);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            let _ = victim.kill();
+            let _ = victim.wait();
+        })
+    });
+    let mut coordinator = dist::Coordinator::new(transports);
+    let out = coordinator.run(engine, frame).unwrap();
+    drop(coordinator); // orderly Bye; surviving workers exit cleanly
+    for mut child in children {
+        let status = child.wait().expect("wait for dist_worker");
+        assert!(status.success(), "surviving worker exited with {status}");
+    }
+    if let Some(handle) = killer {
+        handle.join().unwrap();
+    }
+    out
+}
+
+#[test]
+fn multi_process_distribution_matches_solo_bitwise() {
+    let frame = frame();
+    let (solo, solo_frame) = Engine::nfs(fast_config()).run_full(&frame).unwrap();
+    let solo_fp = runtime::fingerprint_frame(&solo_frame);
+    for threads in [1usize, 4] {
+        let before = runtime::global_dist_stats();
+        let (result, engineered) = dist_run(&Engine::nfs(fast_config()), &frame, 2, threads, None);
+        let after = runtime::global_dist_stats();
+        assert_bit_identical(
+            &solo,
+            &result,
+            &format!("multi-process NFS, 2 workers x {threads} threads"),
+        );
+        assert_eq!(
+            solo_fp,
+            runtime::fingerprint_frame(&engineered),
+            "multi-process NFS, {threads} threads/worker: engineered frame"
+        );
+        assert_eq!(solo.selected, result.selected);
+        assert!(
+            after.shards_completed > before.shards_completed,
+            "worker processes must complete shards ({threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn multi_process_fpe_distribution_matches_solo_bitwise() {
+    // The two-stage FPE engine exercises both dispatch rounds: stage-1
+    // slices warm signatures (round 0), stage-2 slices warm signatures
+    // and downstream scores (rounds 0 and 1) — all shipped back across
+    // the process boundary as fingerprint-keyed snapshots.
+    let frame = frame();
+    let fpe = fpe();
+    let (solo, solo_frame) = Engine::e_afe(fast_config(), fpe.clone())
+        .run_full(&frame)
+        .unwrap();
+    let (result, engineered) = dist_run(&Engine::e_afe(fast_config(), fpe), &frame, 2, 4, None);
+    assert_bit_identical(&solo, &result, "multi-process E-AFE, 2 workers");
+    assert_eq!(
+        runtime::fingerprint_frame(&solo_frame),
+        runtime::fingerprint_frame(&engineered),
+        "multi-process E-AFE: engineered frame"
+    );
+}
+
+#[test]
+fn multi_process_worker_killed_mid_search_is_reassigned() {
+    let frame = frame();
+    let (solo, solo_frame) = Engine::nfs(fast_config()).run_full(&frame).unwrap();
+    let before = runtime::global_dist_stats();
+    let (result, engineered) = dist_run(&Engine::nfs(fast_config()), &frame, 2, 1, Some(200));
+    let after = runtime::global_dist_stats();
+    assert_bit_identical(&solo, &result, "multi-process NFS with a killed worker");
+    assert_eq!(
+        runtime::fingerprint_frame(&solo_frame),
+        runtime::fingerprint_frame(&engineered),
+        "killed-worker run: engineered frame"
+    );
+    assert!(
+        after.shards_retried > before.shards_retried,
+        "the killed worker's in-flight shard must be re-dispatched"
+    );
+}
